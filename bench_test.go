@@ -1,0 +1,200 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// One benchmark per artifact; each reports the headline quantity of its
+// figure as a custom metric so `go test -bench` output doubles as the
+// reproduction record (see EXPERIMENTS.md).
+package knives_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"knives/internal/experiments"
+)
+
+// benchSuite is shared so that the expensive default-setting layouts
+// (BruteForce enumerates ~4.2M candidates on Lineitem) are computed once.
+var (
+	benchSuite     *experiments.Suite
+	benchSuiteOnce sync.Once
+)
+
+func suite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite()
+		benchSuite.Reps = 1
+	})
+	return benchSuite
+}
+
+// runExperiment drives one registered experiment b.N times and returns the
+// last report.
+func runExperiment(b *testing.B, id string) *experiments.Report {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run(suite())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// cell parses a numeric report cell ("12.34%", "427", "1.49") as float.
+func cell(b *testing.B, rep *experiments.Report, rowKey string, col int) float64 {
+	b.Helper()
+	for _, row := range rep.Rows {
+		if row[0] != rowKey {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+		if err != nil {
+			b.Fatalf("parse %q: %v", row[col], err)
+		}
+		return v
+	}
+	b.Fatalf("%s: no row %q", rep.ID, rowKey)
+	return 0
+}
+
+func BenchmarkFig1OptimizationTime(b *testing.B) {
+	rep := runExperiment(b, "fig1")
+	b.ReportMetric(cell(b, rep, "HillClimb", 2), "hillclimb-candidates")
+	b.ReportMetric(cell(b, rep, "BruteForce", 2), "bruteforce-candidates")
+}
+
+func BenchmarkFig2OptTimeVsWorkload(b *testing.B) {
+	rep := runExperiment(b, "fig2")
+	b.ReportMetric(float64(len(rep.Rows)), "workload-sizes")
+}
+
+func BenchmarkFig3WorkloadRuntime(b *testing.B) {
+	rep := runExperiment(b, "fig3")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-seconds")
+	b.ReportMetric(cell(b, rep, "Column", 1), "column-seconds")
+	b.ReportMetric(cell(b, rep, "Row", 1), "row-seconds")
+}
+
+func BenchmarkFig4UnnecessaryData(b *testing.B) {
+	rep := runExperiment(b, "fig4")
+	b.ReportMetric(cell(b, rep, "Row", 1), "row-unnecessary-pct")
+	b.ReportMetric(cell(b, rep, "Navathe", 1), "navathe-unnecessary-pct")
+}
+
+func BenchmarkFig5ReconJoins(b *testing.B) {
+	rep := runExperiment(b, "fig5")
+	b.ReportMetric(cell(b, rep, "Column", 1), "column-joins")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-joins")
+}
+
+func BenchmarkFig6DistanceFromPMV(b *testing.B) {
+	rep := runExperiment(b, "fig6")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-pct")
+	b.ReportMetric(cell(b, rep, "Navathe", 1), "navathe-pct")
+}
+
+func BenchmarkFig7ImprovementVsK(b *testing.B) {
+	rep := runExperiment(b, "fig7")
+	b.ReportMetric(cell(b, rep, "1", 1), "hillclimb-k1-pct")
+	b.ReportMetric(cell(b, rep, "22", 1), "hillclimb-k22-pct")
+	b.ReportMetric(cell(b, rep, "22", 2), "navathe-k22-pct")
+}
+
+func BenchmarkTab3UnnecessaryK(b *testing.B) {
+	rep := runExperiment(b, "tab3")
+	b.ReportMetric(cell(b, rep, "5", 2), "navathe-k5-pct")
+}
+
+func BenchmarkTab4ReconJoinsK(b *testing.B) {
+	rep := runExperiment(b, "tab4")
+	b.ReportMetric(cell(b, rep, "6", 1), "hillclimb-k6-joins")
+	b.ReportMetric(cell(b, rep, "6", 2), "column-k6-joins")
+}
+
+func BenchmarkFig8FragilityBuffer(b *testing.B) {
+	rep := runExperiment(b, "fig8")
+	b.ReportMetric(cell(b, rep, "0.08 MB", 3), "column-fragility-tiny-buffer")
+}
+
+func BenchmarkFig9SweetspotBuffer(b *testing.B) {
+	rep := runExperiment(b, "fig9")
+	b.ReportMetric(cell(b, rep, "0.1 MB", 1), "hillclimb-100kb-pct-of-column")
+	b.ReportMetric(cell(b, rep, "10000 MB", 1), "hillclimb-10gb-pct-of-column")
+}
+
+func BenchmarkTab5Benchmarks(b *testing.B) {
+	rep := runExperiment(b, "tab5")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "tpch-improvement-pct")
+	b.ReportMetric(cell(b, rep, "HillClimb", 2), "ssb-improvement-pct")
+}
+
+func BenchmarkTab6CostModels(b *testing.B) {
+	rep := runExperiment(b, "tab6")
+	b.ReportMetric(cell(b, rep, "HillClimb", 2), "mm-improvement-pct")
+}
+
+func BenchmarkTab7Engine(b *testing.B) {
+	rep := runExperiment(b, "tab7")
+	b.ReportMetric(cell(b, rep, "Dictionary", 2), "dict-column-seconds")
+	b.ReportMetric(cell(b, rep, "Dictionary", 3), "dict-hillclimb-seconds")
+}
+
+func BenchmarkFig10Payoff(b *testing.B) {
+	rep := runExperiment(b, "fig10")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "payoff-over-row-pct")
+}
+
+func BenchmarkFig11FragilityParams(b *testing.B) {
+	rep := runExperiment(b, "fig11")
+	b.ReportMetric(cell(b, rep, "bw 60 MB/s", 1), "hillclimb-bw-fragility")
+}
+
+func BenchmarkFig12SweetspotParams(b *testing.B) {
+	rep := runExperiment(b, "fig12")
+	b.ReportMetric(cell(b, rep, "seek 7 ms", 1), "hillclimb-seek7-seconds")
+}
+
+func BenchmarkFig13ScaleSweep(b *testing.B) {
+	rep := runExperiment(b, "fig13")
+	b.ReportMetric(float64(len(rep.Rows)), "sweep-points")
+}
+
+func BenchmarkFig14Layouts(b *testing.B) {
+	rep := runExperiment(b, "fig14")
+	b.ReportMetric(float64(len(rep.Rows)), "layout-rows")
+}
+
+// Extension benches: prose results and restored features (see DESIGN.md).
+
+func BenchmarkExtSelectivity(b *testing.B) {
+	rep := runExperiment(b, "ext-selectivity")
+	b.ReportMetric(float64(len(rep.Rows)), "selectivity-points")
+}
+
+func BenchmarkExtWorkloadDrift(b *testing.B) {
+	rep := runExperiment(b, "ext-drift")
+	b.ReportMetric(cell(b, rep, "50.00%", 1), "cost-change-50pct-drift")
+}
+
+func BenchmarkExtConvergence(b *testing.B) {
+	rep := runExperiment(b, "ext-convergence")
+	b.ReportMetric(cell(b, rep, "0.00", 1), "hillclimb-candidates-regular")
+	b.ReportMetric(cell(b, rep, "1.00", 1), "hillclimb-candidates-fragmented")
+}
+
+func BenchmarkExtReplication(b *testing.B) {
+	rep := runExperiment(b, "ext-replication")
+	b.ReportMetric(cell(b, rep, "100.00%", 2), "storage-overhead-pct")
+}
+
+func BenchmarkExtGrouping(b *testing.B) {
+	rep := runExperiment(b, "ext-grouping")
+	b.ReportMetric(cell(b, rep, "1", 1), "one-replica-seconds")
+	b.ReportMetric(cell(b, rep, "3", 1), "three-replica-seconds")
+}

@@ -1,0 +1,214 @@
+// Command knives runs the paper's vertical partitioning algorithms and
+// regenerates its evaluation artifacts.
+//
+// Usage:
+//
+//	knives list
+//	    List the algorithms and the reproducible experiments.
+//
+//	knives optimize [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
+//	                [-algorithm NAME|all] [-buffer MB] [-model hdd|mm]
+//	    Compute layouts and report costs, candidates, and opt time.
+//
+//	knives advise [-benchmark tpch|ssb] [-sf N]
+//	    Recommend the cheapest layout per table across all heuristics.
+//
+//	knives experiment ID|all [-reps N]
+//	    Regenerate a paper figure/table (fig1..fig14, tab3..tab7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"knives"
+	"knives/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "optimize":
+		err = runOptimize(os.Args[2:])
+	case "advise":
+		err = runAdvise(os.Args[2:])
+	case "experiment":
+		err = runExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "knives: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knives: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: knives <command> [flags]
+
+commands:
+  list                      list algorithms and experiments
+  optimize [flags]          compute layouts for one or all tables
+  advise [flags]            recommend the best layout per table
+  experiment <id|all>       regenerate a paper figure or table
+
+run "knives <command> -h" for command flags`)
+}
+
+func pickBenchmark(name string, sf float64) (*knives.Benchmark, error) {
+	switch strings.ToLower(name) {
+	case "tpch", "tpc-h":
+		return knives.TPCH(sf), nil
+	case "ssb":
+		return knives.SSB(sf), nil
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q (tpch or ssb)", name)
+	}
+}
+
+func runList() error {
+	fmt.Println("algorithms:")
+	for _, a := range knives.Algorithms() {
+		fmt.Printf("  %s\n", a.Name())
+	}
+	fmt.Println("\nexperiments:")
+	for _, e := range knives.Experiments() {
+		fmt.Printf("  %-6s %s\n", e.ID, e.Description)
+	}
+	return nil
+}
+
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor")
+	table := fs.String("table", "all", "table name or all")
+	algoName := fs.String("algorithm", "all", "algorithm name or all")
+	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bench, err := pickBenchmark(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	var model knives.CostModel
+	switch strings.ToLower(*modelName) {
+	case "hdd":
+		disk := knives.DefaultDisk()
+		disk.BufferSize = int64(*bufferMB * float64(1<<20))
+		model = knives.NewHDDModel(disk)
+	case "mm":
+		model = knives.NewMMModel()
+	default:
+		return fmt.Errorf("unknown cost model %q (hdd or mm)", *modelName)
+	}
+
+	var algos []knives.Algorithm
+	if *algoName == "all" {
+		algos = knives.Algorithms()
+	} else {
+		a, err := knives.AlgorithmByName(*algoName)
+		if err != nil {
+			return err
+		}
+		algos = []knives.Algorithm{a}
+	}
+
+	for _, tw := range bench.TableWorkloads() {
+		if *table != "all" && tw.Table.Name != *table {
+			continue
+		}
+		fmt.Printf("table %s (%d rows, %d attrs, %d queries)\n",
+			tw.Table.Name, tw.Table.Rows, tw.Table.NumAttrs(), len(tw.Queries))
+		rowC := knives.WorkloadCost(model, tw, knives.RowLayout(tw.Table))
+		colC := knives.WorkloadCost(model, tw, knives.ColumnLayout(tw.Table))
+		fmt.Printf("  %-10s cost=%12.4f\n", "Row", rowC)
+		fmt.Printf("  %-10s cost=%12.4f\n", "Column", colC)
+		for _, a := range algos {
+			res, err := a.Partition(tw, model)
+			if err != nil {
+				fmt.Printf("  %-10s error: %v\n", a.Name(), err)
+				continue
+			}
+			fmt.Printf("  %-10s cost=%12.4f  candidates=%-9d opt=%v\n    %s\n",
+				a.Name(), res.Cost, res.Stats.Candidates, res.Stats.Duration, res.Partitioning)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bench, err := pickBenchmark(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	advice, err := knives.Advise(bench, knives.NewHDDModel(knives.DefaultDisk()))
+	if err != nil {
+		return err
+	}
+	for _, a := range advice {
+		fmt.Printf("%-10s use %-9s cost=%10.3f  vs row %+.1f%%  vs column %+.1f%%\n",
+			a.Table.Name, a.Algorithm, a.Cost,
+			a.ImprovementOverRow()*100, a.ImprovementOverColumn()*100)
+		fmt.Printf("           %s\n", a.Layout)
+	}
+	return nil
+}
+
+func runExperiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment needs an id (or all); run \"knives list\"")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	reps := fs.Int("reps", 3, "repetitions for timing experiments")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	suite := experiments.NewSuite()
+	suite.Reps = *reps
+
+	run := func(e knives.Experiment) error {
+		rep, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	if id == "all" {
+		for _, e := range experiments.All() {
+			if err := run(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	return run(e)
+}

@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+func TestPickBenchmark(t *testing.T) {
+	for _, name := range []string{"tpch", "TPC-H", "ssb"} {
+		b, err := pickBenchmark(name, 1)
+		if err != nil {
+			t.Errorf("pickBenchmark(%q): %v", name, err)
+			continue
+		}
+		if b == nil || len(b.Tables) == 0 {
+			t.Errorf("pickBenchmark(%q) returned empty benchmark", name)
+		}
+	}
+	if _, err := pickBenchmark("mystery", 1); err == nil {
+		t.Error("pickBenchmark accepted an unknown benchmark")
+	}
+}
+
+func TestRunListSucceeds(t *testing.T) {
+	if err := runList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOptimizeRejectsBadFlags(t *testing.T) {
+	if err := runOptimize([]string{"-model", "quantum"}); err == nil {
+		t.Error("accepted unknown cost model")
+	}
+	if err := runOptimize([]string{"-benchmark", "mystery"}); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+	if err := runOptimize([]string{"-algorithm", "Nope", "-table", "region", "-sf", "0.01"}); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+}
+
+func TestRunOptimizeSmallTable(t *testing.T) {
+	// Region at SF 0.01 is tiny; exercises the full code path quickly.
+	if err := runOptimize([]string{"-table", "region", "-sf", "0.01", "-algorithm", "HillClimb"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	if err := runExperiment(nil); err == nil {
+		t.Error("accepted missing experiment id")
+	}
+	if err := runExperiment([]string{"fig99"}); err == nil {
+		t.Error("accepted unknown experiment id")
+	}
+}
+
+func TestRunAdvise(t *testing.T) {
+	if err := runAdvise([]string{"-sf", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAdvise([]string{"-benchmark", "mystery"}); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}
+
+func TestRunExperimentCheapID(t *testing.T) {
+	// tab4 touches only Lineitem prefixes with HillClimb: cheap enough for
+	// a smoke test of the full experiment path.
+	if err := runExperiment([]string{"tab4", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Enginecompare: running real scans instead of trusting the cost model.
+//
+// The paper's results are estimated costs; this example validates them with
+// the storage engine: it generates a synthetic Lineitem sample, stores it
+// three times (row layout, column layout, and the layout HillClimb picks),
+// executes two classic queries against each copy, and reports measured
+// bytes, seeks, and simulated I/O time. The checksums prove that every
+// layout reconstructs identical tuples; the measurements reproduce the
+// cost model's ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knives"
+)
+
+func main() {
+	// A small sample keeps the example fast; the layout ranking is scale-
+	// independent because every layout scans the same generated rows.
+	const sampleRows = 200_000
+	bench := knives.TPCH(10)
+	liFull := bench.Table("lineitem")
+	li, err := knives.NewTable("lineitem_sample", sampleRows, liFull.Columns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := bench.Workload.ForTable(liFull)
+	tw.Table = li // same queries, sampled row count
+
+	model := knives.NewHDDModel(knives.DefaultDisk())
+	hcAlgo, err := knives.AlgorithmByName("HillClimb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc, err := hcAlgo.Partition(tw, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	layouts := []struct {
+		name   string
+		layout knives.Partitioning
+	}{
+		{"Row", knives.RowLayout(li)},
+		{"Column", knives.ColumnLayout(li)},
+		{"HillClimb", hc.Partitioning},
+	}
+
+	queries := []struct {
+		name  string
+		attrs knives.AttrSet
+	}{
+		{"Q6-style (4 attrs)", li.Attrs("l_quantity", "l_extendedprice", "l_discount", "l_shipdate")},
+		{"Q1-style (7 attrs)", li.Attrs("l_quantity", "l_extendedprice", "l_discount", "l_tax",
+			"l_returnflag", "l_linestatus", "l_shipdate")},
+	}
+
+	gen := knives.NewGenerator(2013)
+	for _, q := range queries {
+		fmt.Printf("%s over %d generated rows:\n", q.name, sampleRows)
+		var checksum uint64
+		for i, l := range layouts {
+			engine, err := knives.NewEngine(l.layout, knives.DefaultDisk())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := engine.Load(gen, sampleRows); err != nil {
+				log.Fatal(err)
+			}
+			stats, err := engine.Scan(q.attrs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				checksum = stats.Checksum
+			} else if stats.Checksum != checksum {
+				log.Fatalf("layout %s produced different tuples", l.name)
+			}
+			fmt.Printf("  %-10s read %9.2f MB in %5d seeks, simulated %7.3f s, %d recon joins/tuple\n",
+				l.name, float64(stats.BytesRead)/(1<<20), stats.Seeks, stats.SimTime,
+				stats.ReconJoins/stats.Tuples)
+			if err := engine.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("  (identical checksums: all layouts reconstruct the same tuples)")
+		fmt.Println()
+	}
+	fmt.Println("Row reads every attribute regardless of the query; Column reads the")
+	fmt.Println("minimum but touches the most partitions; HillClimb's column grouping")
+	fmt.Println("reads almost the minimum with fewer partitions — the trade-off the")
+	fmt.Println("paper's Section 1.2 describes.")
+}

@@ -1,0 +1,67 @@
+// Online: watching O2P adapt while a workload streams in.
+//
+// O2P (One-dimensional Online Partitioning) was built for the setting where
+// the workload is not known up front: every incoming query updates the
+// attribute affinity matrix and incrementally re-clusters it. This example
+// replays the 22 TPC-H queries against the Lineitem table one at a time and
+// prints the layout O2P would maintain after each arrival, together with
+// its estimated cost and how HillClimb (which sees the same prefix as an
+// offline algorithm) compares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knives"
+)
+
+func main() {
+	bench := knives.TPCH(10)
+	li := bench.Table("lineitem")
+	model := knives.NewHDDModel(knives.DefaultDisk())
+
+	o2p, err := knives.AlgorithmByName("O2P")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hc, err := knives.AlgorithmByName("HillClimb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("O2P layout evolution on Lineitem (queries arriving in TPC-H order):")
+	prev := ""
+	seen := 0
+	for k := 1; k <= len(bench.Workload.Queries); k++ {
+		tw := bench.Workload.Prefix(k).ForTable(li)
+		if len(tw.Queries) == seen {
+			continue // the k-th query does not touch lineitem
+		}
+		seen = len(tw.Queries)
+		last := tw.Queries[len(tw.Queries)-1]
+		res, err := o2p.Partition(tw, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offline, err := hc.Partition(tw, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout := res.Partitioning.String()
+		changed := " "
+		if layout != prev {
+			changed = "*"
+		}
+		prev = layout
+		fmt.Printf("%s after %-3s (%2d lineitem queries): O2P %8.1f s, offline HillClimb %8.1f s, %d parts\n",
+			changed, last.ID, len(tw.Queries), res.Cost, offline.Cost, res.Partitioning.NumParts())
+		if changed == "*" {
+			fmt.Printf("    %s\n", layout)
+		}
+	}
+	fmt.Println("\n'*' marks arrivals that changed the layout. O2P keeps analysis cheap")
+	fmt.Println("by re-clustering only the attributes the new query touched and by")
+	fmt.Println("memoizing segment splits — the price is a layout a bit worse than")
+	fmt.Println("what offline bottom-up search finds (paper, Figures 1 and 3).")
+}

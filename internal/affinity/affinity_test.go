@@ -1,0 +1,163 @@
+package affinity
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+func tw(t *testing.T, nAttrs int, queries ...attrset.Set) schema.TableWorkload {
+	t.Helper()
+	cols := make([]schema.Column, nAttrs)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 4}
+	}
+	tab, err := schema.NewTable("t", 100, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := schema.TableWorkload{Table: tab}
+	for i, q := range queries {
+		w.Queries = append(w.Queries, schema.TableQuery{ID: string(rune('A' + i)), Weight: 1, Attrs: q})
+	}
+	return w
+}
+
+func TestBuildCounts(t *testing.T) {
+	w := tw(t, 3, attrset.Of(0, 1), attrset.Of(0, 1), attrset.Of(1, 2))
+	m := Build(w)
+	if got := m.At(0, 1); got != 2 {
+		t.Errorf("At(0,1) = %v, want 2", got)
+	}
+	if got := m.At(1, 0); got != 2 {
+		t.Errorf("At(1,0) = %v, want 2 (symmetry)", got)
+	}
+	if got := m.At(1, 1); got != 3 {
+		t.Errorf("At(1,1) = %v, want 3 (diagonal = frequency)", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Errorf("At(0,2) = %v, want 0", got)
+	}
+}
+
+func TestAddQueryDefaultWeight(t *testing.T) {
+	m := NewMatrix(2)
+	m.AddQuery(attrset.Of(0, 1), 0) // zero weight treated as 1
+	if got := m.At(0, 1); got != 1 {
+		t.Errorf("At(0,1) = %v, want 1", got)
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	w := tw(t, 6,
+		attrset.Of(0, 3), attrset.Of(1, 4), attrset.Of(2, 5),
+		attrset.Of(0, 3), attrset.Of(1, 4))
+	m := Build(w)
+	order := m.Order()
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, a := range order {
+		if a < 0 || a >= 6 || seen[a] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[a] = true
+	}
+}
+
+// Attributes that always co-occur must end up adjacent: the bond energy of
+// any ordering separating them is strictly lower.
+func TestOrderClustersCoAccessedAttrs(t *testing.T) {
+	// Queries reference {0,5} and {2,3} heavily; {1,4} occasionally.
+	w := tw(t, 6,
+		attrset.Of(0, 5), attrset.Of(0, 5), attrset.Of(0, 5),
+		attrset.Of(2, 3), attrset.Of(2, 3), attrset.Of(2, 3),
+		attrset.Of(1, 4))
+	order := Build(w).Order()
+	pos := make([]int, 6)
+	for i, a := range order {
+		pos[a] = i
+	}
+	adjacent := func(a, b int) bool {
+		d := pos[a] - pos[b]
+		return d == 1 || d == -1
+	}
+	if !adjacent(0, 5) {
+		t.Errorf("0 and 5 not adjacent in %v", order)
+	}
+	if !adjacent(2, 3) {
+		t.Errorf("2 and 3 not adjacent in %v", order)
+	}
+}
+
+func TestOrderEmptyAndSingle(t *testing.T) {
+	if got := NewMatrix(0).Order(); got != nil {
+		t.Errorf("Order of empty matrix = %v", got)
+	}
+	if got := NewMatrix(1).Order(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Order of 1x1 = %v", got)
+	}
+}
+
+func TestReinsertKeepsPermutation(t *testing.T) {
+	w := tw(t, 5, attrset.Of(0, 1), attrset.Of(2, 3, 4))
+	m := Build(w)
+	order := m.Order()
+	// Fold in a new query and reinsert its attributes.
+	m.AddQuery(attrset.Of(0, 4), 1)
+	order = m.Reinsert(order, attrset.Of(0, 4))
+	if len(order) != 5 {
+		t.Fatalf("reinsert produced %v", order)
+	}
+	seen := map[int]bool{}
+	for _, a := range order {
+		if seen[a] {
+			t.Fatalf("duplicate in %v", order)
+		}
+		seen[a] = true
+	}
+}
+
+func TestReinsertIntoEmpty(t *testing.T) {
+	m := NewMatrix(2)
+	m.AddQuery(attrset.Of(0, 1), 1)
+	order := m.Reinsert(nil, attrset.Of(0, 1))
+	if len(order) != 2 {
+		t.Fatalf("Reinsert into empty = %v", order)
+	}
+}
+
+// Incremental insertion must converge to a clustering equivalent in bond
+// energy terms when queries arrive one at a time vs all at once, for a
+// simple two-cluster workload.
+func TestIncrementalMatchesBatchOnSeparableWorkload(t *testing.T) {
+	queries := []attrset.Set{
+		attrset.Of(0, 1), attrset.Of(0, 1), attrset.Of(2, 3), attrset.Of(2, 3),
+	}
+	batch := Build(tw(t, 4, queries...))
+	batchOrder := batch.Order()
+
+	inc := NewMatrix(4)
+	var order []int
+	for i := 0; i < 4; i++ {
+		order = append(order, i)
+	}
+	for _, q := range queries {
+		inc.AddQuery(q, 1)
+		order = inc.Reinsert(order, q)
+	}
+
+	energy := func(m *Matrix, ord []int) float64 {
+		var e float64
+		for i := 0; i+1 < len(ord); i++ {
+			e += m.bond(ord[i], ord[i+1])
+		}
+		return e
+	}
+	be, ie := energy(batch, batchOrder), energy(batch, order)
+	if ie < be {
+		t.Errorf("incremental order %v has energy %v < batch order %v energy %v", order, ie, batchOrder, be)
+	}
+}

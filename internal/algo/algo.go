@@ -1,0 +1,103 @@
+// Package algo defines the interface every vertical partitioning algorithm
+// implements, plus the bookkeeping and search helpers they share.
+package algo
+
+import (
+	"fmt"
+	"time"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// Stats records how much work an algorithm did. Candidate counts make the
+// paper's "four orders of magnitude less computation" lesson measurable
+// independently of hardware and language.
+type Stats struct {
+	// Candidates is the number of candidate layouts whose workload cost the
+	// algorithm evaluated.
+	Candidates int64
+	// Duration is the measured wall-clock optimization time.
+	Duration time.Duration
+}
+
+// Result is an algorithm's output for one table.
+type Result struct {
+	Partitioning partition.Partitioning
+	Cost         float64 // estimated workload cost of the final layout
+	Stats        Stats
+}
+
+// Algorithm computes a vertical partitioning of one table for a workload
+// under a cost model. Implementations must be deterministic and safe for
+// concurrent use by multiple goroutines.
+type Algorithm interface {
+	// Name identifies the algorithm in reports (e.g. "HillClimb").
+	Name() string
+	// Partition computes a layout for the table of tw.
+	Partition(tw schema.TableWorkload, model cost.Model) (Result, error)
+}
+
+// Counter tallies candidate evaluations during a search.
+type Counter struct{ n int64 }
+
+// Eval computes the workload cost of one candidate and counts it.
+func (c *Counter) Eval(m cost.Model, tw schema.TableWorkload, parts []attrset.Set) float64 {
+	c.n++
+	return cost.WorkloadCost(m, tw, parts)
+}
+
+// Tick counts a candidate evaluation whose cost was computed elsewhere
+// (e.g. through a model fast path).
+func (c *Counter) Tick() { c.n++ }
+
+// Count returns the number of evaluations so far.
+func (c *Counter) Count() int64 { return c.n }
+
+// improvementEps guards greedy loops against floating-point jitter: a merge
+// or split must improve the workload cost by more than this to be taken.
+const improvementEps = 1e-9
+
+// GreedyMerge runs the bottom-up merging loop shared by HillClimb and
+// AutoPart: in every iteration it evaluates all pairwise merges of the
+// current parts and applies the one with the largest cost improvement,
+// stopping when no merge improves. It returns the final parts and cost.
+//
+// This is the paper's "improved version of HillClimb": costs are computed
+// on demand instead of from a precomputed dictionary of all column groups.
+func GreedyMerge(tw schema.TableWorkload, m cost.Model, parts []attrset.Set, c *Counter) ([]attrset.Set, float64) {
+	parts = partition.Clone(parts)
+	best := c.Eval(m, tw, parts)
+	for len(parts) > 1 {
+		bi, bj, bCost := -1, -1, best
+		for i := 0; i < len(parts); i++ {
+			for j := i + 1; j < len(parts); j++ {
+				cand := partition.Merge(parts, i, j)
+				if cc := c.Eval(m, tw, cand); cc < bCost-improvementEps {
+					bi, bj, bCost = i, j, cc
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		parts = partition.Merge(parts, bi, bj)
+		best = bCost
+	}
+	return parts, best
+}
+
+// Finish assembles a Result from search output, validating the layout.
+func Finish(tw schema.TableWorkload, parts []attrset.Set, costVal float64, c *Counter, start time.Time) (Result, error) {
+	p, err := partition.New(tw.Table, parts)
+	if err != nil {
+		return Result{}, fmt.Errorf("algo: invalid layout for %s: %w", tw.Table.Name, err)
+	}
+	return Result{
+		Partitioning: p,
+		Cost:         costVal,
+		Stats:        Stats{Candidates: c.Count(), Duration: time.Since(start)},
+	}, nil
+}

@@ -1,0 +1,94 @@
+package algo
+
+import (
+	"testing"
+	"time"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func fixture(t *testing.T) (schema.TableWorkload, cost.Model) {
+	t.Helper()
+	tab := schema.MustTable("t", 1_000_000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 100}, {Name: "d", Size: 50},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 5, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(2, 3)},
+	}}
+	return tw, cost.NewHDD(cost.DefaultDisk())
+}
+
+func TestCounterCounts(t *testing.T) {
+	tw, m := fixture(t)
+	var c Counter
+	if c.Count() != 0 {
+		t.Errorf("fresh counter = %d", c.Count())
+	}
+	c.Eval(m, tw, partition.Column(tw.Table).Parts)
+	c.Tick()
+	if c.Count() != 2 {
+		t.Errorf("counter = %d, want 2", c.Count())
+	}
+}
+
+func TestGreedyMergeImprovesOrKeepsCost(t *testing.T) {
+	tw, m := fixture(t)
+	start := partition.Column(tw.Table).Parts
+	startCost := cost.WorkloadCost(m, tw, start)
+	var c Counter
+	parts, final := GreedyMerge(tw, m, start, &c)
+	if final > startCost+1e-12 {
+		t.Errorf("GreedyMerge worsened cost: %v -> %v", startCost, final)
+	}
+	if _, err := partition.New(tw.Table, parts); err != nil {
+		t.Errorf("GreedyMerge produced invalid parts: %v", err)
+	}
+	// The co-accessed pair {a,b} must merge (it halves q1's seeks at no
+	// scan penalty).
+	var merged bool
+	for _, p := range parts {
+		if p == attrset.Of(0, 1) {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Errorf("GreedyMerge did not merge the co-accessed pair: %v", parts)
+	}
+	if c.Count() == 0 {
+		t.Error("GreedyMerge evaluated no candidates")
+	}
+}
+
+func TestGreedyMergeDoesNotMutateInput(t *testing.T) {
+	tw, m := fixture(t)
+	start := partition.Column(tw.Table).Parts
+	snapshot := append([]attrset.Set(nil), start...)
+	var c Counter
+	GreedyMerge(tw, m, start, &c)
+	for i := range start {
+		if start[i] != snapshot[i] {
+			t.Fatal("GreedyMerge mutated its input slice")
+		}
+	}
+}
+
+func TestFinishValidates(t *testing.T) {
+	tw, _ := fixture(t)
+	var c Counter
+	c.Tick()
+	res, err := Finish(tw, partition.Column(tw.Table).Parts, 42, &c, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 42 || res.Stats.Candidates != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	// Incomplete layout must be rejected.
+	if _, err := Finish(tw, []attrset.Set{attrset.Of(0)}, 0, &c, time.Now()); err == nil {
+		t.Error("Finish accepted an incomplete layout")
+	}
+}

@@ -1,0 +1,83 @@
+package autopart
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func model() cost.Model { return cost.NewHDD(cost.DefaultDisk()) }
+
+func TestName(t *testing.T) {
+	if got := New().Name(); got != "AutoPart" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// AutoPart starts from atomic fragments: attributes always accessed
+// together must share a partition even when no merge step fires.
+func TestStartsFromAtomicFragments(t *testing.T) {
+	tab := schema.MustTable("t", 1_000_000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 200}, {Name: "d", Size: 200},
+	})
+	// a and b always co-accessed; c alone; d unreferenced.
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(0, 1, 2)},
+	}}
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.PartOf(0) != res.Partitioning.PartOf(1) {
+		t.Errorf("atomic fragment split: %s", res.Partitioning)
+	}
+	if res.Partitioning.PartOf(3).Overlaps(attrset.Of(0, 1, 2)) {
+		t.Errorf("unreferenced attribute mixed into hot partition: %s", res.Partitioning)
+	}
+}
+
+// AutoPart and a column-seeded greedy merge reach the same cost: fragments
+// only shrink the search, never change the reachable optimum here.
+func TestMatchesHillClimbCostOnTPCH(t *testing.T) {
+	b := schema.TPCH(1)
+	m := model()
+	for _, name := range []string{"partsupp", "orders", "customer"} {
+		tw := b.Workload.ForTable(b.Table(name))
+		res, err := New().Partition(tw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := cost.WorkloadCost(m, tw, partition.Column(tw.Table).Parts)
+		if res.Cost > col+1e-9 {
+			t.Errorf("%s: AutoPart cost %v worse than column %v", name, res.Cost, col)
+		}
+	}
+}
+
+// Fewer starting atoms means fewer candidate evaluations than HillClimb's
+// column start on tables with wide fragments.
+func TestEvaluatesFewerCandidatesThanColumnStart(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 4},
+		{Name: "d", Size: 4}, {Name: "e", Size: 4}, {Name: "f", Size: 4},
+	})
+	// Three fragments: {a,b,c}, {d,e}, {f}.
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1, 2)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(3, 4)},
+		{ID: "q3", Weight: 1, Attrs: attrset.Of(5)},
+	}}
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy over 3 atoms evaluates at most 1 + 3 + 1 + 1 candidates; the
+	// 6-column start would need 15 pairs in the first iteration alone.
+	if res.Stats.Candidates > 10 {
+		t.Errorf("candidates = %d, expected the fragment start to keep it under 10", res.Stats.Candidates)
+	}
+}

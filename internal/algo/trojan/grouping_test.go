@@ -1,0 +1,125 @@
+package trojan
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+func TestGroupedSingleReplicaMatchesPlainTrojan(t *testing.T) {
+	b := schema.TPCH(1)
+	tw := b.Workload.ForTable(b.Table("lineitem"))
+	plain, err := New().Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := NewGrouped(1).Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped.Groups) != 1 {
+		t.Fatalf("1 replica produced %d groups", len(grouped.Groups))
+	}
+	if !grouped.Groups[0].Layout.Equal(plain.Partitioning) {
+		t.Errorf("single-replica layout %s != plain Trojan %s",
+			grouped.Groups[0].Layout, plain.Partitioning)
+	}
+	if diff := grouped.Cost - plain.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cost %v != plain %v", grouped.Cost, plain.Cost)
+	}
+}
+
+func TestGroupedCoversEveryQueryExactlyOnce(t *testing.T) {
+	b := schema.TPCH(1)
+	tw := b.Workload.ForTable(b.Table("lineitem"))
+	for _, replicas := range []int{2, 3, 5} {
+		res, err := NewGrouped(replicas).Partition(tw, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]int{}
+		for _, g := range res.Groups {
+			if err := g.Layout.Validate(); err != nil {
+				t.Errorf("replicas=%d: invalid group layout: %v", replicas, err)
+			}
+			for _, id := range g.QueryIDs {
+				seen[id]++
+			}
+		}
+		if len(seen) != len(tw.Queries) {
+			t.Errorf("replicas=%d: %d distinct queries assigned, want %d", replicas, len(seen), len(tw.Queries))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Errorf("replicas=%d: query %s assigned %d times", replicas, id, c)
+			}
+		}
+		if len(res.Groups) > replicas {
+			t.Errorf("replicas=%d: produced %d groups", replicas, len(res.Groups))
+		}
+	}
+}
+
+// More replicas can only help: each group's layout specializes to fewer
+// queries, approaching per-query materialized views.
+func TestGroupedMonotoneInReplicas(t *testing.T) {
+	b := schema.TPCH(1)
+	tw := b.Workload.ForTable(b.Table("lineitem"))
+	prev := -1.0
+	for _, replicas := range []int{1, 2, 3, 4} {
+		res, err := NewGrouped(replicas).Partition(tw, model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Cost > prev*1.02 {
+			t.Errorf("replicas=%d: cost %v noticeably worse than %v with fewer replicas",
+				replicas, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestGroupedMoreReplicasThanQueries(t *testing.T) {
+	tw := workload(t, 3,
+		schema.TableQuery{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		schema.TableQuery{ID: "q2", Weight: 1, Attrs: attrset.Of(2)},
+	)
+	res, err := NewGrouped(10).Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) > 2 {
+		t.Errorf("%d groups for 2 queries", len(res.Groups))
+	}
+}
+
+func TestGroupedEmptyWorkload(t *testing.T) {
+	tw := workload(t, 3)
+	res, err := NewGrouped(3).Partition(tw, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Cost != 0 {
+		t.Errorf("empty workload: %+v", res)
+	}
+}
+
+func TestClusterQueriesGroupsSimilarOnes(t *testing.T) {
+	tw := workload(t, 6,
+		schema.TableQuery{ID: "a1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		schema.TableQuery{ID: "a2", Weight: 1, Attrs: attrset.Of(0, 1, 2)},
+		schema.TableQuery{ID: "b1", Weight: 1, Attrs: attrset.Of(4, 5)},
+		schema.TableQuery{ID: "b2", Weight: 1, Attrs: attrset.Of(3, 4, 5)},
+	)
+	got := clusterQueries(tw, 2)
+	if got[0] != got[1] {
+		t.Errorf("similar queries a1/a2 in different groups: %v", got)
+	}
+	if got[2] != got[3] {
+		t.Errorf("similar queries b1/b2 in different groups: %v", got)
+	}
+	if got[0] == got[2] {
+		t.Errorf("dissimilar query families share a group: %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+// Package algorithms registers the vertical partitioning algorithms the
+// paper evaluates, in its presentation order, behind one constructor.
+package algorithms
+
+import (
+	"fmt"
+
+	"knives/internal/algo"
+	"knives/internal/algo/autopart"
+	"knives/internal/algo/bruteforce"
+	"knives/internal/algo/hillclimb"
+	"knives/internal/algo/hyrise"
+	"knives/internal/algo/navathe"
+	"knives/internal/algo/o2p"
+	"knives/internal/algo/trojan"
+)
+
+// All returns fresh instances of every evaluated algorithm in the paper's
+// presentation order: AutoPart, HillClimb, HYRISE, Navathe, O2P, Trojan,
+// BruteForce.
+func All() []algo.Algorithm {
+	return []algo.Algorithm{
+		autopart.New(),
+		hillclimb.New(),
+		hyrise.New(),
+		navathe.New(),
+		o2p.New(),
+		trojan.New(),
+		bruteforce.New(),
+	}
+}
+
+// Heuristics returns every algorithm except BruteForce.
+func Heuristics() []algo.Algorithm {
+	all := All()
+	return all[:len(all)-1]
+}
+
+// ByName returns the named algorithm (case-sensitive, as reported by
+// Name()), or an error listing the valid names.
+func ByName(name string) (algo.Algorithm, error) {
+	var names []string
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+		names = append(names, a.Name())
+	}
+	return nil, fmt.Errorf("algorithms: unknown algorithm %q (have %v)", name, names)
+}

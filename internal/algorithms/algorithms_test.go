@@ -1,0 +1,409 @@
+// Package algorithms_test cross-validates all seven algorithms against the
+// paper's qualitative results on the real TPC-H and SSB workloads.
+package algorithms_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"knives/internal/algo"
+	"knives/internal/algo/bruteforce"
+	"knives/internal/algo/hillclimb"
+	"knives/internal/algo/trojan"
+	"knives/internal/algorithms"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func hdd() cost.Model { return cost.NewHDD(cost.DefaultDisk()) }
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce"} {
+		a, err := algorithms.ByName(want)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", want, err)
+		}
+		if a.Name() != want {
+			t.Errorf("ByName(%s).Name() = %s", want, a.Name())
+		}
+	}
+	if _, err := algorithms.ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+	if got := len(algorithms.Heuristics()); got != 6 {
+		t.Errorf("Heuristics() has %d entries, want 6", got)
+	}
+}
+
+// Every algorithm must produce a valid partitioning for every TPC-H and SSB
+// table, and its reported cost must equal an independent re-evaluation.
+func TestAllAlgorithmsProduceValidLayouts(t *testing.T) {
+	model := hdd()
+	for _, bench := range []*schema.Benchmark{schema.TPCH(1), schema.SSB(1)} {
+		for _, tw := range bench.TableWorkloads() {
+			for _, a := range algorithms.All() {
+				res, err := a.Partition(tw, model)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", bench.Name, tw.Table.Name, a.Name(), err)
+				}
+				if err := res.Partitioning.Validate(); err != nil {
+					t.Errorf("%s/%s/%s: invalid layout: %v", bench.Name, tw.Table.Name, a.Name(), err)
+				}
+				recheck := cost.WorkloadCost(model, tw, res.Partitioning.Parts)
+				if math.Abs(recheck-res.Cost) > 1e-6*math.Max(1, recheck) {
+					t.Errorf("%s/%s/%s: reported cost %v != re-evaluated %v",
+						bench.Name, tw.Table.Name, a.Name(), res.Cost, recheck)
+				}
+				if res.Stats.Candidates <= 0 {
+					t.Errorf("%s/%s/%s: no candidates counted", bench.Name, tw.Table.Name, a.Name())
+				}
+			}
+		}
+	}
+}
+
+// Determinism: two runs of the same algorithm must give identical layouts.
+func TestAlgorithmsAreDeterministic(t *testing.T) {
+	model := hdd()
+	tw := schema.TPCH(1).Workload.ForTable(schema.TPCH(1).Table("lineitem"))
+	for _, a := range algorithms.All() {
+		r1, err1 := a.Partition(tw, model)
+		r2, err2 := a.Partition(tw, model)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", a.Name(), err1, err2)
+		}
+		if !r1.Partitioning.Equal(r2.Partitioning) {
+			t.Errorf("%s: non-deterministic layouts\n%s\n%s", a.Name(), r1.Partitioning, r2.Partitioning)
+		}
+	}
+}
+
+// Paper lesson 1: HillClimb and AutoPart find layouts with the same cost as
+// BruteForce on every TPC-H table, while evaluating orders of magnitude
+// fewer candidates on the wide tables.
+func TestHillClimbAndAutoPartMatchBruteForce(t *testing.T) {
+	model := hdd()
+	bench := schema.TPCH(10)
+	for _, tw := range bench.TableWorkloads() {
+		bf, err := algorithms.ByName("BruteForce")
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal, err := bf.Partition(tw, model)
+		if err != nil {
+			t.Fatalf("BruteForce/%s: %v", tw.Table.Name, err)
+		}
+		for _, name := range []string{"HillClimb", "AutoPart"} {
+			a, _ := algorithms.ByName(name)
+			res, err := a.Partition(tw, model)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, tw.Table.Name, err)
+			}
+			// Greedy search can in principle be beaten, but on TPC-H the
+			// paper observes exact ties; allow a 1% band for block-packing
+			// rounding asymmetries between the searches.
+			if res.Cost > optimal.Cost*1.01+1e-9 {
+				t.Errorf("%s on %s: cost %v, BruteForce %v (>1%% off)",
+					name, tw.Table.Name, res.Cost, optimal.Cost)
+			}
+			if res.Cost < optimal.Cost-1e-6 && tw.Table.Name != "lineitem" {
+				t.Errorf("%s on %s: cost %v beats BruteForce %v — brute force must be optimal",
+					name, tw.Table.Name, res.Cost, optimal.Cost)
+			}
+		}
+		if tw.Table.Name == "lineitem" {
+			hc, _ := algorithms.ByName("HillClimb")
+			res, err := hc.Partition(tw, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if optimal.Stats.Candidates < 1000*res.Stats.Candidates {
+				t.Errorf("lineitem: BruteForce evaluated %d candidates vs HillClimb %d — expected >=3 orders of magnitude more",
+					optimal.Stats.Candidates, res.Stats.Candidates)
+			}
+		}
+	}
+}
+
+// The fragment-level reduction must agree with raw-attribute enumeration on
+// every table narrow enough to enumerate raw, up to block-packing rounding.
+func TestFragmentBruteForceMatchesRaw(t *testing.T) {
+	model := hdd()
+	bench := schema.TPCH(1)
+	for _, name := range []string{"customer", "nation", "orders", "part", "partsupp", "region", "supplier"} {
+		tw := bench.Workload.ForTable(bench.Table(name))
+		frag, err := bruteforce.New().Partition(tw, model)
+		if err != nil {
+			t.Fatalf("fragment/%s: %v", name, err)
+		}
+		raw, err := bruteforce.NewRaw(10).Partition(tw, model)
+		if err != nil {
+			t.Fatalf("raw/%s: %v", name, err)
+		}
+		if frag.Cost > raw.Cost*1.005+1e-9 {
+			t.Errorf("%s: fragment-mode cost %v exceeds raw-mode %v beyond rounding", name, frag.Cost, raw.Cost)
+		}
+		if raw.Cost > frag.Cost+1e-6 {
+			t.Errorf("%s: raw-mode cost %v worse than fragment-mode %v — raw searches a superset", name, raw.Cost, frag.Cost)
+		}
+	}
+}
+
+// Paper Figure 3: Navathe and O2P trail the bottom-up algorithms on the
+// full TPC-H workload; every vertically partitioned layout crushes Row.
+func TestQualityOrderingOnTPCH(t *testing.T) {
+	model := hdd()
+	bench := schema.TPCH(10)
+
+	total := func(name string) float64 {
+		var sum float64
+		for _, tw := range bench.TableWorkloads() {
+			a, err := algorithms.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.Partition(tw, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Cost
+		}
+		return sum
+	}
+	layoutCost := func(layout func(*schema.Table) partition.Partitioning) float64 {
+		var sum float64
+		for _, tw := range bench.TableWorkloads() {
+			sum += cost.WorkloadCost(model, tw, layout(tw.Table).Parts)
+		}
+		return sum
+	}
+
+	hc := total("HillClimb")
+	nav := total("Navathe")
+	row := layoutCost(partition.Row)
+	col := layoutCost(partition.Column)
+
+	if hc >= nav {
+		t.Errorf("HillClimb (%v) should beat Navathe (%v) on full TPC-H", hc, nav)
+	}
+	if hc >= col {
+		t.Errorf("HillClimb (%v) should be at least as good as Column (%v)", hc, col)
+	}
+	if nav <= col {
+		t.Errorf("Navathe (%v) should trail Column (%v) on full TPC-H (paper Fig. 3)", nav, col)
+	}
+	if row < 3*hc {
+		t.Errorf("Row (%v) should be far worse than HillClimb (%v): paper shows ~80%% improvement", row, hc)
+	}
+	// Paper lesson 4: improvement over Column is single-digit percent.
+	if imp := (col - hc) / col; imp < 0 || imp > 0.15 {
+		t.Errorf("improvement over Column = %.2f%%, expected small single digits", imp*100)
+	}
+}
+
+// HillClimb from columns and GreedyMerge must never produce a layout worse
+// than column layout (merges are only taken when they improve).
+func TestHillClimbNeverWorseThanColumn(t *testing.T) {
+	model := hdd()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		nAttrs := 2 + rng.Intn(8)
+		cols := make([]schema.Column, nAttrs)
+		for i := range cols {
+			cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 1 + rng.Intn(100)}
+		}
+		tab, err := schema.NewTable("t", int64(1000+rng.Intn(2_000_000)), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := schema.TableWorkload{Table: tab}
+		nq := 1 + rng.Intn(8)
+		for q := 0; q < nq; q++ {
+			var s attrset.Set
+			for a := 0; a < nAttrs; a++ {
+				if rng.Intn(2) == 0 {
+					s = s.Add(a)
+				}
+			}
+			if s.IsEmpty() {
+				s = attrset.Single(rng.Intn(nAttrs))
+			}
+			tw.Queries = append(tw.Queries, schema.TableQuery{ID: "q", Weight: 1, Attrs: s})
+		}
+		res, err := hillclimb.New().Partition(tw, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colCost := cost.WorkloadCost(model, tw, partition.Column(tab).Parts)
+		if res.Cost > colCost+1e-9 {
+			t.Errorf("trial %d: HillClimb cost %v > column %v", trial, res.Cost, colCost)
+		}
+	}
+}
+
+// Under the main-memory cost model nothing beats column layout (paper,
+// Table 6): the bottom-up algorithms must return layouts costing the same
+// as Column.
+func TestMMModelNothingBeatsColumn(t *testing.T) {
+	model := cost.NewMM()
+	bench := schema.TPCH(1)
+	for _, tw := range bench.TableWorkloads() {
+		colCost := cost.WorkloadCost(model, tw, partition.Column(tw.Table).Parts)
+		for _, name := range []string{"HillClimb", "AutoPart", "BruteForce"} {
+			a, _ := algorithms.ByName(name)
+			res, err := a.Partition(tw, model)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, tw.Table.Name, err)
+			}
+			if res.Cost > colCost+1e-9 {
+				t.Errorf("%s on %s under MM: cost %v > column %v", name, tw.Table.Name, res.Cost, colCost)
+			}
+			if res.Cost < colCost*0.999 {
+				t.Errorf("%s on %s under MM: cost %v beats column %v — MM model should make column optimal",
+					name, tw.Table.Name, res.Cost, colCost)
+			}
+		}
+	}
+}
+
+// Navathe and O2P produce order-preserving (contiguous in affinity order)
+// layouts; with a single dominant co-access pair they must isolate it.
+func TestNavatheIsolatesDominantPair(t *testing.T) {
+	tab := schema.MustTable("t", 1_000_000, []schema.Column{
+		{Name: "a", Size: 8}, {Name: "b", Size: 8}, {Name: "c", Size: 100}, {Name: "d", Size: 100},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 10, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(2, 3)},
+	}}
+	for _, name := range []string{"Navathe", "O2P"} {
+		a, _ := algorithms.ByName(name)
+		res, err := a.Partition(tw, hdd())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// {a,b} must be a partition (possibly split, but never mixed with c/d).
+		for _, p := range res.Partitioning.Parts {
+			if p.Overlaps(attrset.Of(0, 1)) && p.Overlaps(attrset.Of(2, 3)) {
+				t.Errorf("%s mixed the two access groups: %s", name, res.Partitioning)
+			}
+		}
+	}
+}
+
+// Trojan's threshold controls pruning: with an impossible threshold it
+// degenerates to column layout over referenced attributes.
+func TestTrojanThresholdExtremes(t *testing.T) {
+	bench := schema.TPCH(1)
+	tw := bench.Workload.ForTable(bench.Table("partsupp"))
+	strict := &trojan.Trojan{Threshold: 1.1}
+	res, err := strict.Partition(tw, hdd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All referenced attrs singled out + one unreferenced group.
+	ref := tw.ReferencedAttrs()
+	for _, p := range res.Partitioning.Parts {
+		if p.Overlaps(ref) && p.Len() != 1 {
+			t.Errorf("threshold 1.1 still grouped %v", p)
+		}
+	}
+
+	loose := &trojan.Trojan{Threshold: 1e-9}
+	res2, err := loose.Partition(tw, hdd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ps_partkey and ps_suppkey are referenced by exactly the same queries:
+	// NMI = 1, so any positive threshold keeps them together.
+	ps := tw.Table
+	pk, sk := ps.AttrIndex("ps_partkey"), ps.AttrIndex("ps_suppkey")
+	if res2.Partitioning.PartOf(pk) != res2.Partitioning.PartOf(sk) {
+		t.Errorf("loose threshold separated perfectly coupled attrs: %s", res2.Partitioning)
+	}
+}
+
+// Empty and degenerate workloads must not break any algorithm.
+func TestAlgorithmsHandleDegenerateWorkloads(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4},
+	})
+	cases := []schema.TableWorkload{
+		{Table: tab}, // no queries
+		{Table: tab, Queries: []schema.TableQuery{{ID: "q", Weight: 1, Attrs: attrset.Of(0, 1)}}},
+		{Table: tab, Queries: []schema.TableQuery{{ID: "q", Weight: 1, Attrs: attrset.Of(0)}}},
+	}
+	for ci, tw := range cases {
+		for _, a := range algorithms.All() {
+			res, err := a.Partition(tw, hdd())
+			if err != nil {
+				t.Errorf("case %d, %s: %v", ci, a.Name(), err)
+				continue
+			}
+			if err := res.Partitioning.Validate(); err != nil {
+				t.Errorf("case %d, %s: %v", ci, a.Name(), err)
+			}
+		}
+	}
+}
+
+// A one-attribute table has exactly one layout; everyone must find it.
+func TestSingleAttributeTable(t *testing.T) {
+	tab := schema.MustTable("t", 10, []schema.Column{{Name: "a", Size: 4}})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: attrset.Of(0)},
+	}}
+	for _, a := range algorithms.All() {
+		res, err := a.Partition(tw, hdd())
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if res.Partitioning.NumParts() != 1 {
+			t.Errorf("%s: %d parts for 1-attr table", a.Name(), res.Partitioning.NumParts())
+		}
+	}
+}
+
+// BruteForce refuses workloads beyond its atom cap instead of hanging.
+func TestBruteForceCap(t *testing.T) {
+	cols := make([]schema.Column, 20)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 4}
+	}
+	tab := schema.MustTable("wide", 1000, cols)
+	tw := schema.TableWorkload{Table: tab}
+	// 20 queries each referencing a unique single attribute -> 20 fragments.
+	for i := 0; i < 20; i++ {
+		tw.Queries = append(tw.Queries, schema.TableQuery{ID: "q", Weight: 1, Attrs: attrset.Single(i)})
+	}
+	if _, err := bruteforce.New().Partition(tw, hdd()); err == nil {
+		t.Error("BruteForce accepted 20 atoms")
+	}
+}
+
+// Candidate counters must reflect the search-space hierarchy on Lineitem:
+// heuristics << Trojan << BruteForce.
+func TestCandidateCountHierarchy(t *testing.T) {
+	model := hdd()
+	bench := schema.TPCH(10)
+	tw := bench.Workload.ForTable(bench.Table("lineitem"))
+	counts := map[string]int64{}
+	for _, a := range algorithms.All() {
+		res, err := a.Partition(tw, model)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		counts[a.Name()] = res.Stats.Candidates
+	}
+	if !(counts["HillClimb"] < counts["Trojan"] && counts["Trojan"] < counts["BruteForce"]) {
+		t.Errorf("candidate hierarchy violated: %v", counts)
+	}
+	if counts["BruteForce"] < 1_000_000 {
+		t.Errorf("BruteForce evaluated only %d candidates on lineitem", counts["BruteForce"])
+	}
+}
+
+var _ algo.Algorithm = (*bruteforce.BruteForce)(nil)

@@ -1,0 +1,265 @@
+// Package cost implements the paper's unified I/O cost model (Section 4)
+// and the HYRISE-style main-memory cost model used in its Table 6.
+//
+// Both models estimate the cost of answering a scan/projection query over a
+// vertically partitioned table: the database reads, in full, every column
+// group that contains at least one referenced attribute. The HDD model
+// charges seek and scan time against a shared I/O buffer; the main-memory
+// model charges cache misses.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+// Disk describes the hardware/software setting the HDD model prices against.
+// The defaults reproduce the paper's testbed as measured with Bonnie++
+// (Section 4, "Common Hardware") plus its default experiment parameters
+// (Section 6.3): 8 KB blocks, 8 MB buffer, 90 MB/s read, 4.84 ms seek.
+type Disk struct {
+	BlockSize      int64   // b, bytes
+	BufferSize     int64   // Buff, bytes
+	ReadBandwidth  float64 // BW, bytes/second
+	WriteBandwidth float64 // bytes/second, used for layout-creation estimates
+	SeekTime       float64 // ts, seconds
+}
+
+// DefaultDisk returns the paper's default disk characteristics.
+func DefaultDisk() Disk {
+	return Disk{
+		BlockSize:      8 * 1024,
+		BufferSize:     8 * 1024 * 1024,
+		ReadBandwidth:  90.07 * 1e6,
+		WriteBandwidth: 64.37 * 1e6,
+		SeekTime:       4.84e-3,
+	}
+}
+
+// Validate reports whether the disk parameters are usable.
+func (d Disk) Validate() error {
+	switch {
+	case d.BlockSize <= 0:
+		return fmt.Errorf("cost: block size %d must be positive", d.BlockSize)
+	case d.BufferSize <= 0:
+		return fmt.Errorf("cost: buffer size %d must be positive", d.BufferSize)
+	case d.ReadBandwidth <= 0:
+		return fmt.Errorf("cost: read bandwidth %v must be positive", d.ReadBandwidth)
+	case d.SeekTime < 0:
+		return fmt.Errorf("cost: seek time %v must be non-negative", d.SeekTime)
+	}
+	return nil
+}
+
+// WithBuffer returns a copy of d with a different buffer size.
+func (d Disk) WithBuffer(bytes int64) Disk { d.BufferSize = bytes; return d }
+
+// WithBlockSize returns a copy of d with a different block size.
+func (d Disk) WithBlockSize(bytes int64) Disk { d.BlockSize = bytes; return d }
+
+// WithReadBandwidth returns a copy of d with a different read bandwidth.
+func (d Disk) WithReadBandwidth(bytesPerSec float64) Disk {
+	d.ReadBandwidth = bytesPerSec
+	return d
+}
+
+// WithSeekTime returns a copy of d with a different seek time.
+func (d Disk) WithSeekTime(seconds float64) Disk { d.SeekTime = seconds; return d }
+
+// Model estimates query costs over a partitioned table. Parts must be a
+// complete, disjoint partitioning of the table's attributes; query is the
+// set of attributes the query references. The returned unit is seconds for
+// the HDD model and abstract cache-miss time for the MM model — the paper
+// only ever compares costs under one model at a time.
+type Model interface {
+	// Name identifies the model in reports ("HDD", "MM").
+	Name() string
+	// QueryCost returns the cost of one execution of a query referencing
+	// the given attributes.
+	QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64
+}
+
+// WorkloadCost sums the weighted query costs of a per-table workload.
+func WorkloadCost(m Model, tw schema.TableWorkload, parts []attrset.Set) float64 {
+	var total float64
+	for _, q := range tw.Queries {
+		total += q.Weight * m.QueryCost(tw.Table, parts, q.Attrs)
+	}
+	return total
+}
+
+// HDD is the paper's disk I/O cost model. For a query referencing partitions
+// P_Q with row sizes s_i (total S):
+//
+//	buff_i       = floor(Buff * s_i / S)        (proportional buffer split)
+//	blocksBuff_i = floor(buff_i / b)            (clamped to >= 1)
+//	blocks_i     = ceil(N / floor(b / s_i))     (blocks of partition i on disk)
+//	seek_i       = ts * ceil(blocks_i / blocksBuff_i)
+//	scan_i       = blocks_i * b / BW
+//	cost(Q)      = sum over i in P_Q of seek_i + scan_i
+//
+// The blocksBuff clamp covers buffers smaller than one block: the system
+// then degrades to one seek per block instead of dividing by zero. Rows
+// wider than a block (possible only for pathological block sizes) are laid
+// out contiguously: blocks_i = ceil(N * s_i / b).
+type HDD struct {
+	Disk Disk
+}
+
+// NewHDD returns an HDD model over the given disk.
+func NewHDD(d Disk) *HDD { return &HDD{Disk: d} }
+
+// Name implements Model.
+func (*HDD) Name() string { return "HDD" }
+
+// QueryCost implements Model.
+func (m *HDD) QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64 {
+	var totalRowSize int64
+	for _, p := range parts {
+		if p.Overlaps(query) {
+			totalRowSize += t.SetSize(p)
+		}
+	}
+	if totalRowSize == 0 {
+		return 0
+	}
+	var cost float64
+	for _, p := range parts {
+		if !p.Overlaps(query) {
+			continue
+		}
+		cost += m.PartitionCost(t, t.SetSize(p), totalRowSize)
+	}
+	return cost
+}
+
+// PartitionCoster is an optional fast path implemented by models whose
+// query cost decomposes into a sum over referenced partitions that depends
+// only on each partition's row size and the combined row size of all
+// referenced partitions. Exhaustive searches use it to price candidates
+// without materializing attribute sets.
+type PartitionCoster interface {
+	// PartitionCost prices reading one partition of row size rowSize when
+	// the query's referenced partitions have combined row size
+	// totalRowSize.
+	PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float64
+}
+
+// PartitionCost implements PartitionCoster.
+func (m *HDD) PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float64 {
+	d := m.Disk
+	blocks := PartitionBlocks(t.Rows, rowSize, d.BlockSize)
+
+	buff := d.BufferSize * rowSize / totalRowSize
+	blocksBuff := buff / d.BlockSize
+	if blocksBuff < 1 {
+		blocksBuff = 1
+	}
+
+	seeks := ceilDiv(blocks, blocksBuff)
+	seekCost := d.SeekTime * float64(seeks)
+	scanCost := float64(blocks) * float64(d.BlockSize) / d.ReadBandwidth
+	return seekCost + scanCost
+}
+
+// PartitionBlocks returns the number of disk blocks a partition with the
+// given row size occupies: rows are packed whole into blocks when they fit,
+// otherwise stored contiguously.
+func PartitionBlocks(rows, rowSize, blockSize int64) int64 {
+	if rows == 0 || rowSize == 0 {
+		return 0
+	}
+	rowsPerBlock := blockSize / rowSize
+	if rowsPerBlock >= 1 {
+		return ceilDiv(rows, rowsPerBlock)
+	}
+	return ceilDiv(rows*rowSize, blockSize)
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("cost: ceilDiv by %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// ScanBytes returns the number of bytes a query reads from disk under the
+// common-granularity rule (all blocks of every referenced partition). The
+// metrics package uses this for the unnecessary-data-read figure.
+func ScanBytes(t *schema.Table, parts []attrset.Set, query attrset.Set, blockSize int64) int64 {
+	var total int64
+	for _, p := range parts {
+		if p.Overlaps(query) {
+			total += PartitionBlocks(t.Rows, t.SetSize(p), blockSize) * blockSize
+		}
+	}
+	return total
+}
+
+// MM is a main-memory cost model in the spirit of HYRISE: the cost of a
+// query is the number of cache lines (of CacheLineSize bytes) transferred
+// when scanning every referenced column group in full, times the miss
+// latency. Sequential access dominates for scan/projection workloads, so a
+// partition of row size s contributes N*s/L misses; there is no seek
+// component, which is exactly why column grouping cannot beat column layout
+// under this model (paper, Table 6 discussion).
+type MM struct {
+	CacheLineSize int64
+	// MissLatency is the cost of one cache miss, in seconds.
+	MissLatency float64
+}
+
+// NewMM returns a main-memory model with 64-byte cache lines and a
+// 100 ns miss latency, a conventional DRAM figure.
+func NewMM() *MM { return &MM{CacheLineSize: 64, MissLatency: 100e-9} }
+
+// Name implements Model.
+func (*MM) Name() string { return "MM" }
+
+// QueryCost implements Model.
+func (m *MM) QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64 {
+	var total float64
+	for _, p := range parts {
+		if !p.Overlaps(query) {
+			continue
+		}
+		total += m.PartitionCost(t, t.SetSize(p), 0)
+	}
+	return total
+}
+
+// PartitionCost implements PartitionCoster. The MM model has no buffer
+// coupling, so totalRowSize is ignored.
+func (m *MM) PartitionCost(t *schema.Table, rowSize, _ int64) float64 {
+	line := m.CacheLineSize
+	if line <= 0 {
+		line = 64
+	}
+	bytes := float64(t.Rows) * float64(rowSize)
+	return math.Ceil(bytes/float64(line)) * m.MissLatency
+}
+
+// CreationTime estimates the time to transform a table from row layout into
+// the given number of partition files: the table is read once at the read
+// bandwidth and written once at the write bandwidth (Section 6.1 reports
+// ~420 s for all of TPC-H SF 10).
+func CreationTime(t *schema.Table, d Disk) float64 {
+	bytes := float64(t.Bytes())
+	w := d.WriteBandwidth
+	if w <= 0 {
+		w = d.ReadBandwidth
+	}
+	return bytes/d.ReadBandwidth + bytes/w
+}
+
+// BenchmarkCreationTime sums CreationTime over all tables of a benchmark.
+func BenchmarkCreationTime(b *schema.Benchmark, d Disk) float64 {
+	var total float64
+	for _, t := range b.Tables {
+		total += CreationTime(t, d)
+	}
+	return total
+}

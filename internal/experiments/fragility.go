@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// fragilitySubjects are the layouts the paper's fragility figures track:
+// the two representative algorithms plus the baselines.
+var fragilitySubjects = []string{"HillClimb", "Navathe", "Column", "Row"}
+
+// subjectLayouts returns the per-table layouts of a fragility subject
+// computed under the suite's default disk.
+func (s *Suite) subjectLayouts(name string) ([][]attrset.Set, error) {
+	switch name {
+	case "Column", "Row":
+		tws := s.Bench.TableWorkloads()
+		out := make([][]attrset.Set, len(tws))
+		for i, tw := range tws {
+			if name == "Column" {
+				out[i] = partition.Column(tw.Table).Parts
+			} else {
+				out[i] = partition.Row(tw.Table).Parts
+			}
+		}
+		return out, nil
+	default:
+		rs, err := s.results(name)
+		if err != nil {
+			return nil, err
+		}
+		return partsOf(rs), nil
+	}
+}
+
+// benchCost prices fixed per-table layouts under a model.
+func benchCost(b *schema.Benchmark, m cost.Model, layouts [][]attrset.Set) float64 {
+	var sum float64
+	for i, tw := range b.TableWorkloads() {
+		sum += cost.WorkloadCost(m, tw, layouts[i])
+	}
+	return sum
+}
+
+// fragilityReport renders fragility rows for a sequence of modified disks.
+func (s *Suite) fragilityReport(id, title, paramHeader string, variants []struct {
+	label string
+	disk  cost.Disk
+}) (*Report, error) {
+	r := &Report{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{paramHeader}, fragilitySubjects...),
+	}
+	base := s.model()
+	baseCosts := map[string]float64{}
+	layouts := map[string][][]attrset.Set{}
+	for _, name := range fragilitySubjects {
+		ls, err := s.subjectLayouts(name)
+		if err != nil {
+			return nil, err
+		}
+		layouts[name] = ls
+		baseCosts[name] = benchCost(s.Bench, base, ls)
+	}
+	for _, v := range variants {
+		m := cost.NewHDD(v.disk)
+		row := []string{v.label}
+		for _, name := range fragilitySubjects {
+			after := benchCost(s.Bench, m, layouts[name])
+			frag := 0.0
+			if baseCosts[name] > 0 {
+				frag = (after - baseCosts[name]) / baseCosts[name]
+			}
+			row = append(row, fmtFactor(frag))
+		}
+		r.AddRow(row...)
+	}
+	return r, nil
+}
+
+// Fig8 reproduces Figure 8: fragility (relative cost change) when the
+// buffer size changes at query time while layouts stay fixed at the 8 MB
+// optimum.
+func Fig8(s *Suite) (*Report, error) {
+	mb := int64(1 << 20)
+	variants := []struct {
+		label string
+		disk  cost.Disk
+	}{
+		{"0.08 MB", s.Disk.WithBuffer(mb * 8 / 100)},
+		{"0.8 MB", s.Disk.WithBuffer(mb * 8 / 10)},
+		{"8 MB", s.Disk.WithBuffer(8 * mb)},
+		{"80 MB", s.Disk.WithBuffer(80 * mb)},
+		{"800 MB", s.Disk.WithBuffer(800 * mb)},
+		{"8000 MB", s.Disk.WithBuffer(8000 * mb)},
+	}
+	r, err := s.fragilityReport("fig8",
+		"Fragility (factor) — changing the buffer size at query time", "buffer", variants)
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("paper: shrinking the buffer to 0.08 MB degrades runtimes by factors of 5-24; growing it helps slightly")
+	r.AddNote("buffer size is the dominant fragility parameter (compare fig11)")
+	return r, nil
+}
+
+// Fig11 reproduces Figure 11 (Appendix A.2): fragility when block size,
+// disk bandwidth, or seek time change at query time. It emits the three
+// sub-figures as consecutive row groups.
+func Fig11(s *Suite) (*Report, error) {
+	kb := int64(1 << 10)
+	type variant = struct {
+		label string
+		disk  cost.Disk
+	}
+	blocks := []variant{
+		{"block 0.5 KB", s.Disk.WithBlockSize(kb / 2)},
+		{"block 1 KB", s.Disk.WithBlockSize(kb)},
+		{"block 2 KB", s.Disk.WithBlockSize(2 * kb)},
+		{"block 4 KB", s.Disk.WithBlockSize(4 * kb)},
+		{"block 8 KB", s.Disk.WithBlockSize(8 * kb)},
+		{"block 16 KB", s.Disk.WithBlockSize(16 * kb)},
+		{"block 32 KB", s.Disk.WithBlockSize(32 * kb)},
+		{"block 64 KB", s.Disk.WithBlockSize(64 * kb)},
+		{"block 128 KB", s.Disk.WithBlockSize(128 * kb)},
+	}
+	bws := []variant{}
+	for _, mbps := range []float64{60, 70, 80, 90, 100, 110, 120} {
+		bws = append(bws, variant{fmt.Sprintf("bw %.0f MB/s", mbps), s.Disk.WithReadBandwidth(mbps * 1e6)})
+	}
+	seeks := []variant{}
+	for _, ms := range []float64{3.5, 4, 4.5, 4.84, 5, 5.5, 6} {
+		seeks = append(seeks, variant{fmt.Sprintf("seek %.2f ms", ms), s.Disk.WithSeekTime(ms / 1000)})
+	}
+
+	r, err := s.fragilityReport("fig11",
+		"Fragility (factor) — changing block size / bandwidth / seek time at query time",
+		"parameter", append(append(blocks, bws...), seeks...))
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("paper: block size changes matter <1%%; bandwidth up to ~42%%; seek time <5%%")
+	return r, nil
+}

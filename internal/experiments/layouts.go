@@ -1,0 +1,28 @@
+package experiments
+
+import "knives/internal/partition"
+
+// Fig14 reproduces Figure 14 (Appendix B): the computed vertical layouts
+// for every TPC-H table under every algorithm. Partitions print as
+// pipe-separated attribute groups.
+func Fig14(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig14",
+		Title:  "Computed partitions for the TPC-H workload",
+		Header: []string{"table", "algorithm", "layout"},
+	}
+	tws := s.Bench.TableWorkloads()
+	for i, tw := range tws {
+		for _, name := range evaluatedAlgorithms {
+			rs, err := s.results(name)
+			if err != nil {
+				return nil, err
+			}
+			r.AddRow(tw.Table.Name, name, rs[i].Partitioning.String())
+		}
+		r.AddRow(tw.Table.Name, "Column", partition.Column(tw.Table).String())
+	}
+	r.AddNote("paper: AutoPart/HillClimb/HYRISE/Trojan/BruteForce form one layout class; Navathe and O2P a clearly different second class")
+	r.AddNote("paper: Nation and Region fit in one block, so their partitioning does not influence I/O cost")
+	return r, nil
+}

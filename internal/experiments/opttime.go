@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+// Fig1 reproduces Figure 1: the optimization time of every algorithm for
+// the whole TPC-H workload (all tables), alongside the candidate-layout
+// counts that make the orders-of-magnitude gaps machine-independent. The
+// layout-transformation time the paper quotes (~420 s at SF 10) is noted
+// for scale.
+func Fig1(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig1",
+		Title:  "Optimization time for different algorithms (TPC-H SF10, all tables)",
+		Header: []string{"algorithm", "opt time (s)", "candidates"},
+	}
+	times := map[string]float64{}
+	for _, name := range evaluatedAlgorithms {
+		reps := s.reps()
+		if name == "BruteForce" {
+			reps = 1 // one exhaustive enumeration is slow and stable enough
+		}
+		seconds, candidates, err := timeAlgorithm(s, name, reps)
+		if err != nil {
+			return nil, err
+		}
+		times[name] = seconds
+		r.AddRow(name, fmtSeconds(seconds), fmt.Sprintf("%d", candidates))
+	}
+	if bf, hc := times["BruteForce"], times["HillClimb"]; hc > 0 {
+		r.AddNote("BruteForce / HillClimb optimization time = %.0fx", bf/hc)
+	}
+	r.AddNote("layout transformation time at SF10 ≈ %.0f s (read+write all tables)",
+		cost.BenchmarkCreationTime(s.Bench, s.Disk))
+	r.AddNote("paper: every heuristic is orders of magnitude faster than BruteForce")
+	return r, nil
+}
+
+// timeAlgorithm measures the median across reps of the total optimization
+// time over all tables.
+func timeAlgorithm(s *Suite, name string, reps int) (float64, int64, error) {
+	var seconds []float64
+	var candidates int64
+	for i := 0; i < reps; i++ {
+		a, err := algorithms.ByName(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		rs, err := runAll(a, s.Bench, s.model())
+		if err != nil {
+			return 0, 0, err
+		}
+		seconds = append(seconds, time.Since(start).Seconds())
+		candidates, _ = totalStats(rs)
+	}
+	sort.Float64s(seconds)
+	return seconds[len(seconds)/2], candidates, nil
+}
+
+// Fig2 reproduces Figure 2: optimization time over varying workload size
+// (the first k TPC-H queries, k = 1..22) for the five fast algorithms.
+// Trojan and BruteForce are excluded, as in the paper.
+func Fig2(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Optimization time over varying workload size (first k TPC-H queries)",
+		Header: append([]string{"k"}, fastAlgorithms...),
+	}
+	full := s.Bench.Workload
+	for k := 1; k <= len(full.Queries); k++ {
+		bench := &schema.Benchmark{Name: s.Bench.Name, Tables: s.Bench.Tables, Workload: full.Prefix(k)}
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, name := range fastAlgorithms {
+			var best float64
+			for rep := 0; rep < s.reps(); rep++ {
+				a, err := algorithms.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := runAll(a, bench, s.model()); err != nil {
+					return nil, err
+				}
+				sec := time.Since(start).Seconds()
+				if rep == 0 || sec < best {
+					best = sec
+				}
+			}
+			row = append(row, fmtSeconds(best))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper: Navathe and AutoPart grow steeper with workload size than HYRISE, HillClimb, O2P")
+	return r, nil
+}

@@ -1,0 +1,89 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6 and Appendices A/B): one runner per artifact, all
+// operating on the unified setting of Section 4. Runners return textual
+// Reports whose rows correspond to the series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a rendered experiment result: a titled table plus free-form
+// notes (the "key message" sentences the paper attaches to each figure).
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtSeconds renders a duration in seconds with sensible precision.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.2e", s)
+	}
+}
+
+// fmtPercent renders a fraction as a percentage.
+func fmtPercent(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// fmtFactor renders a ratio as a plain factor.
+func fmtFactor(f float64) string { return fmt.Sprintf("%.2f", f) }

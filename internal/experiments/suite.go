@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"knives/internal/algo"
+	"knives/internal/algorithms"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/metrics"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// Suite holds the shared configuration of an experiment run: the benchmark
+// (TPC-H at scale factor 10 unless an experiment says otherwise), the
+// default disk, and a cache of the expensive default-setting layouts.
+type Suite struct {
+	Bench *schema.Benchmark
+	Disk  cost.Disk
+	// Reps is how many times timing experiments repeat each measurement
+	// (the paper averages five runs); the median is reported. Zero means 3.
+	Reps int
+	// SSB optionally supplies the Star Schema Benchmark for Table 5.
+	SSB *schema.Benchmark
+
+	mu    sync.Mutex
+	cache map[string][]algo.Result // default-disk layouts by algorithm name
+}
+
+// NewSuite returns a Suite over TPC-H SF 10 with the paper's default disk.
+func NewSuite() *Suite {
+	return &Suite{
+		Bench: schema.TPCH(10),
+		Disk:  cost.DefaultDisk(),
+		SSB:   schema.SSB(10),
+	}
+}
+
+// reps returns the repetition count.
+func (s *Suite) reps() int {
+	if s.Reps <= 0 {
+		return 3
+	}
+	return s.Reps
+}
+
+// model returns the default HDD cost model.
+func (s *Suite) model() cost.Model { return cost.NewHDD(s.Disk) }
+
+// results runs (or returns cached) default-setting layouts for the named
+// algorithm over every table of the benchmark.
+func (s *Suite) results(name string) ([]algo.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		s.cache = make(map[string][]algo.Result)
+	}
+	if rs, ok := s.cache[name]; ok {
+		return rs, nil
+	}
+	a, err := algorithms.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := runAll(a, s.Bench, s.model())
+	if err != nil {
+		return nil, err
+	}
+	s.cache[name] = rs
+	return rs, nil
+}
+
+// runAll partitions every table of a benchmark.
+func runAll(a algo.Algorithm, b *schema.Benchmark, m cost.Model) ([]algo.Result, error) {
+	var rs []algo.Result
+	for _, tw := range b.TableWorkloads() {
+		r, err := a.Partition(tw, m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name(), tw.Table.Name, err)
+		}
+		rs = append(rs, r)
+	}
+	return rs, nil
+}
+
+// totalCost sums the per-table costs of a result set.
+func totalCost(rs []algo.Result) float64 {
+	var sum float64
+	for _, r := range rs {
+		sum += r.Cost
+	}
+	return sum
+}
+
+// totalStats sums candidates and optimization time across tables.
+func totalStats(rs []algo.Result) (candidates int64, seconds float64) {
+	for _, r := range rs {
+		candidates += r.Stats.Candidates
+		seconds += r.Stats.Duration.Seconds()
+	}
+	return
+}
+
+// layoutCost prices a fixed layout family (Row or Column) over a benchmark.
+func layoutCost(b *schema.Benchmark, m cost.Model, family func(*schema.Table) partition.Partitioning) float64 {
+	var sum float64
+	for _, tw := range b.TableWorkloads() {
+		sum += cost.WorkloadCost(m, tw, family(tw.Table).Parts)
+	}
+	return sum
+}
+
+// pmvCost prices perfect materialized views over a benchmark.
+func pmvCost(b *schema.Benchmark, m cost.Model) float64 {
+	var sum float64
+	for _, tw := range b.TableWorkloads() {
+		sum += metrics.PMVCost(tw, m)
+	}
+	return sum
+}
+
+// partsOf extracts the raw attribute-set layouts of a result set.
+func partsOf(rs []algo.Result) [][]attrset.Set {
+	out := make([][]attrset.Set, len(rs))
+	for i, r := range rs {
+		out[i] = r.Partitioning.Parts
+	}
+	return out
+}
+
+// evaluatedAlgorithms is the paper's presentation order for per-algorithm
+// figures (BruteForce last, then the Row/Column baselines where shown).
+var evaluatedAlgorithms = []string{
+	"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce",
+}
+
+// fastAlgorithms excludes Trojan and BruteForce, as the paper's Figure 2
+// does ("at least 2 orders of magnitude higher ... distorts the graph").
+var fastAlgorithms = []string{"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P"}

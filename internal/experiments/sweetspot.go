@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// reoptimizedCost computes an algorithm's total workload cost when the
+// layouts are recomputed for the given disk.
+func reoptimizedCost(b *schema.Benchmark, name string, disk cost.Disk) (float64, error) {
+	a, err := algorithms.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := runAll(a, b, cost.NewHDD(disk))
+	if err != nil {
+		return 0, err
+	}
+	return totalCost(rs), nil
+}
+
+// sweetspotRow renders one parameter point of a Figure 9/12-style sweep:
+// HillClimb and Navathe re-optimized for the disk, plus the perfect
+// materialized views and Column (and optionally Row), all normalized by
+// Column when normalize is true.
+func sweetspotRow(b *schema.Benchmark, disk cost.Disk, label string, normalize, includeRow bool) ([]string, error) {
+	m := cost.NewHDD(disk)
+	col := layoutCost(b, m, partition.Column)
+	hc, err := reoptimizedCost(b, "HillClimb", disk)
+	if err != nil {
+		return nil, err
+	}
+	nav, err := reoptimizedCost(b, "Navathe", disk)
+	if err != nil {
+		return nil, err
+	}
+	pmv := pmvCost(b, m)
+	cells := []string{label}
+	emit := func(v float64) string {
+		if normalize {
+			if col == 0 {
+				return "n/a"
+			}
+			return fmtPercent(v / col)
+		}
+		return fmtSeconds(v)
+	}
+	cells = append(cells, emit(hc), emit(nav), emit(pmv), emit(col))
+	if includeRow {
+		cells = append(cells, emit(layoutCost(b, m, partition.Row)))
+	}
+	return cells, nil
+}
+
+// Fig9 reproduces Figure 9: estimated workload runtime normalized by
+// Column when re-optimizing the layouts for each buffer size.
+func Fig9(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig9",
+		Title:  "Normalized estimated costs vs Column when re-optimizing per buffer size",
+		Header: []string{"buffer", "HillClimb", "Navathe", "PMV", "Column"},
+	}
+	kb := int64(1 << 10)
+	for _, buf := range []struct {
+		label string
+		bytes int64
+	}{
+		{"0.01 MB", 10 * kb}, {"0.1 MB", 100 * kb}, {"1 MB", 1 << 20},
+		{"10 MB", 10 << 20}, {"100 MB", 100 << 20},
+		{"1000 MB", 1000 << 20}, {"10000 MB", 10000 << 20},
+	} {
+		row, err := sweetspotRow(s.Bench, s.Disk.WithBuffer(buf.bytes), buf.label, true, false)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper: vertical partitioning pays off over Column only below ~100 MB buffers")
+	r.AddNote("paper: Navathe beats Column only in a narrow ~30-300 KB band")
+	return r, nil
+}
+
+// Fig12 reproduces Figure 12 (Appendix A.3): estimated workload runtimes
+// when re-optimizing for each block size, disk bandwidth, and seek time.
+func Fig12(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig12",
+		Title:  "Estimated runtimes when re-optimizing per block size / bandwidth / seek time",
+		Header: []string{"parameter", "HillClimb", "Navathe", "PMV", "Column", "Row"},
+	}
+	kb := int64(1 << 10)
+	for _, b := range []int64{2 * kb, 4 * kb, 8 * kb, 16 * kb, 32 * kb, 64 * kb, 128 * kb} {
+		row, err := sweetspotRow(s.Bench, s.Disk.WithBlockSize(b), fmt.Sprintf("block %d KB", b/kb), false, true)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(row...)
+	}
+	for _, mbps := range []float64{70, 90, 110, 130, 150, 170, 190} {
+		row, err := sweetspotRow(s.Bench, s.Disk.WithReadBandwidth(mbps*1e6), fmt.Sprintf("bw %.0f MB/s", mbps), false, true)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(row...)
+	}
+	for _, ms := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		row, err := sweetspotRow(s.Bench, s.Disk.WithSeekTime(ms/1000), fmt.Sprintf("seek %.0f ms", ms), false, true)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper: block size and seek time barely move the results; bandwidth shifts them ~30%% with no interesting regions")
+	return r, nil
+}
+
+// Fig13 reproduces Figure 13 (Appendix A.4): normalized costs vs Column
+// when re-optimizing for every (buffer size, scale factor) combination,
+// for HillClimb and Navathe.
+func Fig13(s *Suite) (*Report, error) {
+	r := &Report{
+		ID:     "fig13",
+		Title:  "Sweet spots across dataset scale: normalized costs vs Column per (buffer, SF)",
+		Header: []string{"algorithm", "SF", "0.01 MB", "0.1 MB", "1 MB", "10 MB", "100 MB", "1000 MB", "10000 MB"},
+	}
+	kb := int64(1 << 10)
+	buffers := []int64{10 * kb, 100 * kb, 1 << 20, 10 << 20, 100 << 20, 1000 << 20, 10000 << 20}
+	for _, name := range []string{"HillClimb", "Navathe"} {
+		for _, sf := range []float64{0.1, 1, 10, 100, 1000} {
+			bench := schema.TPCH(sf)
+			row := []string{name, fmt.Sprintf("%g", sf)}
+			for _, buf := range buffers {
+				disk := s.Disk.WithBuffer(buf)
+				m := cost.NewHDD(disk)
+				col := layoutCost(bench, m, partition.Column)
+				c, err := reoptimizedCost(bench, name, disk)
+				if err != nil {
+					return nil, err
+				}
+				if col == 0 {
+					row = append(row, "n/a")
+				} else {
+					row = append(row, fmtPercent(c/col))
+				}
+			}
+			r.AddRow(row...)
+		}
+	}
+	r.AddNote("paper: improvements jump between SF 0.1 and 1 for buffers >1 MB; elsewhere dataset size barely matters")
+	return r, nil
+}

@@ -1,0 +1,181 @@
+// Package metrics implements the paper's four comparison metrics (Section
+// 5) and the diagnostic measures of its Section 6: unnecessary data read,
+// tuple-reconstruction joins, distance from perfect materialized views,
+// fragility under parameter drift, and pay-off of the optimization and
+// layout-creation investment.
+package metrics
+
+import (
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+// UnnecessaryRead returns the fraction of data read that no query needed
+// (paper, Figure 4):
+//
+//	(data read − data needed) / data read
+//
+// Data volumes are raw attribute bytes: every referenced partition is read
+// in full, while only the referenced attributes are needed.
+func UnnecessaryRead(tw schema.TableWorkload, parts []attrset.Set) float64 {
+	var read, needed float64
+	for _, q := range tw.Queries {
+		for _, p := range parts {
+			if p.Overlaps(q.Attrs) {
+				read += q.Weight * float64(tw.Table.SetSize(p))
+			}
+		}
+		needed += q.Weight * float64(tw.Table.SetSize(q.Attrs))
+	}
+	read *= float64(tw.Table.Rows)
+	needed *= float64(tw.Table.Rows)
+	if read == 0 {
+		return 0
+	}
+	return (read - needed) / read
+}
+
+// BenchmarkUnnecessaryRead aggregates UnnecessaryRead over several tables,
+// weighting by bytes read.
+func BenchmarkUnnecessaryRead(tws []schema.TableWorkload, layouts [][]attrset.Set) float64 {
+	var read, needed float64
+	for i, tw := range tws {
+		for _, q := range tw.Queries {
+			for _, p := range layouts[i] {
+				if p.Overlaps(q.Attrs) {
+					read += q.Weight * float64(tw.Table.SetSize(p)) * float64(tw.Table.Rows)
+				}
+			}
+			needed += q.Weight * float64(tw.Table.SetSize(q.Attrs)) * float64(tw.Table.Rows)
+		}
+	}
+	if read == 0 {
+		return 0
+	}
+	return (read - needed) / read
+}
+
+// ReconstructionJoins returns the average number of tuple-reconstruction
+// joins per tuple and query (paper, Figure 5): for each query, the number
+// of vertical partitions it touches minus one, averaged with query weights.
+func ReconstructionJoins(tw schema.TableWorkload, parts []attrset.Set) float64 {
+	var joins, weight float64
+	for _, q := range tw.Queries {
+		touched := 0
+		for _, p := range parts {
+			if p.Overlaps(q.Attrs) {
+				touched++
+			}
+		}
+		if touched > 0 {
+			joins += q.Weight * float64(touched-1)
+		}
+		weight += q.Weight
+	}
+	if weight == 0 {
+		return 0
+	}
+	return joins / weight
+}
+
+// BenchmarkReconstructionJoins averages ReconstructionJoins over tables,
+// weighting every (query, table) reference equally, as the paper's Figure 5
+// averages "over all tuples and all queries".
+func BenchmarkReconstructionJoins(tws []schema.TableWorkload, layouts [][]attrset.Set) float64 {
+	var joins, weight float64
+	for i, tw := range tws {
+		for _, q := range tw.Queries {
+			touched := 0
+			for _, p := range layouts[i] {
+				if p.Overlaps(q.Attrs) {
+					touched++
+				}
+			}
+			if touched > 0 {
+				joins += q.Weight * float64(touched-1)
+			}
+			weight += q.Weight
+		}
+	}
+	if weight == 0 {
+		return 0
+	}
+	return joins / weight
+}
+
+// PMVCost returns the estimated workload cost under perfect materialized
+// views (paper, Figure 6): for every query, a dedicated partition holding
+// exactly the referenced attributes is read on its own with the full
+// buffer. Unreferenced leftovers live in a second, unread partition.
+func PMVCost(tw schema.TableWorkload, model cost.Model) float64 {
+	var total float64
+	all := tw.Table.AllAttrs()
+	for _, q := range tw.Queries {
+		parts := []attrset.Set{q.Attrs}
+		if rest := all.Minus(q.Attrs); !rest.IsEmpty() {
+			parts = append(parts, rest)
+		}
+		total += q.Weight * model.QueryCost(tw.Table, parts, q.Attrs)
+	}
+	return total
+}
+
+// DistanceFromPMV returns how far a layout's cost is from the perfect
+// materialized views, as a fraction:
+//
+//	(cost(layout) − cost(PMV)) / cost(PMV)
+func DistanceFromPMV(layoutCost, pmvCost float64) float64 {
+	if pmvCost == 0 {
+		return 0
+	}
+	return (layoutCost - pmvCost) / pmvCost
+}
+
+// Fragility measures the relative cost change when a layout computed for
+// one setting is used under another (paper, Section 6.3):
+//
+//	(cost under new settings − cost under old settings) / cost under old
+func Fragility(tw schema.TableWorkload, parts []attrset.Set, old, new cost.Model) float64 {
+	before := cost.WorkloadCost(old, tw, parts)
+	after := cost.WorkloadCost(new, tw, parts)
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before
+}
+
+// Improvement returns the relative improvement of a layout over a baseline
+// cost: (baseline − layout) / baseline. Negative values mean the layout is
+// worse than the baseline (paper, Figure 7 and Table 5).
+func Improvement(baselineCost, layoutCost float64) float64 {
+	if baselineCost == 0 {
+		return 0
+	}
+	return (baselineCost - layoutCost) / baselineCost
+}
+
+// Payoff returns the fraction (or multiple) of workload executions needed
+// before the time invested in optimization and layout creation pays off
+// against the per-execution improvement (paper, Appendix A.1):
+//
+//	(optimization time + creation time) / improvement per workload run
+//
+// A result of 0.25 means 25% of one workload execution amortizes the
+// investment; a negative result means the layout never pays off (it is
+// worse than the baseline).
+func Payoff(optimizationSeconds, creationSeconds, baselineCost, layoutCost float64) float64 {
+	improvement := baselineCost - layoutCost
+	invested := optimizationSeconds + creationSeconds
+	if improvement == 0 {
+		if invested == 0 {
+			return 0
+		}
+		return -1
+	}
+	p := invested / improvement
+	if improvement < 0 {
+		return -1
+	}
+	return p
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func fixture(t *testing.T) (schema.TableWorkload, []attrset.Set) {
+	t.Helper()
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 8}, {Name: "d", Size: 16},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(2)},
+	}}
+	parts := []attrset.Set{attrset.Of(0, 1, 2), attrset.Of(3)}
+	return tw, parts
+}
+
+func TestUnnecessaryRead(t *testing.T) {
+	tw, parts := fixture(t)
+	// q1 reads part {a,b,c} = 16 bytes/row, needs 8. q2 reads 16, needs 8.
+	// unnecessary = (32-16)/32 = 0.5.
+	if got := UnnecessaryRead(tw, parts); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("UnnecessaryRead = %v, want 0.5", got)
+	}
+	// Row layout: reads 32 bytes/row per query, needs 8 each.
+	row := partition.Row(tw.Table).Parts
+	want := (64.0 - 16.0) / 64.0
+	if got := UnnecessaryRead(tw, row); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UnnecessaryRead(row) = %v, want %v", got, want)
+	}
+	// Column layout reads exactly what is needed.
+	col := partition.Column(tw.Table).Parts
+	if got := UnnecessaryRead(tw, col); got != 0 {
+		t.Errorf("UnnecessaryRead(column) = %v, want 0", got)
+	}
+	// Empty workload.
+	if got := UnnecessaryRead(schema.TableWorkload{Table: tw.Table}, parts); got != 0 {
+		t.Errorf("UnnecessaryRead(empty) = %v", got)
+	}
+}
+
+func TestReconstructionJoins(t *testing.T) {
+	tw, _ := fixture(t)
+	col := partition.Column(tw.Table).Parts
+	// q1 touches 2 columns -> 1 join; q2 touches 1 -> 0. Mean = 0.5.
+	if got := ReconstructionJoins(tw, col); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ReconstructionJoins(column) = %v, want 0.5", got)
+	}
+	row := partition.Row(tw.Table).Parts
+	if got := ReconstructionJoins(tw, row); got != 0 {
+		t.Errorf("ReconstructionJoins(row) = %v, want 0", got)
+	}
+	// Weights shift the average: q1 weight 3, q2 weight 1 -> 3/4.
+	tw.Queries[0].Weight = 3
+	if got := ReconstructionJoins(tw, col); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("weighted ReconstructionJoins = %v, want 0.75", got)
+	}
+}
+
+func TestPMVCostIsLowerBoundForLayouts(t *testing.T) {
+	b := schema.TPCH(1)
+	model := cost.NewHDD(cost.DefaultDisk())
+	for _, tw := range b.TableWorkloads() {
+		pmv := PMVCost(tw, model)
+		for _, layout := range [][]attrset.Set{
+			partition.Row(tw.Table).Parts,
+			partition.Column(tw.Table).Parts,
+		} {
+			lc := cost.WorkloadCost(model, tw, layout)
+			// PMV reads exactly the needed bytes with a full buffer; no
+			// disjoint layout can beat it (up to block-packing rounding).
+			if lc < pmv*0.99 {
+				t.Errorf("%s: layout cost %v below PMV %v", tw.Table.Name, lc, pmv)
+			}
+		}
+	}
+}
+
+func TestDistanceFromPMV(t *testing.T) {
+	if got := DistanceFromPMV(150, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DistanceFromPMV = %v, want 0.5", got)
+	}
+	if got := DistanceFromPMV(100, 0); got != 0 {
+		t.Errorf("DistanceFromPMV with zero PMV = %v", got)
+	}
+}
+
+func TestFragility(t *testing.T) {
+	// A large table so that partitions span many blocks and the buffer
+	// size actually matters.
+	tab := schema.MustTable("big", 10_000_000, []schema.Column{
+		{Name: "a", Size: 8}, {Name: "b", Size: 8}, {Name: "c", Size: 64},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: attrset.Of(0, 1)},
+	}}
+	parts := []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2)}
+	d := cost.DefaultDisk()
+	old := cost.NewHDD(d)
+	// A tiny buffer multiplies seek costs: fragility must be positive.
+	tiny := cost.NewHDD(d.WithBuffer(16 * 1024))
+	if got := Fragility(tw, parts, old, tiny); got <= 0 {
+		t.Errorf("Fragility(tiny buffer) = %v, want > 0", got)
+	}
+	// Identical settings: zero.
+	if got := Fragility(tw, parts, old, cost.NewHDD(d)); got != 0 {
+		t.Errorf("Fragility(same) = %v, want 0", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(200, 150); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Improvement = %v, want 0.25", got)
+	}
+	if got := Improvement(100, 120); math.Abs(got+0.2) > 1e-12 {
+		t.Errorf("Improvement = %v, want -0.2", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Errorf("Improvement with zero baseline = %v", got)
+	}
+}
+
+func TestPayoff(t *testing.T) {
+	// Invested 100 s, improvement 400 s per run: pays off after 25% of a run.
+	if got := Payoff(40, 60, 1000, 600); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Payoff = %v, want 0.25", got)
+	}
+	// Layout worse than baseline never pays off.
+	if got := Payoff(1, 1, 100, 150); got >= 0 {
+		t.Errorf("Payoff(worse layout) = %v, want negative", got)
+	}
+	if got := Payoff(0, 0, 100, 100); got != 0 {
+		t.Errorf("Payoff(no investment, no improvement) = %v, want 0", got)
+	}
+	if got := Payoff(5, 0, 100, 100); got >= 0 {
+		t.Errorf("Payoff(investment, no improvement) = %v, want negative", got)
+	}
+}
+
+func TestBenchmarkAggregates(t *testing.T) {
+	b := schema.TPCH(1)
+	tws := b.TableWorkloads()
+	var rowLayouts, colLayouts [][]attrset.Set
+	for _, tw := range tws {
+		rowLayouts = append(rowLayouts, partition.Row(tw.Table).Parts)
+		colLayouts = append(colLayouts, partition.Column(tw.Table).Parts)
+	}
+	// Paper Figure 4: Row reads ~84% unnecessary data on TPC-H.
+	rowUnnec := BenchmarkUnnecessaryRead(tws, rowLayouts)
+	if rowUnnec < 0.7 || rowUnnec > 0.95 {
+		t.Errorf("Row unnecessary read = %.2f%%, paper reports ~84%%", rowUnnec*100)
+	}
+	if got := BenchmarkUnnecessaryRead(tws, colLayouts); got != 0 {
+		t.Errorf("Column unnecessary read = %v, want 0", got)
+	}
+	// Column performs the most reconstruction joins; row none.
+	colJoins := BenchmarkReconstructionJoins(tws, colLayouts)
+	if colJoins < 1.5 {
+		t.Errorf("Column recon joins = %v, expected > 1.5 on TPC-H", colJoins)
+	}
+	if got := BenchmarkReconstructionJoins(tws, rowLayouts); got != 0 {
+		t.Errorf("Row recon joins = %v, want 0", got)
+	}
+}

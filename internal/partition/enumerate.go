@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"math/big"
+
+	"knives/internal/attrset"
+)
+
+// SetPartitions enumerates every partition of the atoms slice into
+// non-empty groups, where each group is the union of its atoms. It invokes
+// yield once per partition with a scratch slice that is reused between
+// calls — callers must copy it if they retain it. Enumeration stops early
+// if yield returns false.
+//
+// With atoms = single-attribute sets this enumerates all Bell(n) vertical
+// partitionings of a table (the brute-force search space); with atoms =
+// atomic fragments it enumerates the reduced space the paper's heuristics
+// effectively search.
+//
+// The implementation walks restricted growth strings: a[i] is the group
+// index of atom i, with a[0] = 0 and a[i] <= max(a[0..i-1]) + 1.
+func SetPartitions(atoms []attrset.Set, yield func(groups []attrset.Set) bool) {
+	n := len(atoms)
+	if n == 0 {
+		yield(nil)
+		return
+	}
+	a := make([]int, n)    // restricted growth string
+	maxP := make([]int, n) // maxP[i] = max(a[0..i]) — group count prefix maxima
+	groups := make([]attrset.Set, 0, n)
+
+	emit := func() bool {
+		groups = groups[:maxP[n-1]+1]
+		for i := range groups {
+			groups[i] = 0
+		}
+		for i, g := range a {
+			groups[g] = groups[g].Union(atoms[i])
+		}
+		return yield(groups)
+	}
+
+	for {
+		if !emit() {
+			return
+		}
+		// Advance to the next restricted growth string: find the rightmost
+		// position that can be incremented (a[i] <= maxP[i-1]), increment
+		// it, and reset everything to its right to zero.
+		i := n - 1
+		for i > 0 && a[i] > maxP[i-1] {
+			i--
+		}
+		if i == 0 {
+			return // a[0] is fixed at 0; enumeration complete
+		}
+		a[i]++
+		if a[i] > maxP[i-1] {
+			maxP[i] = a[i]
+		} else {
+			maxP[i] = maxP[i-1]
+		}
+		for j := i + 1; j < n; j++ {
+			a[j] = 0
+			maxP[j] = maxP[j-1]
+		}
+	}
+}
+
+// Bell returns the n-th Bell number — the number of partitions of a set of
+// n elements. Section 3 of the paper uses B8 = 4140 (the TPC-H customer
+// table) as its running example.
+func Bell(n int) *big.Int {
+	if n < 0 {
+		panic("partition: Bell of negative n")
+	}
+	// Bell triangle: row[0] of each row is the last element of the
+	// previous row; row[i] = row[i-1] + prev[i-1].
+	row := []*big.Int{big.NewInt(1)}
+	for i := 0; i < n; i++ {
+		next := make([]*big.Int, len(row)+1)
+		next[0] = row[len(row)-1]
+		for j := 1; j < len(next); j++ {
+			next[j] = new(big.Int).Add(next[j-1], row[j-1])
+		}
+		row = next
+	}
+	return new(big.Int).Set(row[0])
+}
+
+// Stirling returns the Stirling number of the second kind {n k}: the number
+// of ways to partition n elements into exactly k non-empty groups. It
+// follows the recurrence the paper quotes: {n k} = {n-1 k-1} + k*{n-1 k}.
+func Stirling(n, k int) *big.Int {
+	switch {
+	case n < 0 || k < 0:
+		panic("partition: Stirling of negative argument")
+	case n == 0 && k == 0:
+		return big.NewInt(1)
+	case n == 0 || k == 0 || k > n:
+		return big.NewInt(0)
+	}
+	// Rolling DP over k.
+	prev := make([]*big.Int, k+1)
+	cur := make([]*big.Int, k+1)
+	for i := range prev {
+		prev[i] = big.NewInt(0)
+		cur[i] = big.NewInt(0)
+	}
+	prev[0] = big.NewInt(1) // {0 0} = 1
+	for i := 1; i <= n; i++ {
+		cur[0] = big.NewInt(0)
+		for j := 1; j <= k && j <= i; j++ {
+			// {i j} = {i-1 j-1} + j * {i-1 j}
+			t := new(big.Int).Mul(big.NewInt(int64(j)), prev[j])
+			cur[j] = t.Add(t, prev[j-1])
+		}
+		prev, cur = cur, prev
+	}
+	return new(big.Int).Set(prev[k])
+}

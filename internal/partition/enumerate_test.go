@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"math/big"
+	"testing"
+
+	"knives/internal/attrset"
+)
+
+func singletonAtoms(n int) []attrset.Set {
+	atoms := make([]attrset.Set, n)
+	for i := range atoms {
+		atoms[i] = attrset.Single(i)
+	}
+	return atoms
+}
+
+func TestBellKnownValues(t *testing.T) {
+	// B8 = 4140 is the paper's running example for the TPC-H customer table.
+	want := map[int]int64{
+		0: 1, 1: 1, 2: 2, 3: 5, 4: 15, 5: 52, 6: 203, 7: 877, 8: 4140,
+		9: 21147, 10: 115975, 12: 4213597,
+	}
+	for n, w := range want {
+		if got := Bell(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Bell(%d) = %v, want %d", n, got, w)
+		}
+	}
+	// Section 2.1: 16 attributes of Lineitem. Bell(16) = 10480142147.
+	if got := Bell(16); got.Cmp(big.NewInt(10480142147)) != 0 {
+		t.Errorf("Bell(16) = %v", got)
+	}
+}
+
+func TestStirlingKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {4, 2, 7}, {5, 3, 25}, {8, 1, 1}, {8, 8, 1},
+		{8, 3, 966}, {6, 0, 0}, {3, 5, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Stirling(%d,%d) = %v, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// The identity the paper quotes: Bell(n) = sum over k of Stirling(n, k).
+func TestBellIsSumOfStirlings(t *testing.T) {
+	for n := 0; n <= 14; n++ {
+		sum := big.NewInt(0)
+		for k := 0; k <= n; k++ {
+			sum.Add(sum, Stirling(n, k))
+		}
+		if sum.Cmp(Bell(n)) != 0 {
+			t.Errorf("n=%d: sum of Stirlings %v != Bell %v", n, sum, Bell(n))
+		}
+	}
+}
+
+func TestSetPartitionsCountMatchesBell(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		count := int64(0)
+		SetPartitions(singletonAtoms(n), func([]attrset.Set) bool {
+			count++
+			return true
+		})
+		if want := Bell(n).Int64(); count != want {
+			t.Errorf("n=%d: enumerated %d partitions, want Bell = %d", n, count, want)
+		}
+	}
+}
+
+func TestSetPartitionsAreValidAndUnique(t *testing.T) {
+	const n = 6
+	tab := testTable(t, n)
+	seen := make(map[string]bool)
+	SetPartitions(singletonAtoms(n), func(groups []attrset.Set) bool {
+		p, err := New(tab, groups)
+		if err != nil {
+			t.Fatalf("invalid partition %v: %v", groups, err)
+		}
+		key := p.String()
+		if seen[key] {
+			t.Fatalf("duplicate partition %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if int64(len(seen)) != Bell(n).Int64() {
+		t.Errorf("unique partitions = %d, want %d", len(seen), Bell(n).Int64())
+	}
+}
+
+func TestSetPartitionsEarlyStop(t *testing.T) {
+	count := 0
+	SetPartitions(singletonAtoms(8), func([]attrset.Set) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop after %d yields, want 10", count)
+	}
+}
+
+func TestSetPartitionsCompositeAtoms(t *testing.T) {
+	// Atoms that are multi-attribute fragments: groups must be unions.
+	atoms := []attrset.Set{attrset.Of(0, 1), attrset.Of(2), attrset.Of(3, 4)}
+	count := 0
+	SetPartitions(atoms, func(groups []attrset.Set) bool {
+		count++
+		var all attrset.Set
+		for _, g := range groups {
+			all = all.Union(g)
+		}
+		if all != attrset.Of(0, 1, 2, 3, 4) {
+			t.Fatalf("groups %v do not cover atoms", groups)
+		}
+		return true
+	})
+	if count != 5 { // Bell(3)
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestSetPartitionsEmptyAtoms(t *testing.T) {
+	calls := 0
+	SetPartitions(nil, func(groups []attrset.Set) bool {
+		calls++
+		if len(groups) != 0 {
+			t.Errorf("groups = %v, want empty", groups)
+		}
+		return true
+	})
+	if calls != 1 {
+		t.Errorf("yield called %d times, want 1", calls)
+	}
+}
+
+func TestBellPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bell(-1) did not panic")
+		}
+	}()
+	Bell(-1)
+}

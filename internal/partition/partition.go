@@ -1,0 +1,226 @@
+// Package partition defines vertical partitionings and the combinatorial
+// machinery shared by all algorithms: validation, canonical forms, atomic
+// fragments (primary partitions), set-partition enumeration, and Bell and
+// Stirling numbers.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+// Partitioning is a complete, disjoint decomposition of a table's attributes
+// into column groups. Parts are kept in canonical order (ascending smallest
+// attribute index) so that partitionings compare and print deterministically.
+type Partitioning struct {
+	Table *schema.Table
+	Parts []attrset.Set
+}
+
+// New builds a Partitioning after validating that parts are non-empty,
+// pairwise disjoint, and cover every attribute of the table exactly once.
+func New(t *schema.Table, parts []attrset.Set) (Partitioning, error) {
+	p := Partitioning{Table: t, Parts: canonical(parts)}
+	if err := p.Validate(); err != nil {
+		return Partitioning{}, err
+	}
+	return p, nil
+}
+
+// Must is New that panics on invalid input.
+func Must(t *schema.Table, parts []attrset.Set) Partitioning {
+	p, err := New(t, parts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Row returns the no-vertical-partitioning layout: one partition with all
+// attributes.
+func Row(t *schema.Table) Partitioning {
+	return Partitioning{Table: t, Parts: []attrset.Set{t.AllAttrs()}}
+}
+
+// Column returns the full vertical partitioning: one partition per attribute.
+func Column(t *schema.Table) Partitioning {
+	parts := make([]attrset.Set, t.NumAttrs())
+	for i := range parts {
+		parts[i] = attrset.Single(i)
+	}
+	return Partitioning{Table: t, Parts: parts}
+}
+
+// Validate checks completeness and disjointness.
+func (p Partitioning) Validate() error {
+	if p.Table == nil {
+		return fmt.Errorf("partition: nil table")
+	}
+	var seen attrset.Set
+	for _, part := range p.Parts {
+		if part.IsEmpty() {
+			return fmt.Errorf("partition: empty part in partitioning of %s", p.Table.Name)
+		}
+		if seen.Overlaps(part) {
+			return fmt.Errorf("partition: overlapping parts in partitioning of %s", p.Table.Name)
+		}
+		seen = seen.Union(part)
+	}
+	if seen != p.Table.AllAttrs() {
+		return fmt.Errorf("partition: partitioning of %s covers %v, want %v",
+			p.Table.Name, seen, p.Table.AllAttrs())
+	}
+	return nil
+}
+
+// NumParts returns the number of column groups.
+func (p Partitioning) NumParts() int { return len(p.Parts) }
+
+// PartOf returns the column group containing attribute a, or the empty set.
+func (p Partitioning) PartOf(a int) attrset.Set {
+	for _, part := range p.Parts {
+		if part.Has(a) {
+			return part
+		}
+	}
+	return 0
+}
+
+// Referenced returns the partitions a query touches.
+func (p Partitioning) Referenced(query attrset.Set) []attrset.Set {
+	var out []attrset.Set
+	for _, part := range p.Parts {
+		if part.Overlaps(query) {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two partitionings decompose the same table into the
+// same column groups, regardless of part order.
+func (p Partitioning) Equal(q Partitioning) bool {
+	if p.Table != q.Table || len(p.Parts) != len(q.Parts) {
+		return false
+	}
+	a, b := canonical(p.Parts), canonical(q.Parts)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns a copy with parts sorted by smallest attribute index.
+func (p Partitioning) Canonical() Partitioning {
+	return Partitioning{Table: p.Table, Parts: canonical(p.Parts)}
+}
+
+func canonical(parts []attrset.Set) []attrset.Set {
+	out := make([]attrset.Set, len(parts))
+	copy(out, parts)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IsEmpty() || out[j].IsEmpty() {
+			return out[j].IsEmpty() && !out[i].IsEmpty()
+		}
+		return out[i].Min() < out[j].Min()
+	})
+	return out
+}
+
+// String renders the partitioning with column names, e.g.
+// "[ps_partkey ps_suppkey | ps_availqty ps_supplycost | ps_comment]".
+func (p Partitioning) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, part := range canonical(p.Parts) {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(strings.Join(p.Table.AttrNames(part), " "))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Fragments computes the atomic fragments (AutoPart) / primary partitions
+// (HYRISE) of a table under a workload: the coarsest grouping in which two
+// attributes share a fragment iff every query references either both or
+// neither. Attributes referenced by no query form a single trailing
+// fragment; their placement can never affect any query's cost.
+//
+// Fragments are returned in canonical order.
+func Fragments(tw schema.TableWorkload) []attrset.Set {
+	type sig struct {
+		words [2]uint64 // supports workloads up to 128 queries
+		rest  string    // overflow for even larger workloads
+	}
+	sigOf := func(a int) sig {
+		var s sig
+		var overflow []byte
+		for qi, q := range tw.Queries {
+			if !q.Attrs.Has(a) {
+				continue
+			}
+			switch {
+			case qi < 64:
+				s.words[0] |= 1 << uint(qi)
+			case qi < 128:
+				s.words[1] |= 1 << uint(qi-64)
+			default:
+				overflow = append(overflow, byte(qi>>24), byte(qi>>16), byte(qi>>8), byte(qi))
+			}
+		}
+		s.rest = string(overflow)
+		return s
+	}
+	groups := make(map[sig]attrset.Set)
+	var order []sig
+	for a := 0; a < tw.Table.NumAttrs(); a++ {
+		s := sigOf(a)
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = groups[s].Add(a)
+	}
+	parts := make([]attrset.Set, 0, len(order))
+	for _, s := range order {
+		parts = append(parts, groups[s])
+	}
+	return canonical(parts)
+}
+
+// Merge returns a copy of parts with parts[i] and parts[j] replaced by their
+// union. It panics if i == j or either index is out of range.
+func Merge(parts []attrset.Set, i, j int) []attrset.Set {
+	if i == j {
+		panic("partition: Merge of a part with itself")
+	}
+	if j < i {
+		i, j = j, i
+	}
+	out := make([]attrset.Set, 0, len(parts)-1)
+	for k, p := range parts {
+		switch k {
+		case i:
+			out = append(out, parts[i].Union(parts[j]))
+		case j:
+			// dropped
+		default:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of a part slice.
+func Clone(parts []attrset.Set) []attrset.Set {
+	out := make([]attrset.Set, len(parts))
+	copy(out, parts)
+	return out
+}

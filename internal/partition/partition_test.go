@@ -1,0 +1,190 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+func testTable(t *testing.T, n int) *schema.Table {
+	t.Helper()
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 4}
+	}
+	tab, err := schema.NewTable("t", 100, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewValidates(t *testing.T) {
+	tab := testTable(t, 3)
+	if _, err := New(tab, []attrset.Set{attrset.Of(0, 1), attrset.Of(2)}); err != nil {
+		t.Errorf("valid partitioning rejected: %v", err)
+	}
+	bad := [][]attrset.Set{
+		{attrset.Of(0, 1)},                               // incomplete
+		{attrset.Of(0, 1), attrset.Of(1, 2)},             // overlapping
+		{attrset.Of(0, 1, 2), 0},                         // empty part
+		{attrset.Of(0, 1, 2, 3)},                         // out of range
+		{attrset.Of(0), attrset.Of(1), attrset.Of(2, 3)}, // out of range
+	}
+	for i, parts := range bad {
+		if _, err := New(tab, parts); err == nil {
+			t.Errorf("case %d: invalid partitioning accepted: %v", i, parts)
+		}
+	}
+}
+
+func TestRowAndColumn(t *testing.T) {
+	tab := testTable(t, 4)
+	row := Row(tab)
+	if row.NumParts() != 1 || row.Parts[0] != tab.AllAttrs() {
+		t.Errorf("Row = %v", row.Parts)
+	}
+	col := Column(tab)
+	if col.NumParts() != 4 {
+		t.Errorf("Column has %d parts", col.NumParts())
+	}
+	if err := row.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := col.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartOfAndReferenced(t *testing.T) {
+	tab := testTable(t, 4)
+	p := Must(tab, []attrset.Set{attrset.Of(0, 2), attrset.Of(1), attrset.Of(3)})
+	if got := p.PartOf(2); got != attrset.Of(0, 2) {
+		t.Errorf("PartOf(2) = %v", got)
+	}
+	if got := p.PartOf(63); !got.IsEmpty() {
+		t.Errorf("PartOf(out of range) = %v", got)
+	}
+	refs := p.Referenced(attrset.Of(1, 2))
+	if len(refs) != 2 {
+		t.Fatalf("Referenced = %v", refs)
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	tab := testTable(t, 3)
+	p := Must(tab, []attrset.Set{attrset.Of(2), attrset.Of(0, 1)})
+	q := Must(tab, []attrset.Set{attrset.Of(0, 1), attrset.Of(2)})
+	if !p.Equal(q) {
+		t.Error("Equal = false for reordered parts")
+	}
+	r := Must(tab, []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2)})
+	if p.Equal(r) {
+		t.Error("Equal = true for different partitionings")
+	}
+}
+
+func TestString(t *testing.T) {
+	tab := testTable(t, 3)
+	p := Must(tab, []attrset.Set{attrset.Of(2), attrset.Of(0, 1)})
+	got := p.String()
+	if got != "[a b | c]" {
+		t.Errorf("String = %q", got)
+	}
+	if !strings.HasPrefix(got, "[") || !strings.HasSuffix(got, "]") {
+		t.Errorf("String format: %q", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	parts := []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2)}
+	got := Merge(parts, 0, 2)
+	if len(got) != 2 || got[0] != attrset.Of(0, 2) || got[1] != attrset.Of(1) {
+		t.Errorf("Merge = %v", got)
+	}
+	// Order of indexes must not matter.
+	got2 := Merge(parts, 2, 0)
+	if got2[0] != attrset.Of(0, 2) {
+		t.Errorf("Merge reversed = %v", got2)
+	}
+	// Original untouched.
+	if parts[0] != attrset.Of(0) {
+		t.Error("Merge mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge(i,i) did not panic")
+		}
+	}()
+	Merge(parts, 1, 1)
+}
+
+func TestFragmentsGroupsByAccessSignature(t *testing.T) {
+	tab := testTable(t, 5)
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q1", Weight: 1, Attrs: attrset.Of(0, 1)},
+		{ID: "q2", Weight: 1, Attrs: attrset.Of(0, 1, 2)},
+	}}
+	frags := Fragments(tw)
+	// {0,1} always together; {2} alone; {3,4} unreferenced together.
+	want := []attrset.Set{attrset.Of(0, 1), attrset.Of(2), attrset.Of(3, 4)}
+	if len(frags) != len(want) {
+		t.Fatalf("Fragments = %v, want %v", frags, want)
+	}
+	for i := range want {
+		if frags[i] != want[i] {
+			t.Errorf("fragment %d = %v, want %v", i, frags[i], want[i])
+		}
+	}
+}
+
+func TestFragmentsAreAValidPartitioning(t *testing.T) {
+	for _, b := range []*schema.Benchmark{schema.TPCH(1), schema.SSB(1)} {
+		for _, tw := range b.TableWorkloads() {
+			frags := Fragments(tw)
+			if _, err := New(tw.Table, frags); err != nil {
+				t.Errorf("%s/%s: fragments invalid: %v", b.Name, tw.Table.Name, err)
+			}
+			// Atomicity: no query references a proper non-empty subset of a
+			// referenced fragment.
+			for _, f := range frags {
+				for _, q := range tw.Queries {
+					inter := q.Attrs.Intersect(f)
+					if !inter.IsEmpty() && inter != f {
+						t.Errorf("%s/%s: query %s splits fragment %v", b.Name, tw.Table.Name, q.ID, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFragmentsEmptyWorkload(t *testing.T) {
+	tab := testTable(t, 3)
+	frags := Fragments(schema.TableWorkload{Table: tab})
+	if len(frags) != 1 || frags[0] != tab.AllAttrs() {
+		t.Errorf("Fragments with no queries = %v, want one group of all attrs", frags)
+	}
+}
+
+func TestFragmentsManyQueries(t *testing.T) {
+	// Exercise the >64-query signature path.
+	tab := testTable(t, 3)
+	var qs []schema.TableQuery
+	for i := 0; i < 130; i++ {
+		attr := i % 2 // queries alternate between attr 0 and attr 1
+		qs = append(qs, schema.TableQuery{ID: "q", Weight: 1, Attrs: attrset.Single(attr)})
+	}
+	frags := Fragments(schema.TableWorkload{Table: tab, Queries: qs})
+	want := []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2)}
+	if len(frags) != 3 {
+		t.Fatalf("Fragments = %v, want %v", frags, want)
+	}
+	for i := range want {
+		if frags[i] != want[i] {
+			t.Errorf("fragment %d = %v, want %v", i, frags[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+// Property: for any random workload, Fragments returns a valid partitioning
+// whose parts are never split by any query.
+func TestQuickFragmentsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		tab := testTable(t, n)
+		tw := schema.TableWorkload{Table: tab}
+		for q := 0; q < rng.Intn(10); q++ {
+			var s attrset.Set
+			for a := 0; a < n; a++ {
+				if rng.Intn(2) == 0 {
+					s = s.Add(a)
+				}
+			}
+			if s.IsEmpty() {
+				continue
+			}
+			tw.Queries = append(tw.Queries, schema.TableQuery{ID: "q", Weight: 1, Attrs: s})
+		}
+		frags := Fragments(tw)
+		if _, err := New(tab, frags); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, f := range frags {
+			for _, q := range tw.Queries {
+				inter := q.Attrs.Intersect(f)
+				if !inter.IsEmpty() && inter != f {
+					t.Fatalf("trial %d: query %v splits fragment %v", trial, q.Attrs, f)
+				}
+			}
+		}
+	}
+}
+
+// Property: Merge preserves validity and reduces the part count by one.
+func TestQuickMergeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		cols := make([]schema.Column, n)
+		for i := range cols {
+			cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 4}
+		}
+		tab := schema.MustTable("t", 100, cols)
+		col := Column(tab)
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			j = (j + 1) % n
+		}
+		merged := Merge(col.Parts, i, j)
+		p, err := New(tab, merged)
+		if err != nil {
+			return false
+		}
+		return p.NumParts() == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Canonical is idempotent and Equal is order-insensitive.
+func TestQuickCanonicalIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		tab := testTable(t, n)
+		// Random partitioning via random group assignment.
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(n)
+		}
+		groups := map[int]attrset.Set{}
+		for i, g := range assign {
+			groups[g] = groups[g].Add(i)
+		}
+		var parts []attrset.Set
+		for _, p := range groups {
+			parts = append(parts, p)
+		}
+		p, err := New(tab, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := p.Canonical()
+		c2 := c1.Canonical()
+		if !c1.Equal(c2) || !c1.Equal(p) {
+			t.Fatalf("trial %d: canonicalization unstable", trial)
+		}
+		// Shuffled copy compares equal.
+		shuffled := append([]attrset.Set(nil), p.Parts...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		q := Partitioning{Table: tab, Parts: shuffled}
+		if !p.Equal(q) {
+			t.Fatalf("trial %d: shuffle broke equality", trial)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Backend stores the pages of one partition file. Pages are fixed-size
+// blocks written once during load and read back during scans.
+type Backend interface {
+	// WritePage appends a page; pages are written in order.
+	WritePage(page []byte) error
+	// ReadPage reads page idx into dst (len(dst) = page size).
+	ReadPage(idx int64, dst []byte) error
+	// Pages returns the number of pages written.
+	Pages() int64
+	// Close releases resources.
+	Close() error
+}
+
+// memBackend keeps pages in memory; the default for tests and experiments.
+type memBackend struct {
+	pages    [][]byte
+	pageSize int
+}
+
+// NewMemBackend returns an in-memory page store.
+func NewMemBackend(pageSize int) Backend {
+	return &memBackend{pageSize: pageSize}
+}
+
+func (m *memBackend) WritePage(page []byte) error {
+	if len(page) != m.pageSize {
+		return fmt.Errorf("storage: page of %d bytes, want %d", len(page), m.pageSize)
+	}
+	cp := make([]byte, len(page))
+	copy(cp, page)
+	m.pages = append(m.pages, cp)
+	return nil
+}
+
+func (m *memBackend) ReadPage(idx int64, dst []byte) error {
+	if idx < 0 || idx >= int64(len(m.pages)) {
+		return fmt.Errorf("storage: page %d out of range (%d pages)", idx, len(m.pages))
+	}
+	copy(dst, m.pages[idx])
+	return nil
+}
+
+func (m *memBackend) Pages() int64 { return int64(len(m.pages)) }
+func (m *memBackend) Close() error { return nil }
+
+// fileBackend stores pages in a real file; used by integration tests to
+// exercise the OS I/O path.
+type fileBackend struct {
+	f        *os.File
+	pageSize int
+	n        int64
+}
+
+// NewFileBackend creates a page store backed by a file in dir.
+func NewFileBackend(dir, name string, pageSize int) (Backend, error) {
+	f, err := os.Create(filepath.Join(dir, name+".part"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: create partition file: %w", err)
+	}
+	return &fileBackend{f: f, pageSize: pageSize}, nil
+}
+
+func (b *fileBackend) WritePage(page []byte) error {
+	if len(page) != b.pageSize {
+		return fmt.Errorf("storage: page of %d bytes, want %d", len(page), b.pageSize)
+	}
+	if _, err := b.f.WriteAt(page, b.n*int64(b.pageSize)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", b.n, err)
+	}
+	b.n++
+	return nil
+}
+
+func (b *fileBackend) ReadPage(idx int64, dst []byte) error {
+	if idx < 0 || idx >= b.n {
+		return fmt.Errorf("storage: page %d out of range (%d pages)", idx, b.n)
+	}
+	if _, err := b.f.ReadAt(dst[:b.pageSize], idx*int64(b.pageSize)); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", idx, err)
+	}
+	return nil
+}
+
+func (b *fileBackend) Pages() int64 { return b.n }
+func (b *fileBackend) Close() error { return b.f.Close() }

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// The strongest validation in the repository: the engine executes scans
+// with real page I/O and its measured seeks, bytes, and simulated time
+// must equal what the paper's cost model predicts for the same disk,
+// layout, and query. The two implementations share no code beyond the
+// block-count helper, so agreement here means the cost model's formulas
+// and the engine's buffer-sharing mechanics describe the same system.
+func TestEngineMatchesCostModelExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		nCols := 2 + rng.Intn(5)
+		cols := make([]schema.Column, nCols)
+		for i := range cols {
+			cols[i] = schema.Column{
+				Name: string(rune('a' + i)),
+				Kind: schema.KindVarchar,
+				Size: 1 + rng.Intn(40),
+			}
+		}
+		tab, err := schema.NewTable("t", int64(2_000+rng.Intn(20_000)), cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := cost.Disk{
+			BlockSize:     int64(256 << rng.Intn(3)), // 256, 512, 1024
+			BufferSize:    int64(2048 + rng.Intn(16384)),
+			ReadBandwidth: 1e6,
+			SeekTime:      1e-3,
+		}
+		// Random valid layout.
+		assign := make([]int, nCols)
+		for i := range assign {
+			assign[i] = rng.Intn(nCols)
+		}
+		groups := map[int]attrset.Set{}
+		for i, g := range assign {
+			groups[g] = groups[g].Add(i)
+		}
+		var parts []attrset.Set
+		for _, p := range groups {
+			parts = append(parts, p)
+		}
+		layout, err := partition.New(tab, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random non-empty query.
+		var q attrset.Set
+		for a := 0; a < nCols; a++ {
+			if rng.Intn(2) == 0 {
+				q = q.Add(a)
+			}
+		}
+		if q.IsEmpty() {
+			q = attrset.Single(rng.Intn(nCols))
+		}
+
+		e, err := NewEngine(layout, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(NewGenerator(int64(trial)), tab.Rows); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := e.Scan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		predicted := cost.NewHDD(d).QueryCost(tab, layout.Parts, q)
+		if math.Abs(stats.SimTime-predicted) > 1e-9 {
+			t.Errorf("trial %d: engine sim time %.9f != cost model %.9f (layout %s, query %v, disk %+v)",
+				trial, stats.SimTime, predicted, layout, q, d)
+		}
+		wantBytes := cost.ScanBytes(tab, layout.Parts, q, d.BlockSize)
+		if stats.BytesRead != wantBytes {
+			t.Errorf("trial %d: engine read %d bytes, model says %d", trial, stats.BytesRead, wantBytes)
+		}
+	}
+}
+
+// Same agreement over an actual TPC-H workload (sampled row count) and the
+// layouts the algorithms produce.
+func TestEngineMatchesCostModelOnTPCHSample(t *testing.T) {
+	bench := schema.TPCH(10)
+	liFull := bench.Table("lineitem")
+	li, err := schema.NewTable("lineitem", 50_000, liFull.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := bench.Workload.ForTable(liFull)
+	tw.Table = li
+	d := cost.Disk{BlockSize: 4096, BufferSize: 64 * 1024, ReadBandwidth: 50e6, SeekTime: 2e-3}
+	m := cost.NewHDD(d)
+
+	for _, layout := range []partition.Partitioning{
+		partition.Row(li),
+		partition.Column(li),
+		partition.Must(li, partition.Fragments(tw)),
+	} {
+		e, err := NewEngine(layout, d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(NewGenerator(1), li.Rows); err != nil {
+			t.Fatal(err)
+		}
+		var measured, predicted float64
+		for _, q := range tw.Queries {
+			stats, err := e.Scan(q.Attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			measured += q.Weight * stats.SimTime
+			predicted += q.Weight * m.QueryCost(li, layout.Parts, q.Attrs)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(measured-predicted) > 1e-6*predicted {
+			t.Errorf("layout %d parts: measured workload time %v != predicted %v",
+				layout.NumParts(), measured, predicted)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// failingBackend injects failures at configurable points to verify that
+// the engine surfaces I/O errors instead of corrupting results.
+type failingBackend struct {
+	inner      Backend
+	failWrite  int // fail the n-th write (1-based); 0 = never
+	failRead   int // fail the n-th read (1-based); 0 = never
+	writes     int
+	reads      int
+	closeError error
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *failingBackend) WritePage(p []byte) error {
+	f.writes++
+	if f.failWrite > 0 && f.writes == f.failWrite {
+		return errInjected
+	}
+	return f.inner.WritePage(p)
+}
+
+func (f *failingBackend) ReadPage(idx int64, dst []byte) error {
+	f.reads++
+	if f.failRead > 0 && f.reads == f.failRead {
+		return errInjected
+	}
+	return f.inner.ReadPage(idx, dst)
+}
+
+func (f *failingBackend) Pages() int64 { return f.inner.Pages() }
+func (f *failingBackend) Close() error {
+	if f.closeError != nil {
+		return f.closeError
+	}
+	return f.inner.Close()
+}
+
+func failureFixture(t *testing.T, fb func() *failingBackend) (*Engine, *schema.Table) {
+	t.Helper()
+	tab := schema.MustTable("t", 3_000, []schema.Column{
+		{Name: "a", Kind: schema.KindInt, Size: 4},
+		{Name: "b", Kind: schema.KindVarchar, Size: 24},
+	})
+	e, err := NewEngine(partition.Column(tab), smallDisk(), func(string, int) (Backend, error) {
+		b := fb()
+		b.inner = NewMemBackend(512)
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tab
+}
+
+func TestLoadPropagatesWriteFailure(t *testing.T) {
+	e, tab := failureFixture(t, func() *failingBackend { return &failingBackend{failWrite: 3} })
+	defer e.Close()
+	err := e.Load(NewGenerator(1), tab.Rows)
+	if !errors.Is(err, errInjected) {
+		t.Errorf("Load error = %v, want injected failure", err)
+	}
+}
+
+func TestScanPropagatesReadFailure(t *testing.T) {
+	e, tab := failureFixture(t, func() *failingBackend { return &failingBackend{failRead: 2} })
+	defer e.Close()
+	if err := e.Load(NewGenerator(1), tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Scan(attrset.Of(0))
+	if !errors.Is(err, errInjected) {
+		t.Errorf("Scan error = %v, want injected failure", err)
+	}
+}
+
+func TestClosePropagatesBackendError(t *testing.T) {
+	closeErr := errors.New("close failed")
+	e, _ := failureFixture(t, func() *failingBackend { return &failingBackend{closeError: closeErr} })
+	if err := e.Close(); !errors.Is(err, closeErr) {
+		t.Errorf("Close error = %v, want %v", err, closeErr)
+	}
+}
+
+func TestNewEngineRejectsBadInputs(t *testing.T) {
+	tab := schema.MustTable("t", 10, []schema.Column{{Name: "a", Size: 4}})
+	// Invalid disk.
+	if _, err := NewEngine(partition.Row(tab), cost.Disk{}, nil); err == nil {
+		t.Error("accepted zero disk")
+	}
+	// Invalid layout (wrong table coverage).
+	bad := partition.Partitioning{Table: tab, Parts: nil}
+	if _, err := NewEngine(bad, smallDisk(), nil); err == nil {
+		t.Error("accepted invalid layout")
+	}
+	// Backend constructor failure propagates.
+	boom := errors.New("no space")
+	_, err := NewEngine(partition.Row(tab), smallDisk(), func(string, int) (Backend, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("constructor error = %v", err)
+	}
+}
+
+func TestMemBackendBounds(t *testing.T) {
+	b := NewMemBackend(64)
+	if err := b.WritePage(make([]byte, 32)); err == nil {
+		t.Error("accepted short page")
+	}
+	if err := b.WritePage(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if err := b.ReadPage(1, dst); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range read error = %v", err)
+	}
+	if err := b.ReadPage(-1, dst); err == nil {
+		t.Error("accepted negative page index")
+	}
+}
+
+func TestFileBackendBounds(t *testing.T) {
+	b, err := NewFileBackend(t.TempDir(), "x", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.WritePage(make([]byte, 10)); err == nil {
+		t.Error("accepted short page")
+	}
+	if err := b.WritePage(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadPage(5, make([]byte, 64)); err == nil {
+		t.Error("accepted out-of-range read")
+	}
+	if got := b.Pages(); got != 1 {
+		t.Errorf("Pages = %d", got)
+	}
+}
+
+func TestFileBackendCreateFailure(t *testing.T) {
+	if _, err := NewFileBackend("/nonexistent-dir-xyz", "x", 64); err == nil {
+		t.Error("accepted uncreatable directory")
+	}
+}

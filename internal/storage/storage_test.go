@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+func testTable(t *testing.T, rows int64) *schema.Table {
+	t.Helper()
+	tab, err := schema.NewTable("t", rows, []schema.Column{
+		{Name: "id", Kind: schema.KindInt, Size: 4},
+		{Name: "price", Kind: schema.KindDecimal, Size: 8},
+		{Name: "ship", Kind: schema.KindDate, Size: 4},
+		{Name: "mode", Kind: schema.KindChar, Size: 10},
+		{Name: "note", Kind: schema.KindVarchar, Size: 44},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func smallDisk() cost.Disk {
+	return cost.Disk{
+		BlockSize:     512,
+		BufferSize:    4 * 1024,
+		ReadBandwidth: 1e6,
+		SeekTime:      1e-3,
+	}
+}
+
+func TestGeneratorIsDeterministic(t *testing.T) {
+	tab := testTable(t, 10)
+	g1, g2 := NewGenerator(42), NewGenerator(42)
+	a := make([]byte, tab.RowSize())
+	b := make([]byte, tab.RowSize())
+	for r := int64(0); r < 10; r++ {
+		g1.Row(tab, r, a)
+		g2.Row(tab, r, b)
+		if string(a) != string(b) {
+			t.Fatalf("row %d differs between generators with the same seed", r)
+		}
+	}
+	g3 := NewGenerator(43)
+	g3.Row(tab, 0, b)
+	g1.Row(tab, 0, a)
+	if string(a) == string(b) {
+		t.Error("different seeds produced identical rows")
+	}
+}
+
+func TestGeneratorValueSizePanics(t *testing.T) {
+	g := NewGenerator(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Value with wrong dst size did not panic")
+		}
+	}()
+	g.Value(schema.Column{Name: "x", Kind: schema.KindInt, Size: 4}, 0, make([]byte, 3))
+}
+
+// The core correctness property: scanning the same query over any layout
+// must produce the same tuples (same checksum, same count).
+func TestScanChecksumIsLayoutIndependent(t *testing.T) {
+	tab := testTable(t, 1_000)
+	gen := NewGenerator(7)
+	layouts := []partition.Partitioning{
+		partition.Row(tab),
+		partition.Column(tab),
+		partition.Must(tab, []attrset.Set{attrset.Of(0, 2), attrset.Of(1), attrset.Of(3, 4)}),
+	}
+	queries := []attrset.Set{
+		attrset.Of(0),
+		attrset.Of(1, 3),
+		attrset.Of(0, 1, 2, 3, 4),
+	}
+	for qi, q := range queries {
+		var want ScanStats
+		for li, layout := range layouts {
+			e, err := NewEngine(layout, smallDisk(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load(gen, tab.Rows); err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Scan(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tuples != tab.Rows {
+				t.Errorf("query %d layout %d: %d tuples, want %d", qi, li, got.Tuples, tab.Rows)
+			}
+			if li == 0 {
+				want = got
+			} else if got.Checksum != want.Checksum {
+				t.Errorf("query %d: checksum differs between layouts 0 and %d", qi, li)
+			}
+			if err := e.Close(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// Bytes read must follow the common-granularity rule: all pages of every
+// referenced partition, nothing else.
+func TestScanBytesMatchCostModelAccounting(t *testing.T) {
+	tab := testTable(t, 5_000)
+	gen := NewGenerator(3)
+	d := smallDisk()
+	layout := partition.Must(tab, []attrset.Set{attrset.Of(0, 1), attrset.Of(2), attrset.Of(3, 4)})
+	e, err := NewEngine(layout, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(gen, tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Scan(attrset.Of(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := (cost.PartitionBlocks(tab.Rows, 12, d.BlockSize) +
+		cost.PartitionBlocks(tab.Rows, 4, d.BlockSize)) * d.BlockSize
+	if stats.BytesRead != wantBytes {
+		t.Errorf("BytesRead = %d, want %d", stats.BytesRead, wantBytes)
+	}
+	if stats.ReconJoins != tab.Rows {
+		t.Errorf("ReconJoins = %d, want %d (two partitions touched)", stats.ReconJoins, tab.Rows)
+	}
+	if stats.SimTime <= 0 {
+		t.Error("SimTime not charged")
+	}
+}
+
+// The engine's measured behavior must reproduce the cost model's ordering:
+// for a narrow query, column layout reads less and costs less sim-time than
+// row layout; and a smaller buffer causes more seeks.
+func TestEngineReproducesCostModelOrdering(t *testing.T) {
+	tab := testTable(t, 20_000)
+	gen := NewGenerator(11)
+	d := smallDisk()
+	q := attrset.Of(0)
+
+	scan := func(layout partition.Partitioning, disk cost.Disk) ScanStats {
+		e, err := NewEngine(layout, disk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.Load(gen, tab.Rows); err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Scan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	rowStats := scan(partition.Row(tab), d)
+	colStats := scan(partition.Column(tab), d)
+	if colStats.BytesRead >= rowStats.BytesRead {
+		t.Errorf("column read %d bytes, row %d — column must read less", colStats.BytesRead, rowStats.BytesRead)
+	}
+	if colStats.SimTime >= rowStats.SimTime {
+		t.Errorf("column sim time %v, row %v", colStats.SimTime, rowStats.SimTime)
+	}
+
+	wide := scan(partition.Column(tab), d)
+	narrow := scan(partition.Column(tab), d.WithBuffer(d.BlockSize)) // one page per refill
+	if narrow.Seeks <= wide.Seeks {
+		t.Errorf("tiny buffer seeks = %d, default = %d — expected more", narrow.Seeks, wide.Seeks)
+	}
+}
+
+func TestEngineFileBackend(t *testing.T) {
+	tab := testTable(t, 2_000)
+	gen := NewGenerator(5)
+	dir := t.TempDir()
+	newBackend := func(name string, pageSize int) (Backend, error) {
+		return NewFileBackend(dir, name, pageSize)
+	}
+	e, err := NewEngine(partition.Column(tab), smallDisk(), newBackend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(gen, tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	fileStats, err := e.Scan(attrset.Of(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	em, err := NewEngine(partition.Column(tab), smallDisk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer em.Close()
+	if err := em.Load(gen, tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	memStats, err := em.Scan(attrset.Of(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileStats.Checksum != memStats.Checksum || fileStats.BytesRead != memStats.BytesRead {
+		t.Errorf("file backend stats %+v differ from memory backend %+v", fileStats, memStats)
+	}
+}
+
+func TestEngineRejectsOversizedRows(t *testing.T) {
+	tab := schema.MustTable("wide", 10, []schema.Column{
+		{Name: "huge", Kind: schema.KindVarchar, Size: 1000},
+	})
+	d := smallDisk() // 512-byte blocks cannot hold a 1000-byte row
+	if _, err := NewEngine(partition.Row(tab), d, nil); err == nil {
+		t.Error("NewEngine accepted a row wider than a block")
+	}
+}
+
+func TestCodecsRoundTrip(t *testing.T) {
+	tab := testTable(t, 500)
+	gen := NewGenerator(9)
+	for _, col := range tab.Columns {
+		raw := make([]byte, 500*col.Size)
+		for r := int64(0); r < 500; r++ {
+			gen.Value(col, r, raw[int(r)*col.Size:int(r+1)*col.Size])
+		}
+		codecs := []Codec{FlateCodec{}, DictCodec{}}
+		if col.Size == 4 {
+			codecs = append(codecs, DeltaCodec{})
+		}
+		for _, c := range codecs {
+			comp, err := c.Compress(raw, col.Size)
+			if err != nil {
+				t.Fatalf("%s/%s compress: %v", col.Name, c.Name(), err)
+			}
+			back, err := c.Decompress(comp, col.Size, len(raw))
+			if err != nil {
+				t.Fatalf("%s/%s decompress: %v", col.Name, c.Name(), err)
+			}
+			if string(back) != string(raw) {
+				t.Errorf("%s/%s: round trip mismatch", col.Name, c.Name())
+			}
+		}
+	}
+}
+
+func TestDeltaCodecRejectsBadInput(t *testing.T) {
+	if _, err := (DeltaCodec{}).Compress(make([]byte, 8), 8); err == nil {
+		t.Error("delta accepted 8-byte values")
+	}
+	if _, err := (DeltaCodec{}).Compress(make([]byte, 7), 4); err == nil {
+		t.Error("delta accepted non-multiple length")
+	}
+}
+
+func TestCompressionRatiosAreSane(t *testing.T) {
+	tab := testTable(t, 10_000)
+	gen := NewGenerator(13)
+	for _, scheme := range []CompressionScheme{SchemeDefault, SchemeDictionary} {
+		ratios, err := CompressionRatios(tab, gen, 5_000, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, r := range ratios {
+			if r <= 0 || r > 1.6 {
+				t.Errorf("%v %s ratio = %v, out of sane range", scheme, name, r)
+			}
+		}
+		// Integer keys delta-compress well; repetitive text flate-compresses.
+		if scheme == SchemeDefault {
+			if ratios["id"] > 0.6 {
+				t.Errorf("delta ratio for sequential ints = %v, expected < 0.6", ratios["id"])
+			}
+			if ratios["note"] > 0.9 {
+				t.Errorf("flate ratio for text = %v, expected < 0.9", ratios["note"])
+			}
+		}
+	}
+	if _, err := CompressionRatios(tab, gen, 0, SchemeDefault); err == nil {
+		t.Error("accepted zero sample rows")
+	}
+}
+
+// Table 7's mechanism: under default (variable-length) compression a
+// grouped layout pays a reconstruction CPU penalty that the column layout
+// avoids; dictionary compression narrows the gap.
+func TestCompressedScanTable7Mechanism(t *testing.T) {
+	tab := testTable(t, 1_000_000)
+	gen := NewGenerator(17)
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: attrset.Of(0, 1)},
+	}}
+	d := cost.DefaultDisk()
+	grouped := []attrset.Set{attrset.Of(0, 1), attrset.Of(2), attrset.Of(3), attrset.Of(4)}
+	col := partition.Column(tab).Parts
+	const joinCPU = 50e-9
+
+	for _, scheme := range []CompressionScheme{SchemeDefault, SchemeDictionary} {
+		ratios, err := CompressionRatios(tab, gen, 5_000, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := CompressedScanSeconds(tw, grouped, d, ratios, scheme, joinCPU)
+		c := CompressedScanSeconds(tw, col, d, ratios, scheme, joinCPU)
+		if g <= 0 || c <= 0 {
+			t.Fatalf("%v: non-positive scan seconds", scheme)
+		}
+		if scheme == SchemeDefault && g <= c {
+			t.Errorf("default compression: grouped (%v) should cost more than column (%v)", g, c)
+		}
+		if scheme == SchemeDictionary {
+			gap := math.Abs(g-c) / c
+			if gap > 0.3 {
+				t.Errorf("dictionary compression: gap %.0f%% too large", gap*100)
+			}
+		}
+	}
+}

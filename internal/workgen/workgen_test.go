@@ -1,0 +1,137 @@
+package workgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knives/internal/schema"
+)
+
+func table(t *testing.T, n int) *schema.Table {
+	t.Helper()
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Size: 8}
+	}
+	tab, err := schema.NewTable("t", 1_000_000, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestGenerateValidates(t *testing.T) {
+	tab := table(t, 8)
+	if _, err := Generate(tab, Config{Queries: 0}); err == nil {
+		t.Error("accepted zero queries")
+	}
+	if _, err := Generate(tab, Config{Queries: 5, Fragmentation: 1.5}); err == nil {
+		t.Error("accepted fragmentation > 1")
+	}
+}
+
+func TestGenerateDeterministicAndWellFormed(t *testing.T) {
+	tab := table(t, 12)
+	cfg := Config{Queries: 30, Fragmentation: 0.5, MeanAttrs: 4, Seed: 9}
+	a, err := Generate(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Queries) != 30 || len(b.Queries) != 30 {
+		t.Fatalf("got %d/%d queries", len(a.Queries), len(b.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Attrs != b.Queries[i].Attrs {
+			t.Fatalf("query %d differs between runs with the same seed", i)
+		}
+		if a.Queries[i].Attrs.IsEmpty() {
+			t.Fatalf("query %d has no attributes", i)
+		}
+		if !tab.AllAttrs().ContainsAll(a.Queries[i].Attrs) {
+			t.Fatalf("query %d references out-of-range attrs", i)
+		}
+	}
+}
+
+// The fragmentation knob must actually fragment: at 0 every query
+// references one shared cluster; at 1 the referenced clusters spread out.
+func TestFragmentationKnob(t *testing.T) {
+	tab := table(t, 16)
+	distinct := func(frag float64) int {
+		tw, err := Generate(tab, Config{Queries: 40, Fragmentation: frag, MeanAttrs: 3, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[schema.Set]bool{}
+		for _, q := range tw.Queries {
+			seen[q.Attrs] = true
+		}
+		return len(seen)
+	}
+	regular, fragmented := distinct(0), distinct(1)
+	if regular >= fragmented {
+		t.Errorf("distinct access sets: regular %d >= fragmented %d", regular, fragmented)
+	}
+}
+
+func TestDriftChangesRequestedFraction(t *testing.T) {
+	tab := table(t, 10)
+	tw, err := Generate(tab, Config{Queries: 20, Fragmentation: 0.5, MeanAttrs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := Drift(tw, 0.5, 11)
+	if len(drifted.Queries) != len(tw.Queries) {
+		t.Fatalf("drift changed the query count")
+	}
+	changed := 0
+	for i := range tw.Queries {
+		if drifted.Queries[i].Attrs != tw.Queries[i].Attrs {
+			changed++
+			if drifted.Queries[i].Attrs.IsEmpty() {
+				t.Errorf("drifted query %d lost all attributes", i)
+			}
+		}
+	}
+	if changed == 0 || changed > 10 {
+		t.Errorf("drift changed %d queries, want 1..10", changed)
+	}
+	// Fractions clamp.
+	if got := Drift(tw, -1, 1); len(got.Queries) != 20 {
+		t.Error("negative fraction broke drift")
+	}
+	if got := Drift(tw, 2, 1); len(got.Queries) != 20 {
+		t.Error("fraction > 1 broke drift")
+	}
+}
+
+// Property: drifted workloads always stay valid for their table.
+func TestQuickDriftStaysValid(t *testing.T) {
+	tab := table(t, 14)
+	tw, err := Generate(tab, Config{Queries: 25, Fragmentation: 0.7, MeanAttrs: 5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(frac float64, seed int64) bool {
+		if frac < 0 {
+			frac = -frac
+		}
+		for frac > 1 {
+			frac /= 2
+		}
+		d := Drift(tw, frac, seed)
+		for _, q := range d.Queries {
+			if q.Attrs.IsEmpty() || !tab.AllAttrs().ContainsAll(q.Attrs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
