@@ -1,0 +1,3 @@
+module knives
+
+go 1.24

@@ -4,6 +4,7 @@ package algo
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"knives/internal/attrset"
@@ -40,54 +41,31 @@ type Algorithm interface {
 	Partition(tw schema.TableWorkload, model cost.Model) (Result, error)
 }
 
-// Counter tallies candidate evaluations during a search.
-type Counter struct{ n int64 }
+// Counter tallies candidate evaluations during a search. It is safe for
+// concurrent use, so parallel searches (the sharded BruteForce walk, the
+// concurrent experiment fan-out) can share one counter; use by pointer only.
+type Counter struct{ n atomic.Int64 }
 
 // Eval computes the workload cost of one candidate and counts it.
 func (c *Counter) Eval(m cost.Model, tw schema.TableWorkload, parts []attrset.Set) float64 {
-	c.n++
+	c.n.Add(1)
 	return cost.WorkloadCost(m, tw, parts)
 }
 
 // Tick counts a candidate evaluation whose cost was computed elsewhere
 // (e.g. through a model fast path).
-func (c *Counter) Tick() { c.n++ }
+func (c *Counter) Tick() { c.n.Add(1) }
+
+// Add counts n candidate evaluations at once, for searches that tally
+// worker-local counts and merge them in bulk.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
 
 // Count returns the number of evaluations so far.
-func (c *Counter) Count() int64 { return c.n }
+func (c *Counter) Count() int64 { return c.n.Load() }
 
 // improvementEps guards greedy loops against floating-point jitter: a merge
 // or split must improve the workload cost by more than this to be taken.
 const improvementEps = 1e-9
-
-// GreedyMerge runs the bottom-up merging loop shared by HillClimb and
-// AutoPart: in every iteration it evaluates all pairwise merges of the
-// current parts and applies the one with the largest cost improvement,
-// stopping when no merge improves. It returns the final parts and cost.
-//
-// This is the paper's "improved version of HillClimb": costs are computed
-// on demand instead of from a precomputed dictionary of all column groups.
-func GreedyMerge(tw schema.TableWorkload, m cost.Model, parts []attrset.Set, c *Counter) ([]attrset.Set, float64) {
-	parts = partition.Clone(parts)
-	best := c.Eval(m, tw, parts)
-	for len(parts) > 1 {
-		bi, bj, bCost := -1, -1, best
-		for i := 0; i < len(parts); i++ {
-			for j := i + 1; j < len(parts); j++ {
-				cand := partition.Merge(parts, i, j)
-				if cc := c.Eval(m, tw, cand); cc < bCost-improvementEps {
-					bi, bj, bCost = i, j, cc
-				}
-			}
-		}
-		if bi < 0 {
-			break
-		}
-		parts = partition.Merge(parts, bi, bj)
-		best = bCost
-	}
-	return parts, best
-}
 
 // Finish assembles a Result from search output, validating the layout.
 func Finish(tw schema.TableWorkload, parts []attrset.Set, costVal float64, c *Counter, start time.Time) (Result, error) {

@@ -109,10 +109,14 @@ func (l ReplicatedLayout) QueryCost(m cost.Model, query attrset.Set) float64 {
 }
 
 // WorkloadCost sums weighted query costs over the selection-based pricing.
+// As in cost.WorkloadCost, the weighted product rounds in its own statement
+// so the incremental search's cached per-query values reproduce this sum
+// bit for bit on every architecture.
 func (l ReplicatedLayout) WorkloadCost(m cost.Model, tw schema.TableWorkload) float64 {
 	var total float64
 	for _, q := range tw.Queries {
-		total += q.Weight * l.QueryCost(m, q.Attrs)
+		wq := q.Weight * l.QueryCost(m, q.Attrs)
+		total += wq
 	}
 	return total
 }
@@ -130,6 +134,11 @@ type Replicated struct {
 	// table size (0.25 allows 25% extra bytes). Zero forbids replication,
 	// reducing the search to plain AutoPart.
 	Budget float64
+	// fullEval disables the incremental per-query cost vector and prices
+	// every candidate with a full WorkloadCost pass. Retained as the
+	// equivalence oracle for tests: both paths must return bit-identical
+	// layouts, costs, and candidate counts.
+	fullEval bool
 }
 
 // NewReplicated returns a replication-enabled AutoPart with the given
@@ -145,6 +154,14 @@ func (*Replicated) Name() string { return "AutoPart+replication" }
 // keeping the original (AutoPart's "an attribute may occur in multiple
 // fragments when combined"). The best cost improvement within budget is
 // applied until nothing improves.
+//
+// Candidates are priced incrementally, like algo.GreedyMerge: a per-query
+// cost vector tracks the current layout, and a candidate re-evaluates only
+// the queries overlapping the attributes it changed. A query overlapping
+// neither merged part never selects them (and a fresh composite it does not
+// overlap scores zero gain), so its greedy partition selection — and hence
+// its cost — is unchanged; the relative order of all other parts is
+// preserved, so ties break identically too.
 func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (ReplicatedResult, error) {
 	start := time.Now()
 	var stats algo.Stats
@@ -152,24 +169,54 @@ func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (Repli
 	budgetBytes := tw.Table.Bytes() + int64(r.Budget*float64(tw.Table.Bytes()))
 
 	layout := ReplicatedLayout{Table: tw.Table, Parts: partition.Clone(fragments)}
-	eval := func(l ReplicatedLayout) float64 {
-		stats.Candidates++
-		return l.WorkloadCost(model, tw)
+	qcost := make([]float64, len(tw.Queries))
+	refresh := func(l ReplicatedLayout, changed attrset.Set) {
+		for k, q := range tw.Queries {
+			if q.Attrs.Overlaps(changed) {
+				qcost[k] = q.Weight * l.QueryCost(model, q.Attrs)
+			}
+		}
 	}
-	best := eval(layout)
+	refresh(layout, tw.Table.AllAttrs())
+	stats.Candidates++
+	var best float64
+	if r.fullEval {
+		best = layout.WorkloadCost(model, tw)
+	} else {
+		for _, c := range qcost {
+			best += c
+		}
+	}
 
 	for {
 		improved := false
 		var bestLayout ReplicatedLayout
+		var bestChanged attrset.Set
 		bestCost := best
 
-		try := func(parts []attrset.Set) {
+		// try prices one candidate; changed is the union of attributes whose
+		// partitions the candidate touched.
+		try := func(parts []attrset.Set, changed attrset.Set) {
 			cand := ReplicatedLayout{Table: tw.Table, Parts: parts}
 			if cand.StorageBytes() > budgetBytes {
 				return
 			}
-			if cc := eval(cand); cc < bestCost-1e-9 {
-				bestLayout, bestCost, improved = cand, cc, true
+			stats.Candidates++
+			var cc float64
+			if r.fullEval {
+				cc = cand.WorkloadCost(model, tw)
+			} else {
+				for k, q := range tw.Queries {
+					if q.Attrs.Overlaps(changed) {
+						wq := q.Weight * cand.QueryCost(model, q.Attrs)
+						cc += wq
+					} else {
+						cc += qcost[k]
+					}
+				}
+			}
+			if cc < bestCost-1e-9 {
+				bestLayout, bestChanged, bestCost, improved = cand, changed, cc, true
 			}
 		}
 
@@ -179,7 +226,7 @@ func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (Repli
 				if layout.Parts[i].Overlaps(layout.Parts[j]) {
 					continue
 				}
-				try(partition.Merge(layout.Parts, i, j))
+				try(partition.Merge(layout.Parts, i, j), layout.Parts[i].Union(layout.Parts[j]))
 			}
 		}
 		// (b) replicated composites (add part_i ∪ fragment, keep both).
@@ -193,7 +240,7 @@ func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (Repli
 					continue
 				}
 				parts := append(partition.Clone(layout.Parts), union)
-				try(parts)
+				try(parts, union)
 			}
 		}
 
@@ -201,6 +248,7 @@ func (r *Replicated) Partition(tw schema.TableWorkload, model cost.Model) (Repli
 			break
 		}
 		layout, best = bestLayout, bestCost
+		refresh(layout, bestChanged)
 	}
 
 	// Drop partitions no query ever selects, except those needed for

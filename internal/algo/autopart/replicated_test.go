@@ -1,6 +1,7 @@
 package autopart
 
 import (
+	"fmt"
 	"testing"
 
 	"knives/internal/attrset"
@@ -132,5 +133,47 @@ func TestReplicationApproachesPMVOnLineitem(t *testing.T) {
 	}
 	if repl.Cost >= disjoint.Cost {
 		t.Skip("no improving replication found on this workload shape")
+	}
+}
+
+// The incremental per-query cost vector must not change the search: delta
+// and full evaluation return bit-identical layouts, costs, and candidate
+// counts across budgets, fixtures, and TPC-H tables.
+func TestReplicatedDeltaMatchesFullEval(t *testing.T) {
+	m := cost.NewHDD(cost.DefaultDisk())
+	check := func(label string, tw schema.TableWorkload, budget float64) {
+		t.Helper()
+		delta, err := (&Replicated{Budget: budget}).Partition(tw, m)
+		if err != nil {
+			t.Fatalf("%s: delta: %v", label, err)
+		}
+		full, err := (&Replicated{Budget: budget, fullEval: true}).Partition(tw, m)
+		if err != nil {
+			t.Fatalf("%s: full: %v", label, err)
+		}
+		if delta.Cost != full.Cost {
+			t.Errorf("%s: delta cost %v != full %v", label, delta.Cost, full.Cost)
+		}
+		if delta.Stats.Candidates != full.Stats.Candidates {
+			t.Errorf("%s: delta candidates %d != full %d", label, delta.Stats.Candidates, full.Stats.Candidates)
+		}
+		if len(delta.Layout.Parts) != len(full.Layout.Parts) {
+			t.Fatalf("%s: delta layout %v != full %v", label, delta.Layout.Parts, full.Layout.Parts)
+		}
+		for i := range delta.Layout.Parts {
+			if delta.Layout.Parts[i] != full.Layout.Parts[i] {
+				t.Fatalf("%s: delta layout %v != full %v", label, delta.Layout.Parts, full.Layout.Parts)
+			}
+		}
+	}
+	for _, budget := range []float64{0, 0.25, 0.5, 1} {
+		check(fmt.Sprintf("fixture/budget%v", budget), replicationFixture(t), budget)
+	}
+	bench := schema.TPCH(10)
+	for _, tw := range bench.TableWorkloads() {
+		if tw.Table.Name == "lineitem" && testing.Short() {
+			continue
+		}
+		check(tw.Table.Name, tw, 0.3)
 	}
 }

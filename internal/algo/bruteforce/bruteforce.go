@@ -18,6 +18,7 @@ package bruteforce
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"knives/internal/algo"
@@ -28,7 +29,7 @@ import (
 )
 
 // BruteForce is the exhaustive search. The zero value uses fragment mode
-// with the default atom cap.
+// with the default atom cap and one search worker per CPU.
 type BruteForce struct {
 	// Raw switches to raw-attribute enumeration.
 	Raw bool
@@ -37,6 +38,12 @@ type BruteForce struct {
 	// Bell-number blow-up would not terminate in reasonable time.
 	// Zero means the default of 13 (Bell(13) ≈ 2.8e7).
 	MaxAtoms int
+	// Workers bounds the worker pool of the sharded candidate walk.
+	// Zero means up to runtime.GOMAXPROCS(0), drawn from a process-wide
+	// budget shared by all concurrent searches; an explicit count >= 2 is
+	// honored unconditionally; 1 forces the sequential walk. Results are
+	// bit-identical at every setting (see parallel.go).
+	Workers int
 }
 
 // New returns a fragment-mode BruteForce.
@@ -94,11 +101,19 @@ func (b *BruteForce) Partition(tw schema.TableWorkload, model cost.Model) (algo.
 	var best []attrset.Set
 	var bestCost float64
 	if pc, ok := model.(cost.PartitionCoster); ok && len(atoms) <= 64 {
-		best, bestCost = searchFast(tw, pc, atoms, &c)
+		best, bestCost = searchFast(tw, pc, atoms, &c, b.workers(), b.Workers == 0)
 	} else {
 		best, bestCost = searchGeneric(tw, model, atoms, fixed, &c)
 	}
 	return algo.Finish(tw, append(best, fixed...), bestCost, &c, start)
+}
+
+// workers resolves the effective worker count.
+func (b *BruteForce) workers() int {
+	if b.Workers > 0 {
+		return b.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // searchGeneric prices candidates through the Model interface.
@@ -126,109 +141,5 @@ func searchGeneric(
 // on atom bitmasks: per candidate group it needs only the group's byte
 // width and, per query, the combined width of all referenced groups. The
 // fixed parts are unreferenced in fragment mode and therefore contribute no
-// cost; they are excluded here by construction.
-func searchFast(
-	tw schema.TableWorkload, model cost.PartitionCoster,
-	atoms []attrset.Set, c *algo.Counter,
-) ([]attrset.Set, float64) {
-	t := tw.Table
-	n := len(atoms)
-	atomSize := make([]int64, n)
-	for i, a := range atoms {
-		atomSize[i] = t.SetSize(a)
-	}
-	type queryInfo struct {
-		mask   uint64 // bit i set iff the query references atom i
-		weight float64
-	}
-	queries := make([]queryInfo, 0, len(tw.Queries))
-	for _, q := range tw.Queries {
-		qi := queryInfo{weight: q.Weight}
-		for i, a := range atoms {
-			if a.Overlaps(q.Attrs) {
-				qi.mask |= 1 << uint(i)
-			}
-		}
-		if qi.mask != 0 {
-			queries = append(queries, qi)
-		}
-	}
-
-	var (
-		bestAssign = make([]int, n)
-		bestCost   float64
-		found      bool
-		groupMask  = make([]uint64, n)
-		groupSize  = make([]int64, n)
-		assign     = make([]int, n) // restricted growth string
-		maxP       = make([]int, n) // prefix maxima of assign
-	)
-
-	evaluate := func() {
-		nGroups := maxP[n-1] + 1
-		for g := 0; g < nGroups; g++ {
-			groupMask[g], groupSize[g] = 0, 0
-		}
-		for i, g := range assign {
-			groupMask[g] |= 1 << uint(i)
-			groupSize[g] += atomSize[i]
-		}
-		var total float64
-		for _, q := range queries {
-			var S int64
-			for g := 0; g < nGroups; g++ {
-				if groupMask[g]&q.mask != 0 {
-					S += groupSize[g]
-				}
-			}
-			var qc float64
-			for g := 0; g < nGroups; g++ {
-				if groupMask[g]&q.mask != 0 {
-					qc += model.PartitionCost(t, groupSize[g], S)
-				}
-			}
-			total += q.weight * qc
-		}
-		c.Tick()
-		if !found || total < bestCost {
-			found = true
-			bestCost = total
-			copy(bestAssign, assign)
-		}
-	}
-
-	// Walk all restricted growth strings (see partition.SetPartitions for
-	// the same loop in its general form).
-	for {
-		evaluate()
-		i := n - 1
-		for i > 0 && assign[i] > maxP[i-1] {
-			i--
-		}
-		if i == 0 {
-			break
-		}
-		assign[i]++
-		if assign[i] > maxP[i-1] {
-			maxP[i] = assign[i]
-		} else {
-			maxP[i] = maxP[i-1]
-		}
-		for j := i + 1; j < n; j++ {
-			assign[j] = 0
-			maxP[j] = maxP[j-1]
-		}
-	}
-
-	nGroups := 0
-	for _, g := range bestAssign {
-		if g+1 > nGroups {
-			nGroups = g + 1
-		}
-	}
-	groups := make([]attrset.Set, nGroups)
-	for i, g := range bestAssign {
-		groups[g] = groups[g].Union(atoms[i])
-	}
-	return groups, bestCost
-}
+// cost; they are excluded here by construction. The walk is sharded over a
+// bounded worker pool — see parallel.go.

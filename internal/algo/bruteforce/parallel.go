@@ -1,0 +1,351 @@
+// The sharded candidate walk. The restricted-growth-string space splits
+// into independent subtrees by fixed prefix: every full RGS of length n has
+// exactly one length-p prefix, and the completions of distinct prefixes are
+// disjoint. Prefixes become jobs, jobs fan out over a bounded worker pool,
+// every worker carries private scratch buffers and a private PartitionCost
+// memo, and workers' local optima reduce to the global one under the same
+// total order the sequential walk implies — lowest cost first, lowest
+// canonical RGS on exact ties — so the result is bit-identical to the
+// sequential walk at every worker count.
+package bruteforce
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"knives/internal/algo"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// workerBudget bounds the extra walker goroutines across ALL concurrent
+// BruteForce searches in the process. Callers like the experiment suite run
+// many searches at once; without a shared budget each search would spawn
+// its own GOMAXPROCS-sized pool and the composition would oversubscribe the
+// machine quadratically. The calling goroutine always walks jobs itself, so
+// every search makes progress even with an exhausted budget, and results
+// are bit-identical at any effective worker count (see searchFast).
+var workerBudget = make(chan struct{}, max(runtime.GOMAXPROCS(0)-1, 0))
+
+// searchCtx is the read-only state every walker of one search shares.
+type searchCtx struct {
+	t        *schema.Table
+	pc       cost.PartitionCoster
+	atoms    []attrset.Set
+	atomSize []int64
+	queries  []queryInfo
+}
+
+type queryInfo struct {
+	mask   uint64 // bit i set iff the query references atom i
+	weight float64
+}
+
+func newSearchCtx(tw schema.TableWorkload, pc cost.PartitionCoster, atoms []attrset.Set) *searchCtx {
+	ctx := &searchCtx{t: tw.Table, pc: pc, atoms: atoms, atomSize: make([]int64, len(atoms))}
+	for i, a := range atoms {
+		ctx.atomSize[i] = tw.Table.SetSize(a)
+	}
+	for _, q := range tw.Queries {
+		qi := queryInfo{weight: q.Weight}
+		for i, a := range atoms {
+			if a.Overlaps(q.Attrs) {
+				qi.mask |= 1 << uint(i)
+			}
+		}
+		if qi.mask != 0 {
+			ctx.queries = append(ctx.queries, qi)
+		}
+	}
+	return ctx
+}
+
+// walker enumerates and prices all completions of fixed RGS prefixes. Each
+// worker owns one walker, so no buffer or memo is ever shared.
+//
+// Pricing is incremental along the walk: the depth-first advance changes
+// only a suffix of the assignment, so the walker keeps a per-query cost
+// vector and re-prices a query only if (a) the query references a changed
+// atom, or (b) a changed atom moved into or out of a group the query
+// references — any other query's referenced groups kept their exact
+// membership, so its cached cost is the float a recomputation would
+// produce. Every job starts with a full recomputation, which makes a job's
+// evaluations independent of which worker runs it and of job order.
+type walker struct {
+	ctx        *searchCtx
+	memo       *cost.PartitionCostMemo
+	assign     []int     // restricted growth string
+	prevAssign []int     // assignment at the previous evaluation
+	maxP       []int     // prefix maxima of assign
+	groupMask  []uint64  // per-group atom mask of the current candidate
+	groupSize  []int64   // per-group byte width of the current candidate
+	qcost      []float64 // cached weighted cost per query
+	qgroups    []uint64  // cached referenced-group index mask per query
+	best       []int     // lowest-cost assignment seen so far
+	bestCost   float64
+	found      bool
+	count      int64 // candidates evaluated, merged into the Counter in bulk
+}
+
+func newWalker(ctx *searchCtx) *walker {
+	n := len(ctx.atoms)
+	return &walker{
+		ctx:        ctx,
+		memo:       cost.NewPartitionCostMemo(ctx.pc, ctx.t),
+		assign:     make([]int, n),
+		prevAssign: make([]int, n),
+		maxP:       make([]int, n),
+		groupMask:  make([]uint64, n),
+		groupSize:  make([]int64, n),
+		qcost:      make([]float64, len(ctx.queries)),
+		qgroups:    make([]uint64, len(ctx.queries)),
+		best:       make([]int, n),
+	}
+}
+
+// evaluate prices the current assignment and keeps it if it beats the local
+// best. Positions changedFrom..n-1 differ from the previous evaluation (0
+// means everything changed). Strict less-than keeps the earlier candidate
+// on exact cost ties, and each walker visits its jobs in increasing
+// lexicographic order, so the local best is always the lexicographically
+// lowest local optimum.
+func (w *walker) evaluate(changedFrom int) {
+	n := len(w.assign)
+	nGroups := w.maxP[n-1] + 1
+	for g := 0; g < nGroups; g++ {
+		w.groupMask[g], w.groupSize[g] = 0, 0
+	}
+	for i, g := range w.assign {
+		w.groupMask[g] |= 1 << uint(i)
+		w.groupSize[g] += w.ctx.atomSize[i]
+	}
+
+	// Atoms at positions >= changedFrom changed; the groups they left and
+	// joined are the only groups whose membership changed.
+	changedAtoms := ^uint64(0) << uint(changedFrom)
+	var changedGroups uint64
+	for i := changedFrom; i < n; i++ {
+		changedGroups |= 1<<uint(w.prevAssign[i]) | 1<<uint(w.assign[i])
+		w.prevAssign[i] = w.assign[i]
+	}
+
+	var total float64
+	for k := range w.ctx.queries {
+		q := &w.ctx.queries[k]
+		if q.mask&changedAtoms != 0 || w.qgroups[k]&changedGroups != 0 {
+			var S int64
+			var ref uint64
+			for g := 0; g < nGroups; g++ {
+				if w.groupMask[g]&q.mask != 0 {
+					S += w.groupSize[g]
+					ref |= 1 << uint(g)
+				}
+			}
+			var qc float64
+			for g := 0; g < nGroups; g++ {
+				if w.groupMask[g]&q.mask != 0 {
+					qc += w.memo.Cost(w.groupSize[g], S)
+				}
+			}
+			w.qgroups[k] = ref
+			w.qcost[k] = q.weight * qc
+		}
+		total += w.qcost[k]
+	}
+	w.count++
+	if !w.found || total < w.bestCost {
+		w.found = true
+		w.bestCost = total
+		copy(w.best, w.assign)
+	}
+}
+
+// run walks every completion of one prefix, in lexicographic order. This is
+// the loop of partition.SetPartitions with positions 0..len(prefix)-1
+// frozen; with the single length-1 prefix [0] it degenerates to the full
+// sequential walk.
+func (w *walker) run(prefix []uint8) {
+	n := len(w.assign)
+	p := len(prefix)
+	for i, g := range prefix {
+		w.assign[i] = int(g)
+		switch {
+		case i == 0:
+			w.maxP[0] = 0
+		case int(g) > w.maxP[i-1]:
+			w.maxP[i] = int(g)
+		default:
+			w.maxP[i] = w.maxP[i-1]
+		}
+	}
+	for j := p; j < n; j++ {
+		w.assign[j] = 0
+		w.maxP[j] = w.maxP[j-1]
+	}
+	changedFrom := 0 // first candidate of a job: recompute every query
+	for {
+		w.evaluate(changedFrom)
+		i := n - 1
+		for i >= p && w.assign[i] > w.maxP[i-1] {
+			i--
+		}
+		if i < p {
+			return // positions below p are frozen; subtree exhausted
+		}
+		w.assign[i]++
+		if w.assign[i] > w.maxP[i-1] {
+			w.maxP[i] = w.assign[i]
+		} else {
+			w.maxP[i] = w.maxP[i-1]
+		}
+		for j := i + 1; j < n; j++ {
+			w.assign[j] = 0
+			w.maxP[j] = w.maxP[j-1]
+		}
+		changedFrom = i
+	}
+}
+
+// rgsPrefixes enumerates every restricted growth string of length p in
+// lexicographic order — there are Bell(p) of them.
+func rgsPrefixes(p int) [][]uint8 {
+	a := make([]uint8, p)
+	maxP := make([]uint8, p)
+	var out [][]uint8
+	for {
+		out = append(out, append([]uint8(nil), a...))
+		i := p - 1
+		for i > 0 && a[i] > maxP[i-1] {
+			i--
+		}
+		if i == 0 {
+			return out
+		}
+		a[i]++
+		if a[i] > maxP[i-1] {
+			maxP[i] = a[i]
+		} else {
+			maxP[i] = maxP[i-1]
+		}
+		for j := i + 1; j < p; j++ {
+			a[j] = 0
+			maxP[j] = maxP[j-1]
+		}
+	}
+}
+
+// prefixLen picks the shard granularity: the shortest prefix that yields
+// plenty of jobs per worker (8x, so dynamic job pulling balances subtrees
+// of very different sizes), capped at the atom count.
+func prefixLen(n, workers int) int {
+	if workers <= 1 || n <= 1 {
+		return 1
+	}
+	target := int64(8 * workers)
+	p := 1
+	for p < n && partition.Bell(p).Int64() < target {
+		p++
+	}
+	return p
+}
+
+// searchFast dispatches the sharded walk and reduces the workers' local
+// optima deterministically. bounded restricts extra workers to the shared
+// process-wide budget (auto mode); results are bit-identical either way.
+func searchFast(
+	tw schema.TableWorkload, pc cost.PartitionCoster,
+	atoms []attrset.Set, c *algo.Counter, workers int, bounded bool,
+) ([]attrset.Set, float64) {
+	ctx := newSearchCtx(tw, pc, atoms)
+	prefixes := rgsPrefixes(prefixLen(len(atoms), workers))
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+
+	// The calling goroutine is always worker 0. In auto mode (bounded) the
+	// extra workers spawn only as far as the process-wide budget allows
+	// right now; an explicit Workers count is honored unconditionally, so
+	// tests can force multi-walker runs on any machine.
+	extra := workers - 1
+	if bounded {
+		extra = 0
+	acquire:
+		for extra < workers-1 {
+			select {
+			case workerBudget <- struct{}{}:
+				extra++
+			default:
+				break acquire
+			}
+		}
+	}
+
+	walkers := make([]*walker, extra+1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	pull := func(w *walker) {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= len(prefixes) {
+				return
+			}
+			w.run(prefixes[j])
+		}
+	}
+	for wi := 1; wi < len(walkers); wi++ {
+		w := newWalker(ctx)
+		walkers[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pull(w)
+		}()
+	}
+	walkers[0] = newWalker(ctx)
+	pull(walkers[0])
+	wg.Wait()
+	if bounded {
+		for i := 0; i < extra; i++ {
+			<-workerBudget
+		}
+	}
+
+	// Reduce under the total order (cost, lexicographic RGS). The sequential
+	// walk keeps the first — lexicographically lowest — candidate among
+	// exact cost ties, and so does this.
+	var best *walker
+	for _, w := range walkers {
+		c.Add(w.count)
+		if !w.found {
+			continue
+		}
+		if best == nil || w.bestCost < best.bestCost ||
+			(w.bestCost == best.bestCost && lexLess(w.best, best.best)) {
+			best = w
+		}
+	}
+
+	nGroups := 0
+	for _, g := range best.best {
+		if g+1 > nGroups {
+			nGroups = g + 1
+		}
+	}
+	groups := make([]attrset.Set, nGroups)
+	for i, g := range best.best {
+		groups[g] = groups[g].Union(atoms[i])
+	}
+	return groups, best.bestCost
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

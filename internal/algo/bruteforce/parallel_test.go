@@ -1,0 +1,106 @@
+package bruteforce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"knives/internal/algo"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// The sharded walk must be bit-identical to the sequential walk: same
+// partitioning, same cost (==), same candidate count, at every worker
+// count. This is the gate that lets the default stay parallel.
+func checkWorkersEquivalence(t *testing.T, label string, tw schema.TableWorkload, m cost.Model, raw bool, maxAtoms int) {
+	t.Helper()
+	run := func(workers int) algo.Result {
+		bf := &BruteForce{Raw: raw, MaxAtoms: maxAtoms, Workers: workers}
+		r, err := bf.Partition(tw, m)
+		if err != nil {
+			t.Fatalf("%s: workers=%d: %v", label, workers, err)
+		}
+		return r
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := run(workers)
+		if par.Cost != seq.Cost {
+			t.Errorf("%s: workers=%d cost %v != sequential %v", label, workers, par.Cost, seq.Cost)
+		}
+		if !par.Partitioning.Equal(seq.Partitioning) {
+			t.Errorf("%s: workers=%d layout %v != sequential %v", label, workers, par.Partitioning, seq.Partitioning)
+		}
+		if par.Stats.Candidates != seq.Stats.Candidates {
+			t.Errorf("%s: workers=%d candidates %d != sequential %d",
+				label, workers, par.Stats.Candidates, seq.Stats.Candidates)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialOnTPCH(t *testing.T) {
+	bench := schema.TPCH(10)
+	m := model()
+	for _, tw := range bench.TableWorkloads() {
+		atoms := 0
+		referenced := tw.ReferencedAttrs()
+		for _, f := range partition.Fragments(tw) {
+			if f.Overlaps(referenced) {
+				atoms++
+			}
+		}
+		if atoms > 10 && testing.Short() {
+			continue // lineitem's 4.2M candidates exceed -short budgets
+		}
+		checkWorkersEquivalence(t, tw.Table.Name, tw, m, false, 13)
+	}
+}
+
+func TestParallelMatchesSequentialOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		nAttrs := 5 + rng.Intn(4)
+		tw := randomWorkload(t, rng, nAttrs, 4+rng.Intn(8))
+		checkWorkersEquivalence(t, fmt.Sprintf("trial%d", trial), tw, model(), true, nAttrs)
+	}
+}
+
+// Under the MM model ties are common (no seek component), which stresses
+// the lowest-canonical-RGS tie-break of the parallel reduction.
+func TestParallelTieBreakUnderMMModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		tw := randomWorkload(t, rng, 6, 5)
+		checkWorkersEquivalence(t, fmt.Sprintf("mm-trial%d", trial), tw, cost.NewMM(), true, 6)
+	}
+}
+
+// Every full restricted growth string has exactly one length-p prefix, so
+// the shard jobs must cover the Bell(n) candidate space exactly once.
+func TestShardsPartitionTheSearchSpace(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 1}, {Name: "b", Size: 2}, {Name: "c", Size: 4},
+		{Name: "d", Size: 8}, {Name: "e", Size: 16}, {Name: "f", Size: 32},
+	})
+	tw := schema.TableWorkload{Table: tab, Queries: []schema.TableQuery{
+		{ID: "q", Weight: 1, Attrs: tab.AllAttrs()},
+	}}
+	atoms := partition.Column(tab).Parts
+	ctx := newSearchCtx(tw, cost.NewHDD(cost.DefaultDisk()), atoms)
+	want := partition.Bell(len(atoms)).Int64()
+	for p := 1; p <= len(atoms); p++ {
+		var total int64
+		w := newWalker(ctx)
+		for _, prefix := range rgsPrefixes(p) {
+			w.run(prefix)
+		}
+		total = w.count
+		if total != want {
+			t.Errorf("prefix length %d: shards visit %d candidates, want Bell(%d) = %d",
+				p, total, len(atoms), want)
+		}
+		w.count = 0
+	}
+}

@@ -1,0 +1,164 @@
+package algo
+
+import (
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// GreedyMerge runs the bottom-up merging loop shared by HillClimb, AutoPart,
+// and HYRISE: in every iteration it evaluates all pairwise merges of the
+// current parts and applies the one with the largest cost improvement,
+// stopping when no merge improves. It returns the final parts and cost.
+//
+// This is the paper's "improved version of HillClimb": costs are computed
+// on demand instead of from a precomputed dictionary of all column groups.
+//
+// Candidates are priced incrementally. A merge of parts i and j leaves every
+// query that references neither i nor j untouched: its referenced-partition
+// set is unchanged, so both its buffer share and its per-partition costs are
+// unchanged. GreedyMerge therefore keeps a per-query cost vector for the
+// current layout and re-evaluates only the queries whose attribute set
+// overlaps the merged pair, summing the rest from the vector. Results —
+// layouts, costs, and candidate counts — are bit-identical to
+// GreedyMergeReference (see the invariant notes on mergeEvaluator).
+func GreedyMerge(tw schema.TableWorkload, m cost.Model, parts []attrset.Set, c *Counter) ([]attrset.Set, float64) {
+	e := newMergeEvaluator(tw, m, partition.Clone(parts))
+	best := e.total()
+	c.Tick()
+	for len(e.parts) > 1 {
+		bi, bj, bCost := -1, -1, best
+		for i := 0; i < len(e.parts); i++ {
+			for j := i + 1; j < len(e.parts); j++ {
+				cc := e.mergeCost(i, j)
+				c.Tick()
+				if cc < bCost-improvementEps {
+					bi, bj, bCost = i, j, cc
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		e.apply(bi, bj)
+		best = bCost
+	}
+	return e.parts, best
+}
+
+// GreedyMergeReference is the non-incremental merging loop: every candidate
+// is priced with a full workload-cost evaluation. It is retained as the
+// equivalence oracle for GreedyMerge (the incremental path must reproduce
+// its layouts, costs, and candidate counts bit for bit) and as the baseline
+// of the evaluations-per-second benchmark.
+func GreedyMergeReference(tw schema.TableWorkload, m cost.Model, parts []attrset.Set, c *Counter) ([]attrset.Set, float64) {
+	parts = partition.Clone(parts)
+	best := c.Eval(m, tw, parts)
+	for len(parts) > 1 {
+		bi, bj, bCost := -1, -1, best
+		for i := 0; i < len(parts); i++ {
+			for j := i + 1; j < len(parts); j++ {
+				cand := partition.Merge(parts, i, j)
+				if cc := c.Eval(m, tw, cand); cc < bCost-improvementEps {
+					bi, bj, bCost = i, j, cc
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		parts = partition.Merge(parts, bi, bj)
+		best = bCost
+	}
+	return parts, best
+}
+
+// mergeEvaluator prices pairwise-merge candidates against a per-query cost
+// vector for the current layout.
+//
+// Bit-identity with full evaluation rests on two invariants:
+//
+//  1. Order preservation: candidate layouts are built with exactly the
+//     element order partition.Merge produces (merged group at position
+//     min(i,j), all other parts in their previous relative order), so the
+//     partition-order-dependent float summation inside Model.QueryCost runs
+//     in the same order as in the reference path.
+//  2. Unaffected queries are priced by cached value: a query overlapping
+//     neither merged part references the same partitions in the same
+//     relative order before and after the merge, so recomputing its cost
+//     would reproduce the cached float exactly.
+//
+// Candidate totals are summed in query order, matching cost.WorkloadCost.
+type mergeEvaluator struct {
+	tw      schema.TableWorkload
+	m       cost.Model
+	parts   []attrset.Set
+	qcost   []float64     // qcost[k] = weight_k * QueryCost(parts, query k)
+	scratch []attrset.Set // candidate layout buffer, reused across calls
+}
+
+func newMergeEvaluator(tw schema.TableWorkload, m cost.Model, parts []attrset.Set) *mergeEvaluator {
+	e := &mergeEvaluator{
+		tw:      tw,
+		m:       m,
+		parts:   parts,
+		qcost:   make([]float64, len(tw.Queries)),
+		scratch: make([]attrset.Set, 0, len(parts)),
+	}
+	for k, q := range tw.Queries {
+		e.qcost[k] = q.Weight * m.QueryCost(tw.Table, parts, q.Attrs)
+	}
+	return e
+}
+
+// total sums the per-query costs in query order — the same additions, in the
+// same order, as cost.WorkloadCost over the current layout.
+func (e *mergeEvaluator) total() float64 {
+	var t float64
+	for _, c := range e.qcost {
+		t += c
+	}
+	return t
+}
+
+// mergeCost prices the merge of parts i and j without mutating state.
+func (e *mergeEvaluator) mergeCost(i, j int) float64 {
+	if j < i {
+		i, j = j, i
+	}
+	union := e.parts[i].Union(e.parts[j])
+	cand := e.scratch[:0]
+	for k, p := range e.parts {
+		switch k {
+		case i:
+			cand = append(cand, union)
+		case j: // dropped
+		default:
+			cand = append(cand, p)
+		}
+	}
+	e.scratch = cand
+	var total float64
+	for k, q := range e.tw.Queries {
+		if q.Attrs.Overlaps(union) {
+			wq := q.Weight * e.m.QueryCost(e.tw.Table, cand, q.Attrs)
+			total += wq
+		} else {
+			total += e.qcost[k]
+		}
+	}
+	return total
+}
+
+// apply commits the merge of parts i and j and refreshes the cost vector
+// entries of the affected queries.
+func (e *mergeEvaluator) apply(i, j int) {
+	union := e.parts[i].Union(e.parts[j])
+	e.parts = partition.Merge(e.parts, i, j)
+	for k, q := range e.tw.Queries {
+		if q.Attrs.Overlaps(union) {
+			e.qcost[k] = q.Weight * e.m.QueryCost(e.tw.Table, e.parts, q.Attrs)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package algo
+
+import (
+	"fmt"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/workgen"
+)
+
+// The incremental GreedyMerge must reproduce the reference implementation
+// bit for bit: same layouts, same costs (==, not approximately), same
+// candidate counts. Anything less would silently change every figure that
+// HillClimb, AutoPart, or HYRISE contributes to.
+func checkGreedyEquivalence(t *testing.T, label string, tw schema.TableWorkload, m cost.Model, start []attrset.Set) {
+	t.Helper()
+	var cInc, cRef Counter
+	gotParts, gotCost := GreedyMerge(tw, m, start, &cInc)
+	wantParts, wantCost := GreedyMergeReference(tw, m, start, &cRef)
+	if gotCost != wantCost {
+		t.Errorf("%s: incremental cost %v != reference %v", label, gotCost, wantCost)
+	}
+	if cInc.Count() != cRef.Count() {
+		t.Errorf("%s: incremental candidates %d != reference %d", label, cInc.Count(), cRef.Count())
+	}
+	if len(gotParts) != len(wantParts) {
+		t.Fatalf("%s: incremental parts %v != reference %v", label, gotParts, wantParts)
+	}
+	for i := range gotParts {
+		if gotParts[i] != wantParts[i] {
+			t.Fatalf("%s: incremental parts %v != reference %v", label, gotParts, wantParts)
+		}
+	}
+}
+
+func TestGreedyMergeMatchesReferenceOnBenchmarks(t *testing.T) {
+	models := []cost.Model{cost.NewHDD(cost.DefaultDisk()), cost.NewMM()}
+	for _, bench := range []*schema.Benchmark{schema.TPCH(10), schema.SSB(10)} {
+		for _, tw := range bench.TableWorkloads() {
+			for _, m := range models {
+				label := fmt.Sprintf("%s/%s/%s", bench.Name, tw.Table.Name, m.Name())
+				checkGreedyEquivalence(t, label+"/column", tw, m, partition.Column(tw.Table).Parts)
+				checkGreedyEquivalence(t, label+"/fragments", tw, m, partition.Fragments(tw))
+			}
+		}
+	}
+}
+
+func TestGreedyMergeMatchesReferenceOnRandomWorkloads(t *testing.T) {
+	cols := make([]schema.Column, 14)
+	for i := range cols {
+		cols[i] = schema.Column{Name: fmt.Sprintf("c%d", i), Size: 1 + (i*7)%40}
+	}
+	tab := schema.MustTable("rand", 2_000_000, cols)
+	m := cost.NewHDD(cost.DefaultDisk())
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, frag := range []float64{0, 0.4, 1} {
+			tw, err := workgen.Generate(tab, workgen.Config{
+				Queries: 12, Fragmentation: frag, MeanAttrs: 4, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("seed%d/frag%v", seed, frag)
+			checkGreedyEquivalence(t, label, tw, m, partition.Column(tab).Parts)
+		}
+	}
+}
+
+// Zero-query workloads must not diverge either (every merge prices to 0).
+func TestGreedyMergeMatchesReferenceOnEmptyWorkload(t *testing.T) {
+	tab := schema.MustTable("t", 1000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 8}, {Name: "c", Size: 2},
+	})
+	tw := schema.TableWorkload{Table: tab}
+	checkGreedyEquivalence(t, "empty", tw, cost.NewHDD(cost.DefaultDisk()), partition.Column(tab).Parts)
+}

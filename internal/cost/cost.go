@@ -83,10 +83,15 @@ type Model interface {
 }
 
 // WorkloadCost sums the weighted query costs of a per-table workload.
+//
+// The weighted product is rounded in its own statement before the running
+// sum so no architecture fuses multiply and add: incremental searches cache
+// exactly these per-query values and must reproduce this sum bit for bit.
 func WorkloadCost(m Model, tw schema.TableWorkload, parts []attrset.Set) float64 {
 	var total float64
 	for _, q := range tw.Queries {
-		total += q.Weight * m.QueryCost(tw.Table, parts, q.Attrs)
+		wq := q.Weight * m.QueryCost(tw.Table, parts, q.Attrs)
+		total += wq
 	}
 	return total
 }

@@ -1,0 +1,50 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"knives/internal/schema"
+)
+
+// Memoized partition costs must be the exact floats the model computes —
+// the memo sits on the BruteForce hot path, where any drift would change
+// the optimum the search returns.
+func TestPartitionCostMemoMatchesModel(t *testing.T) {
+	tab := schema.MustTable("t", 6_000_000, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 25}, {Name: "c", Size: 8},
+	})
+	for _, m := range []PartitionCoster{NewHDD(DefaultDisk()), NewMM()} {
+		memo := NewPartitionCostMemo(m, tab)
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			rowSize := int64(1 + rng.Intn(200))
+			totalRowSize := rowSize + int64(rng.Intn(200))
+			want := m.PartitionCost(tab, rowSize, totalRowSize)
+			if got := memo.Cost(rowSize, totalRowSize); got != want {
+				t.Fatalf("memo.Cost(%d, %d) = %v, model computes %v", rowSize, totalRowSize, got, want)
+			}
+			// Second lookup must hit the cache and return the same float.
+			if got := memo.Cost(rowSize, totalRowSize); got != want {
+				t.Fatalf("cached memo.Cost(%d, %d) = %v, want %v", rowSize, totalRowSize, got, want)
+			}
+		}
+		if memo.Len() == 0 {
+			t.Error("memo cached nothing")
+		}
+	}
+}
+
+// Oversized row widths bypass the packed uint64 key instead of colliding.
+func TestPartitionCostMemoOversizeBypass(t *testing.T) {
+	tab := schema.MustTable("t", 10, []schema.Column{{Name: "a", Size: 1}})
+	m := NewMM()
+	memo := NewPartitionCostMemo(m, tab)
+	big := int64(1) << 33
+	if got, want := memo.Cost(big, big), m.PartitionCost(tab, big, big); got != want {
+		t.Errorf("oversize Cost = %v, want %v", got, want)
+	}
+	if memo.Len() != 0 {
+		t.Errorf("oversize pair was cached (%d entries)", memo.Len())
+	}
+}

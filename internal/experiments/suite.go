@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"knives/internal/algo"
@@ -25,8 +26,28 @@ type Suite struct {
 	// SSB optionally supplies the Star Schema Benchmark for Table 5.
 	SSB *schema.Benchmark
 
-	mu    sync.Mutex
-	cache map[string][]algo.Result // default-disk layouts by algorithm name
+	mu     sync.Mutex
+	cache  map[string]*cacheEntry  // default-disk layouts by algorithm name
+	timing map[string]*timingEntry // isolated optimization timings by algorithm name
+}
+
+// cacheEntry computes one algorithm's default-setting layouts at most once.
+// The suite mutex only guards the map; the expensive computation runs under
+// the entry's once, so different algorithms can warm up concurrently.
+type cacheEntry struct {
+	once sync.Once
+	rs   []algo.Result
+	err  error
+}
+
+// timingEntry measures one algorithm's optimization time at most once, so
+// Fig1 and Fig10 share a single measurement instead of repeating the
+// expensive searches.
+type timingEntry struct {
+	once       sync.Once
+	seconds    float64
+	candidates int64
+	err        error
 }
 
 // NewSuite returns a Suite over TPC-H SF 10 with the paper's default disk.
@@ -53,34 +74,136 @@ func (s *Suite) model() cost.Model { return cost.NewHDD(s.Disk) }
 // algorithm over every table of the benchmark.
 func (s *Suite) results(name string) ([]algo.Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cache == nil {
-		s.cache = make(map[string][]algo.Result)
+		s.cache = make(map[string]*cacheEntry)
 	}
-	if rs, ok := s.cache[name]; ok {
-		return rs, nil
+	e, ok := s.cache[name]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[name] = e
 	}
-	a, err := algorithms.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := runAll(a, s.Bench, s.model())
-	if err != nil {
-		return nil, err
-	}
-	s.cache[name] = rs
-	return rs, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		a, err := algorithms.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.rs, e.err = runAll(a, s.Bench, s.model())
+	})
+	return e.rs, e.err
 }
 
-// runAll partitions every table of a benchmark.
-func runAll(a algo.Algorithm, b *schema.Benchmark, m cost.Model) ([]algo.Result, error) {
-	var rs []algo.Result
-	for _, tw := range b.TableWorkloads() {
-		r, err := a.Partition(tw, m)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name(), tw.Table.Name, err)
+// timedSeconds measures (once per suite) the named algorithm's optimization
+// time over all tables under the shared repetition policy: s.reps() medians
+// for the heuristics, a single run for BruteForce, whose one exhaustive
+// enumeration is slow and stable enough. The timing runs in isolation — not
+// under Prewarm's fan-out — so contention never inflates it.
+func (s *Suite) timedSeconds(name string) (float64, int64, error) {
+	s.mu.Lock()
+	if s.timing == nil {
+		s.timing = make(map[string]*timingEntry)
+	}
+	e, ok := s.timing[name]
+	if !ok {
+		e = &timingEntry{}
+		s.timing[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		reps := s.reps()
+		if name == "BruteForce" {
+			reps = 1
 		}
-		rs = append(rs, r)
+		var rs []algo.Result
+		rs, e.seconds, e.candidates, e.err = timeAlgorithm(s, name, reps)
+		if e.err == nil {
+			// The timed searches are deterministic, so their layouts are
+			// exactly what results() would compute — seed the cache instead
+			// of letting a later caller search all over again.
+			s.seedResults(name, rs)
+		}
+	})
+	return e.seconds, e.candidates, e.err
+}
+
+// seedResults stores already-computed layouts for an algorithm unless the
+// cache already resolved them.
+func (s *Suite) seedResults(name string, rs []algo.Result) {
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[string]*cacheEntry)
+	}
+	e, ok := s.cache[name]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.rs = rs })
+}
+
+// Prewarm computes the default-setting layouts of the named algorithms
+// concurrently. Experiments that report on several algorithms call it first
+// so the independent (table x algorithm) partitioning jobs use every core;
+// each result lands in the cache exactly once.
+func (s *Suite) Prewarm(names ...string) error {
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.results(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionSem bounds how many partitioning jobs run at once across the
+// whole package, however many experiments, Prewarm calls, and benchmarks
+// overlap. Without it, Prewarm (algorithms) x runAll (tables) would admit
+// dozens of concurrent searches. BruteForce's walker pool draws from its
+// own GOMAXPROCS-1 budget shared across searches (bruteforce/parallel.go),
+// so worst-case runnable CPU-bound goroutines are bounded by ~2x the core
+// count — a brief transient while short table jobs overlap a sharded
+// search — rather than growing quadratically.
+var partitionSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// runAll partitions every table of a benchmark, tables in parallel (bounded
+// by partitionSem). Results keep the benchmark's table order, and the
+// lowest-index error wins, so the output is indistinguishable from a serial
+// run (algorithms are required to be deterministic and concurrency-safe).
+func runAll(a algo.Algorithm, b *schema.Benchmark, m cost.Model) ([]algo.Result, error) {
+	tws := b.TableWorkloads()
+	rs := make([]algo.Result, len(tws))
+	errs := make([]error, len(tws))
+	var wg sync.WaitGroup
+	for i, tw := range tws {
+		wg.Add(1)
+		go func(i int, tw schema.TableWorkload) {
+			defer wg.Done()
+			partitionSem <- struct{}{}
+			r, err := a.Partition(tw, m)
+			<-partitionSem
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s on %s: %w", a.Name(), tw.Table.Name, err)
+				return
+			}
+			rs[i] = r
+		}(i, tw)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rs, nil
 }

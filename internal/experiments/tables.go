@@ -12,6 +12,9 @@ import (
 // Tab5 reproduces Table 5: estimated improvement over column layout on
 // TPC-H vs the Star Schema Benchmark for every algorithm.
 func Tab5(s *Suite) (*Report, error) {
+	if err := s.Prewarm(evaluatedAlgorithms...); err != nil {
+		return nil, err
+	}
 	r := &Report{
 		ID:     "tab5",
 		Title:  "Estimated improvement over Column with different benchmarks",
@@ -48,6 +51,9 @@ func Tab5(s *Suite) (*Report, error) {
 // Tab6 reproduces Table 6: estimated improvement over column layout under
 // the disk (HDD) vs the main-memory (MM) cost model.
 func Tab6(s *Suite) (*Report, error) {
+	if err := s.Prewarm(evaluatedAlgorithms...); err != nil {
+		return nil, err
+	}
 	r := &Report{
 		ID:     "tab6",
 		Title:  "Estimated improvement over Column with different cost models",

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output on stdin into the
+// BENCH_<date>.json record scripts/bench.sh commits after a benchmark run:
+// one entry per benchmark with its wall-clock time per op and every custom
+// metric (candidates, evals/s, figure headline numbers), plus the machine
+// context needed to compare runs across hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type entry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type record struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPU        string  `json:"cpu,omitempty"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	rec := record{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName N 123 ns/op [value unit]...
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Name: fields[0], Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				e.NsPerOp = v
+			} else {
+				e.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		rec.Benchmarks = append(rec.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	sort.SliceStable(rec.Benchmarks, func(i, j int) bool {
+		if rec.Benchmarks[i].Package != rec.Benchmarks[j].Package {
+			return rec.Benchmarks[i].Package < rec.Benchmarks[j].Package
+		}
+		return rec.Benchmarks[i].Name < rec.Benchmarks[j].Name
+	})
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
