@@ -1,84 +1,44 @@
 package knives
 
-import (
-	"fmt"
-	"sort"
+import "knives/internal/advisor"
 
-	"knives/internal/cost"
-	"knives/internal/partition"
+// TableAdvice is the advisor's recommendation for one table: the cheapest
+// layout found across the heuristic portfolio, with Row/Column baselines
+// and every algorithm's cost for transparency.
+type TableAdvice = advisor.TableAdvice
+
+// AdvisorService is a long-running, concurrent partitioning advisor with a
+// fingerprint-keyed advice cache and per-table drift tracking; knivesd
+// serves one over HTTP.
+type AdvisorService = advisor.Service
+
+// AdvisorConfig parameterizes an AdvisorService.
+type AdvisorConfig = advisor.Config
+
+// Advisor wire and observation types, aliased so external importers can
+// name arguments and results of the AdvisorService API.
+type (
+	// AdvisorStats is a snapshot of the service counters.
+	AdvisorStats = advisor.Stats
+	// DriftReport describes a tracker's state after an observation batch.
+	DriftReport = advisor.DriftReport
+	// ObservedQuery is one observed query by column names.
+	ObservedQuery = advisor.ObservedQry
+	// WorkloadFingerprint canonically identifies a table workload.
+	WorkloadFingerprint = advisor.Fingerprint
 )
 
-// TableAdvice is the advisor's recommendation for one table.
-type TableAdvice struct {
-	Table *Table
-	// Algorithm that produced the cheapest layout.
-	Algorithm string
-	// Layout is the recommended partitioning.
-	Layout Partitioning
-	// Cost is the estimated workload cost of the recommendation.
-	Cost float64
-	// RowCost and ColumnCost are the baseline costs for comparison.
-	RowCost, ColumnCost float64
-	// PerAlgorithm holds every algorithm's cost, for transparency.
-	PerAlgorithm map[string]float64
-}
-
-// ImprovementOverRow returns the relative improvement over row layout.
-func (a TableAdvice) ImprovementOverRow() float64 {
-	if a.RowCost == 0 {
-		return 0
-	}
-	return (a.RowCost - a.Cost) / a.RowCost
-}
-
-// ImprovementOverColumn returns the relative improvement over column layout.
-func (a TableAdvice) ImprovementOverColumn() float64 {
-	if a.ColumnCost == 0 {
-		return 0
-	}
-	return (a.ColumnCost - a.Cost) / a.ColumnCost
-}
-
-// Advise runs every heuristic algorithm on every table of the benchmark and
-// recommends, per table, the cheapest layout found (falling back to column
-// layout when nothing beats it). BruteForce is excluded: the paper's first
-// lesson is that the heuristics already find its layouts at a fraction of
-// the computation.
+// Advise runs every heuristic algorithm on every table of the benchmark
+// (concurrently, over the parallel search kernel) and recommends, per
+// table, the cheapest layout found (falling back to column layout when
+// nothing beats it). BruteForce is excluded: the paper's first lesson is
+// that the heuristics already find its layouts at a fraction of the
+// computation.
 func Advise(b *Benchmark, m CostModel) ([]TableAdvice, error) {
-	if b == nil {
-		return nil, fmt.Errorf("knives: nil benchmark")
-	}
-	if m == nil {
-		m = NewHDDModel(DefaultDisk())
-	}
-	var out []TableAdvice
-	for _, tw := range b.TableWorkloads() {
-		adv := TableAdvice{
-			Table:        tw.Table,
-			PerAlgorithm: make(map[string]float64),
-			RowCost:      cost.WorkloadCost(m, tw, partition.Row(tw.Table).Parts),
-			ColumnCost:   cost.WorkloadCost(m, tw, partition.Column(tw.Table).Parts),
-		}
-		adv.Algorithm = "Column"
-		adv.Layout = partition.Column(tw.Table)
-		adv.Cost = adv.ColumnCost
-		for _, a := range Algorithms() {
-			if a.Name() == "BruteForce" {
-				continue
-			}
-			res, err := a.Partition(tw, m)
-			if err != nil {
-				return nil, fmt.Errorf("knives: %s on %s: %w", a.Name(), tw.Table.Name, err)
-			}
-			adv.PerAlgorithm[a.Name()] = res.Cost
-			if res.Cost < adv.Cost {
-				adv.Algorithm = a.Name()
-				adv.Layout = res.Partitioning
-				adv.Cost = res.Cost
-			}
-		}
-		out = append(out, adv)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Table.Name < out[j].Table.Name })
-	return out, nil
+	return advisor.Advise(b, m)
+}
+
+// NewAdvisorService returns an empty advisor service.
+func NewAdvisorService(cfg AdvisorConfig) *AdvisorService {
+	return advisor.NewService(cfg)
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,31 +29,77 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches a command line and returns the process exit code: 0 on
+// success, 1 on command failure (including unknown experiment IDs, table
+// names, algorithms...), 2 on usage errors. It exists so that tests can pin
+// exit codes without spawning the binary; the subcommand FlagSets therefore
+// use ContinueOnError — ExitOnError would os.Exit from inside fs.Parse and
+// bypass this return path.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
 		err = runList()
 	case "optimize":
-		err = runOptimize(os.Args[2:])
+		err = runOptimize(args[1:])
 	case "advise":
-		err = runAdvise(os.Args[2:])
+		err = runAdvise(args[1:])
 	case "experiment":
-		err = runExperiment(os.Args[2:])
+		err = runExperiment(args[1:])
 	case "-h", "--help", "help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "knives: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "knives: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	if err != nil {
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &ue):
+		// fs.Parse already printed flag errors (with usage); don't repeat.
+		if !ue.reported {
+			fmt.Fprintf(os.Stderr, "knives: %v\n", err)
+		}
+		return 2
+	default:
 		fmt.Fprintf(os.Stderr, "knives: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+}
+
+// usageError marks bad command-line input (exit code 2, like the top-level
+// dispatcher's own usage failures). reported means the flag package
+// already printed the message to stderr.
+type usageError struct {
+	err      error
+	reported bool
+}
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// parseFlags runs fs over args, classifying failures: -h propagates
+// flag.ErrHelp (exit 0), anything else is a usageError (exit 2) that
+// ContinueOnError has already reported to stderr.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err: err, reported: true}
+	}
+	return nil
 }
 
 func usage() {
@@ -65,17 +112,6 @@ commands:
   experiment <id|all>       regenerate a paper figure or table
 
 run "knives <command> -h" for command flags`)
-}
-
-func pickBenchmark(name string, sf float64) (*knives.Benchmark, error) {
-	switch strings.ToLower(name) {
-	case "tpch", "tpc-h":
-		return knives.TPCH(sf), nil
-	case "ssb":
-		return knives.SSB(sf), nil
-	default:
-		return nil, fmt.Errorf("unknown benchmark %q (tpch or ssb)", name)
-	}
 }
 
 func runList() error {
@@ -91,31 +127,26 @@ func runList() error {
 }
 
 func runOptimize(args []string) error {
-	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
-	sf := fs.Float64("sf", 10, "scale factor")
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
 	table := fs.String("table", "all", "table name or all")
 	algoName := fs.String("algorithm", "all", "algorithm name or all")
 	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
 	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
-	bench, err := pickBenchmark(*benchName, *sf)
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
 		return err
 	}
-	var model knives.CostModel
-	switch strings.ToLower(*modelName) {
-	case "hdd":
-		disk := knives.DefaultDisk()
-		disk.BufferSize = int64(*bufferMB * float64(1<<20))
-		model = knives.NewHDDModel(disk)
-	case "mm":
-		model = knives.NewMMModel()
-	default:
-		return fmt.Errorf("unknown cost model %q (hdd or mm)", *modelName)
+	disk := knives.DefaultDisk()
+	disk.BufferSize = int64(*bufferMB * float64(1<<20))
+	model, err := knives.CostModelByName(*modelName, disk)
+	if err != nil {
+		return err
 	}
 
 	var algos []knives.Algorithm
@@ -129,10 +160,12 @@ func runOptimize(args []string) error {
 		algos = []knives.Algorithm{a}
 	}
 
+	matched := false
 	for _, tw := range bench.TableWorkloads() {
 		if *table != "all" && tw.Table.Name != *table {
 			continue
 		}
+		matched = true
 		fmt.Printf("table %s (%d rows, %d attrs, %d queries)\n",
 			tw.Table.Name, tw.Table.Rows, tw.Table.NumAttrs(), len(tw.Queries))
 		rowC := knives.WorkloadCost(model, tw, knives.RowLayout(tw.Table))
@@ -150,17 +183,20 @@ func runOptimize(args []string) error {
 		}
 		fmt.Println()
 	}
+	if !matched {
+		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
+	}
 	return nil
 }
 
 func runAdvise(args []string) error {
-	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
 	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
-	sf := fs.Float64("sf", 10, "scale factor")
-	if err := fs.Parse(args); err != nil {
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	bench, err := pickBenchmark(*benchName, *sf)
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
 		return err
 	}
@@ -179,13 +215,30 @@ func runAdvise(args []string) error {
 
 func runExperiment(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("experiment needs an id (or all); run \"knives list\"")
+		return usageError{err: fmt.Errorf("experiment needs an id (or all); run \"knives list\"")}
 	}
 	id := args[0]
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	reps := fs.Int("reps", 3, "repetitions for timing experiments")
-	if err := fs.Parse(args[1:]); err != nil {
+	extras := func() []string { return fs.Args() }
+	if strings.HasPrefix(id, "-") {
+		// Flags first: let the FlagSet handle them so -h prints this
+		// subcommand's help (exit 0), and accept an id after the flags
+		// ("experiment -reps 5 fig1").
+		if err := parseFlags(fs, args); err != nil {
+			return err
+		}
+		if id = fs.Arg(0); id == "" {
+			return usageError{err: fmt.Errorf("experiment needs an id (or all); run \"knives list\"")}
+		}
+		extras = func() []string { return fs.Args()[1:] } // Arg(0) is the id
+	} else if err := parseFlags(fs, args[1:]); err != nil {
 		return err
+	}
+	// Unconsumed trailing arguments are a typo, not something to drop
+	// silently ("experiment tab4 junk" must not report success).
+	if rest := extras(); len(rest) > 0 {
+		return usageError{err: fmt.Errorf("experiment takes one id; extra arguments %v", rest)}
 	}
 	suite := experiments.NewSuite()
 	suite.Reps = *reps

@@ -1,20 +1,24 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"knives"
+)
 
 func TestPickBenchmark(t *testing.T) {
 	for _, name := range []string{"tpch", "TPC-H", "ssb"} {
-		b, err := pickBenchmark(name, 1)
+		b, err := knives.BenchmarkByName(name, 1)
 		if err != nil {
-			t.Errorf("pickBenchmark(%q): %v", name, err)
+			t.Errorf("knives.BenchmarkByName(%q): %v", name, err)
 			continue
 		}
 		if b == nil || len(b.Tables) == 0 {
-			t.Errorf("pickBenchmark(%q) returned empty benchmark", name)
+			t.Errorf("knives.BenchmarkByName(%q) returned empty benchmark", name)
 		}
 	}
-	if _, err := pickBenchmark("mystery", 1); err == nil {
-		t.Error("pickBenchmark accepted an unknown benchmark")
+	if _, err := knives.BenchmarkByName("mystery", 1); err == nil {
+		t.Error("BenchmarkByName accepted an unknown benchmark")
 	}
 }
 
@@ -49,6 +53,53 @@ func TestRunExperimentValidation(t *testing.T) {
 	}
 	if err := runExperiment([]string{"fig99"}); err == nil {
 		t.Error("accepted unknown experiment id")
+	}
+}
+
+// The process must fail loudly on bad input: unknown experiment IDs, table
+// names, and algorithms exit 1; usage errors exit 2. run() is main() minus
+// os.Exit, so these pins cover the real exit paths.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"experiment", "fig99"}, 1},
+		// A missing id is malformed input, classified with the other usage
+		// errors.
+		{[]string{"experiment"}, 2},
+		{[]string{"optimize", "-table", "nonexistent", "-sf", "0.01"}, 1},
+		{[]string{"optimize", "-algorithm", "Nope", "-sf", "0.01"}, 1},
+		{[]string{"advise", "-benchmark", "mystery"}, 1},
+		{[]string{"slice"}, 2},
+		{nil, 2},
+		{[]string{"help"}, 0},
+		{[]string{"list"}, 0},
+		// Flag-parse failures must flow back through run(), not os.Exit
+		// from inside fs.Parse: the FlagSets use ContinueOnError.
+		{[]string{"optimize", "-nosuchflag"}, 2},
+		{[]string{"advise", "-sf", "potato"}, 2},
+		{[]string{"experiment", "tab4", "-nosuchflag"}, 2},
+		{[]string{"optimize", "-h"}, 0},
+		{[]string{"experiment", "-h"}, 0},
+		{[]string{"experiment", "-reps", "2"}, 2},
+		// Flags-then-id order works: the id is taken from the remaining
+		// args.
+		{[]string{"experiment", "-reps", "1", "tab4"}, 0},
+		// Trailing junk is rejected, not silently dropped.
+		{[]string{"experiment", "tab4", "junk"}, 2},
+		{[]string{"experiment", "-reps", "1", "tab4", "junk"}, 2},
+	}
+	for _, tc := range cases {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestRunOptimizeRejectsUnknownTable(t *testing.T) {
+	if err := runOptimize([]string{"-table", "nonexistent", "-sf", "0.01", "-algorithm", "HillClimb"}); err == nil {
+		t.Error("accepted unknown table name")
 	}
 }
 

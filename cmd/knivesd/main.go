@@ -1,0 +1,157 @@
+// Command knivesd is the long-running partitioning-advisor service: the
+// paper's "run every algorithm, keep the cheapest layout" loop behind an
+// HTTP API, with a fingerprint-keyed advice cache and O2P-backed drift
+// tracking per table.
+//
+// Usage:
+//
+//	knivesd [-addr :7978] [-model hdd|mm] [-buffer MB]
+//	        [-drift-threshold 0.15] [-drift-window N]
+//	        [-prewarm tpch|ssb] [-sf N]
+//
+// Endpoints:
+//
+//	POST /advise   {tables, queries} or {benchmark, sf} -> per-table advice
+//	POST /observe  {table, queries} -> drift report + current advice
+//	GET  /advice?table=NAME         -> current tracked advice
+//	GET  /tables                    -> registered tables
+//	GET  /stats                     -> cache and drift counters
+//	GET  /healthz                   -> liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"knives/internal/advisor"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// config is everything the flags decide.
+type config struct {
+	addr           string
+	model          cost.Model
+	driftThreshold float64
+	driftWindow    int
+	prewarm        *schema.Benchmark
+}
+
+// parseFlags validates the command line into a config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("knivesd", flag.ContinueOnError)
+	addr := fs.String("addr", ":7978", "listen address")
+	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
+	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB (hdd model)")
+	driftThreshold := fs.Float64("drift-threshold", advisor.DefaultDriftThreshold,
+		"relative cost divergence past which cached advice is recomputed")
+	driftWindow := fs.Int("drift-window", advisor.DefaultDriftWindow,
+		"observed queries each tracker retains (0 = default, negative = unbounded; offline replays only)")
+	prewarm := fs.String("prewarm", "", "benchmark to prewarm advice for: tpch or ssb (empty = none)")
+	sf := fs.Float64("sf", 10, "scale factor for -prewarm")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return config{}, err
+		}
+		// ContinueOnError already printed the message and usage.
+		return config{}, fmt.Errorf("%w: %v", errFlagReported, err)
+	}
+	if !(*driftThreshold > 0) { // negated compare also rejects NaN
+		// NewService would silently substitute the default; an explicit
+		// flag value must not be reinterpreted.
+		return config{}, fmt.Errorf("-drift-threshold must be positive (got %v)", *driftThreshold)
+	}
+	cfg := config{
+		addr:           *addr,
+		driftThreshold: *driftThreshold,
+		driftWindow:    *driftWindow,
+	}
+	disk := cost.DefaultDisk()
+	disk.BufferSize = int64(*bufferMB * float64(1<<20))
+	model, err := cost.ModelByName(*modelName, disk)
+	if err != nil {
+		return config{}, err
+	}
+	cfg.model = model
+	if *prewarm != "" {
+		b, err := schema.BenchmarkByName(*prewarm, *sf)
+		if err != nil {
+			return config{}, fmt.Errorf("prewarm: %w", err)
+		}
+		cfg.prewarm = b
+	}
+	return cfg, nil
+}
+
+// newService builds the advisor service for a config, prewarming if asked.
+func newService(cfg config) (*advisor.Service, error) {
+	svc := advisor.NewService(advisor.Config{
+		Model:          cfg.model,
+		DriftThreshold: cfg.driftThreshold,
+		DriftWindow:    cfg.driftWindow,
+	})
+	if cfg.prewarm != nil {
+		if err := svc.Prewarm(cfg.prewarm); err != nil {
+			return nil, fmt.Errorf("prewarm: %w", err)
+		}
+	}
+	return svc, nil
+}
+
+// errFlagReported marks a flag-parse failure the flag package has already
+// written to stderr, so run() must not print it a second time.
+var errFlagReported = errors.New("flag error already reported")
+
+func run(args []string) int {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		if !errors.Is(err, errFlagReported) {
+			fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
+		}
+		return 2
+	}
+	svc, err := newService(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           advisor.NewServer(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "knivesd: listening on %s\n", cfg.addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "knivesd: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

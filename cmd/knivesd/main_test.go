@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"knives/internal/advisor"
+	"knives/internal/cost"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":7978" {
+		t.Errorf("addr = %q", cfg.addr)
+	}
+	if _, ok := cfg.model.(*cost.HDD); !ok {
+		t.Errorf("default model is %T, want *cost.HDD", cfg.model)
+	}
+	if cfg.driftThreshold != advisor.DefaultDriftThreshold {
+		t.Errorf("drift threshold = %v", cfg.driftThreshold)
+	}
+	if cfg.prewarm != nil {
+		t.Error("prewarm benchmark set by default")
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "quantum"},
+		{"-prewarm", "mystery"},
+		{"-buffer", "0"},
+		{"-drift-threshold", "0"},
+		{"-drift-threshold", "-1"},
+		{"-nosuchflag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad input", args)
+		}
+	}
+}
+
+func TestParseFlagsOptions(t *testing.T) {
+	cfg, err := parseFlags([]string{"-model", "mm", "-addr", ":0", "-drift-threshold", "0.3", "-drift-window", "32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg.model.(*cost.MM); !ok {
+		t.Errorf("model is %T, want *cost.MM", cfg.model)
+	}
+	if cfg.driftThreshold != 0.3 || cfg.driftWindow != 32 {
+		t.Errorf("drift config = (%v, %d)", cfg.driftThreshold, cfg.driftWindow)
+	}
+	cfg, err = parseFlags([]string{"-prewarm", "ssb", "-sf", "0.01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.prewarm == nil || cfg.prewarm.Name != "SSB" {
+		t.Errorf("prewarm benchmark = %+v", cfg.prewarm)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	if got := run([]string{"-model", "quantum"}); got != 2 {
+		t.Errorf("bad flags exit = %d, want 2", got)
+	}
+	if got := run([]string{"-h"}); got != 0 {
+		t.Errorf("-h exit = %d, want 0", got)
+	}
+}
+
+// The daemon end to end: prewarm a small benchmark, serve, answer from
+// cache.
+func TestDaemonServesPrewarmedBenchmark(t *testing.T) {
+	cfg, err := parseFlags([]string{"-prewarm", "tpch", "-sf", "0.01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(advisor.NewServer(svc))
+	defer ts.Close()
+
+	client := advisor.NewClient(ts.URL)
+	client.HTTPClient = ts.Client()
+	resp, err := client.Advise(context.Background(), advisor.AdviseRequest{Benchmark: "tpch", ScaleFactor: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Advice) != 8 {
+		t.Fatalf("advice for %d tables, want 8", len(resp.Advice))
+	}
+	for _, adv := range resp.Advice {
+		if !adv.Cached {
+			t.Errorf("%s: prewarmed table not served from cache", adv.Table)
+		}
+	}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 8 {
+		t.Errorf("stats after prewarmed advise: %+v", stats)
+	}
+}

@@ -1,0 +1,96 @@
+// Knivesd: the advisor as a service, drift included.
+//
+// This example runs the knivesd HTTP server in-process on a random port,
+// asks it for advice on a telemetry table, hammers the same question again
+// (served from the fingerprint cache), then streams a shifted query log at
+// /observe until the O2P-backed drift tracker notices the advised layout
+// has gone stale and recomputes it — the paper's Section 6.3 workload-drift
+// aside, operational.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"knives/internal/advisor"
+)
+
+func main() {
+	svc := advisor.NewService(advisor.Config{DriftThreshold: 0.15, DriftWindow: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: advisor.NewServer(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := advisor.NewClient("http://" + ln.Addr().String())
+
+	req := advisor.AdviseRequest{
+		Tables: []advisor.TableSpec{{
+			Name: "events",
+			Rows: 100_000_000,
+			Columns: []advisor.ColumnSpec{
+				{Name: "device_id", Kind: "int", Size: 4},
+				{Name: "ts", Kind: "date", Size: 4},
+				{Name: "latitude", Kind: "decimal", Size: 8},
+				{Name: "longitude", Kind: "decimal", Size: 8},
+				{Name: "payload", Kind: "varchar", Size: 180},
+			},
+		}},
+		Queries: []advisor.QuerySpec{
+			{ID: "positions", Weight: 50, Tables: map[string][]string{
+				"events": {"device_id", "ts", "latitude", "longitude"}}},
+			{ID: "export", Weight: 1, Tables: map[string][]string{
+				"events": {"device_id", "ts", "latitude", "longitude", "payload"}}},
+		},
+	}
+
+	resp, err := client.Advise(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := resp.Advice[0]
+	fmt.Printf("advised (%s): %v  cost=%.2f s  cached=%v\n", adv.Algorithm, adv.Layout, adv.Cost, adv.Cached)
+
+	resp, err = client.Advise(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same workload again: cached=%v (fingerprint %s...)\n",
+		resp.Advice[0].Cached, resp.Advice[0].Fingerprint[:12])
+
+	// The dashboard is retired; traffic becomes single-column battery and
+	// timestamp probes the advised layout never anticipated.
+	fmt.Println("\nstreaming drifted query log:")
+	for batch := 1; batch <= 8; batch++ {
+		obs, err := client.Observe(ctx, advisor.ObserveRequest{
+			Table: "events",
+			Queries: []advisor.ObservedQry{
+				{Attrs: []string{"latitude"}},
+				{Attrs: []string{"ts"}},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  batch %d: drift ratio %+.3f (threshold %.2f) recomputed=%v\n",
+			batch, obs.Drift.Ratio, obs.Drift.Threshold, obs.Drift.Recomputed)
+		if obs.Drift.Recomputed {
+			fmt.Printf("  fresh advice (%s): %v\n", obs.Advice.Algorithm, obs.Advice.Layout)
+			break
+		}
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: %d requests, %d hits, %d searches, %d drift recomputes\n",
+		stats.Requests, stats.Hits, stats.Searches, stats.Recomputes)
+}

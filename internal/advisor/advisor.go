@@ -1,0 +1,214 @@
+// Package advisor implements the paper's end product as a reusable layer:
+// run the whole algorithm portfolio on a workload, recommend the cheapest
+// layout per table, and serve that advice — one-shot (the knives CLI and
+// examples), or long-running with a fingerprint cache and online drift
+// tracking (the knivesd daemon).
+//
+// The portfolio excludes BruteForce: the paper's first lesson is that the
+// heuristics already find its layouts at a fraction of the computation.
+// Portfolio members fan out concurrently over the parallel search kernel,
+// drawing slots from the same process-wide gate as the experiment suite so
+// stacked parallelism stays bounded.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"knives/internal/algo"
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// TableAdvice is the advisor's recommendation for one table.
+type TableAdvice struct {
+	Table *schema.Table
+	// Algorithm that produced the cheapest layout.
+	Algorithm string
+	// Layout is the recommended partitioning.
+	Layout partition.Partitioning
+	// Cost is the estimated workload cost of the recommendation.
+	Cost float64
+	// RowCost and ColumnCost are the baseline costs for comparison.
+	RowCost, ColumnCost float64
+	// PerAlgorithm holds every algorithm's cost, for transparency.
+	PerAlgorithm map[string]float64
+}
+
+// ImprovementOverRow returns the relative improvement over row layout.
+func (a TableAdvice) ImprovementOverRow() float64 {
+	if a.RowCost == 0 {
+		return 0
+	}
+	return (a.RowCost - a.Cost) / a.RowCost
+}
+
+// ImprovementOverColumn returns the relative improvement over column layout.
+func (a TableAdvice) ImprovementOverColumn() float64 {
+	if a.ColumnCost == 0 {
+		return 0
+	}
+	return (a.ColumnCost - a.Cost) / a.ColumnCost
+}
+
+// portfolio returns the heuristic algorithms the advisor races, in the
+// paper's presentation order. Fresh instances every call: algorithms are
+// concurrency-safe, but fresh instances make that property irrelevant.
+func portfolio() []algo.Algorithm { return algorithms.Heuristics() }
+
+// PortfolioNames returns the names of the advised algorithms in evaluation
+// order.
+func PortfolioNames() []string {
+	ps := portfolio()
+	names := make([]string, len(ps))
+	for i, a := range ps {
+		names[i] = a.Name()
+	}
+	return names
+}
+
+// fanOut runs f(0), ..., f(n-1) concurrently, waits for all of them, and
+// returns the lowest-index error — the same first-error-wins semantics as a
+// serial loop, shared by every fan-out in this package. A panicking worker
+// is converted into that worker's error: net/http only recovers panics on
+// the handler's own goroutine, so without this a single degenerate request
+// could kill the whole long-running daemon instead of failing alone.
+func fanOut(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("advisor: worker %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// normalizeWeights returns tw with zero query weights replaced by 1 — the
+// system-wide pricing convention (schema.Workload.ForTable applies the same
+// rule). The service normalizes before both fingerprinting and searching,
+// so the cache key and the search input can never disagree about a query's
+// weight.
+func normalizeWeights(tw schema.TableWorkload) schema.TableWorkload {
+	normalized := false
+	for _, q := range tw.Queries {
+		if q.Weight == 0 {
+			normalized = true
+			break
+		}
+	}
+	if !normalized {
+		return tw
+	}
+	return schema.TableWorkload{Table: tw.Table, Queries: normalizeQueryWeights(tw.Queries)}
+}
+
+// normalizeQueryWeights copies a query batch with zero weights replaced
+// by 1.
+func normalizeQueryWeights(queries []schema.TableQuery) []schema.TableQuery {
+	qs := append([]schema.TableQuery(nil), queries...)
+	for i := range qs {
+		if qs[i].Weight == 0 {
+			qs[i].Weight = 1
+		}
+	}
+	return qs
+}
+
+// AdviseTable races the portfolio on one table's workload and returns the
+// cheapest layout found, falling back to column layout when nothing beats
+// it. The portfolio members run concurrently (each under a process-wide
+// search slot); the winner is picked in portfolio order with a strict
+// comparison, so the result is identical to a sequential run.
+func AdviseTable(tw schema.TableWorkload, m cost.Model) (TableAdvice, error) {
+	if tw.Table == nil {
+		return TableAdvice{}, fmt.Errorf("advisor: nil table")
+	}
+	if m == nil {
+		m = cost.NewHDD(cost.DefaultDisk())
+	}
+	algos := portfolio()
+	results := make([]algo.Result, len(algos))
+	err := fanOut(len(algos), func(i int) error {
+		algo.AcquireSearchSlot()
+		defer algo.ReleaseSearchSlot()
+		res, err := algos[i].Partition(tw, m)
+		if err != nil {
+			return fmt.Errorf("advisor: %s on %s: %w", algos[i].Name(), tw.Table.Name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return TableAdvice{}, err
+	}
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		names[i] = a.Name()
+	}
+	return pickCheapest(tw, m, names, results), nil
+}
+
+// pickCheapest assembles advice from per-algorithm results, comparing in
+// portfolio order against the Column baseline.
+func pickCheapest(tw schema.TableWorkload, m cost.Model, names []string, results []algo.Result) TableAdvice {
+	adv := TableAdvice{
+		Table:        tw.Table,
+		PerAlgorithm: make(map[string]float64, len(names)),
+		RowCost:      cost.WorkloadCost(m, tw, partition.Row(tw.Table).Parts),
+		ColumnCost:   cost.WorkloadCost(m, tw, partition.Column(tw.Table).Parts),
+	}
+	adv.Algorithm = "Column"
+	adv.Layout = partition.Column(tw.Table)
+	adv.Cost = adv.ColumnCost
+	for i, name := range names {
+		res := results[i]
+		adv.PerAlgorithm[name] = res.Cost
+		if res.Cost < adv.Cost {
+			adv.Algorithm = name
+			adv.Layout = res.Partitioning
+			adv.Cost = res.Cost
+		}
+	}
+	return adv
+}
+
+// Advise runs the portfolio on every table of the benchmark and recommends,
+// per table, the cheapest layout found. Tables fan out concurrently; the
+// output is sorted by table name, as the façade has always promised.
+func Advise(b *schema.Benchmark, m cost.Model) ([]TableAdvice, error) {
+	if b == nil {
+		return nil, fmt.Errorf("advisor: nil benchmark")
+	}
+	if m == nil {
+		m = cost.NewHDD(cost.DefaultDisk())
+	}
+	tws := b.TableWorkloads()
+	out := make([]TableAdvice, len(tws))
+	err := fanOut(len(tws), func(i int) error {
+		var err error
+		out[i], err = AdviseTable(tws[i], m)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table.Name < out[j].Table.Name })
+	return out, nil
+}

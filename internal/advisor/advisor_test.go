@@ -1,0 +1,126 @@
+package advisor
+
+import (
+	"testing"
+
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// adviseSequential is the pre-refactor façade loop, retained as the oracle:
+// the concurrent portfolio fan-out must be indistinguishable from running
+// every heuristic in order.
+func adviseSequential(b *schema.Benchmark, m cost.Model) ([]TableAdvice, error) {
+	var out []TableAdvice
+	for _, tw := range b.TableWorkloads() {
+		adv := TableAdvice{
+			Table:        tw.Table,
+			PerAlgorithm: make(map[string]float64),
+			RowCost:      cost.WorkloadCost(m, tw, partition.Row(tw.Table).Parts),
+			ColumnCost:   cost.WorkloadCost(m, tw, partition.Column(tw.Table).Parts),
+		}
+		adv.Algorithm = "Column"
+		adv.Layout = partition.Column(tw.Table)
+		adv.Cost = adv.ColumnCost
+		for _, a := range algorithms.Heuristics() {
+			res, err := a.Partition(tw, m)
+			if err != nil {
+				return nil, err
+			}
+			adv.PerAlgorithm[a.Name()] = res.Cost
+			if res.Cost < adv.Cost {
+				adv.Algorithm = a.Name()
+				adv.Layout = res.Partitioning
+				adv.Cost = res.Cost
+			}
+		}
+		out = append(out, adv)
+	}
+	return out, nil
+}
+
+func TestAdviseMatchesSequentialReference(t *testing.T) {
+	bench := schema.TPCH(1)
+	m := cost.NewHDD(cost.DefaultDisk())
+	got, err := Advise(bench, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := adviseSequential(bench, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d advice entries, want %d", len(got), len(want))
+	}
+	byName := make(map[string]TableAdvice, len(want))
+	for _, w := range want {
+		byName[w.Table.Name] = w
+	}
+	for _, g := range got {
+		w, ok := byName[g.Table.Name]
+		if !ok {
+			t.Fatalf("unexpected table %s", g.Table.Name)
+		}
+		if g.Algorithm != w.Algorithm || g.Cost != w.Cost ||
+			g.RowCost != w.RowCost || g.ColumnCost != w.ColumnCost {
+			t.Errorf("%s: got (%s, %v), want (%s, %v)", g.Table.Name, g.Algorithm, g.Cost, w.Algorithm, w.Cost)
+		}
+		if !g.Layout.Equal(w.Layout) {
+			t.Errorf("%s: layout %s, want %s", g.Table.Name, g.Layout, w.Layout)
+		}
+		for name, c := range w.PerAlgorithm {
+			if g.PerAlgorithm[name] != c {
+				t.Errorf("%s/%s: cost %v, want %v", g.Table.Name, name, g.PerAlgorithm[name], c)
+			}
+		}
+	}
+}
+
+func TestAdviseIsDeterministicAcrossRuns(t *testing.T) {
+	bench := schema.TPCH(1)
+	m := cost.NewHDD(cost.DefaultDisk())
+	first, err := Advise(bench, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		again, err := Advise(bench, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if first[i].Algorithm != again[i].Algorithm || first[i].Cost != again[i].Cost ||
+				!first[i].Layout.Equal(again[i].Layout) {
+				t.Fatalf("trial %d: advice for %s changed across runs", trial, first[i].Table.Name)
+			}
+		}
+	}
+}
+
+func TestAdviseValidatesInput(t *testing.T) {
+	if _, err := Advise(nil, nil); err == nil {
+		t.Error("Advise accepted a nil benchmark")
+	}
+	if _, err := AdviseTable(schema.TableWorkload{}, nil); err == nil {
+		t.Error("AdviseTable accepted a nil table")
+	}
+}
+
+func TestAdviseTableNilModelDefaultsToHDD(t *testing.T) {
+	bench := schema.TPCH(0.01)
+	tw := bench.Workload.ForTable(bench.Table("region"))
+	adv, err := AdviseTable(tw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AdviseTable(tw, cost.NewHDD(cost.DefaultDisk()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Cost != want.Cost || !adv.Layout.Equal(want.Layout) {
+		t.Errorf("nil model advice differs from default HDD advice")
+	}
+}

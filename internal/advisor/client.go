@@ -1,0 +1,97 @@
+package advisor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client talks to a knivesd server. The zero HTTPClient uses
+// http.DefaultClient.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL (e.g.
+// "http://localhost:7978").
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("advisor client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("advisor client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("advisor client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("advisor client: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("advisor client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("advisor client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Advise requests layout advice for a workload.
+func (c *Client) Advise(ctx context.Context, req AdviseRequest) (AdviseResponse, error) {
+	var resp AdviseResponse
+	err := c.do(ctx, http.MethodPost, "/advise", req, &resp)
+	return resp, err
+}
+
+// Observe streams a batch of observed queries for a registered table.
+func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveResponse, error) {
+	var resp ObserveResponse
+	err := c.do(ctx, http.MethodPost, "/observe", req, &resp)
+	return resp, err
+}
+
+// Advice fetches the current tracked advice for one table.
+func (c *Client) Advice(ctx context.Context, table string) (TableAdviceWire, error) {
+	var resp TableAdviceWire
+	err := c.do(ctx, http.MethodGet, "/advice?table="+url.QueryEscape(table), nil, &resp)
+	return resp, err
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var resp Stats
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &resp)
+	return resp, err
+}

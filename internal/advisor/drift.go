@@ -1,0 +1,341 @@
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"knives/internal/algo"
+	"knives/internal/algo/o2p"
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+// ErrStaleSchema reports that an observation referenced attributes outside
+// the table's current schema — typically because the table was re-advised
+// with a different shape after the client resolved its column names. The
+// client's remedy is to re-advise, not to retry.
+var ErrStaleSchema = errors.New("advisor: observed attrs outside current table schema")
+
+// ErrBadObservation reports a malformed observed query (no attributes, or
+// a negative weight) — a client bug no amount of re-advising fixes.
+var ErrBadObservation = errors.New("advisor: malformed observed query")
+
+// Tracker watches the live query stream of one registered table and decides
+// when the advice served for it has gone stale — the paper's Section 6.3
+// drift scenario made operational. It keeps the observed query log and an
+// O2P shadow layout over it: O2P is the portfolio's online algorithm, cheap
+// enough to re-run per observation batch, and it tracks the stream the way
+// an online system would. When the layout the service advised prices the
+// observed workload more than Threshold worse (relatively) than the O2P
+// shadow layout does, the advice has drifted and must be recomputed.
+type Tracker struct {
+	mu sync.Mutex
+
+	table     *schema.Table
+	model     cost.Model
+	threshold float64
+	window    int // max retained log length; <= 0 keeps everything
+
+	log    []schema.TableQuery
+	advice TableAdvice
+
+	observed    int64 // queries observed since registration
+	recomputes  int64 // drift-triggered advice recomputations
+	gen         int64 // bumped by setAdvice; guards recompute installs
+	advObserved int64 // observed count the installed advice was computed at
+	// regFP fingerprints the workload the tracker was registered with, so
+	// re-advising the identical workload can be recognized and preserve
+	// the accumulated observation state instead of resetting it.
+	regFP Fingerprint
+}
+
+// DefaultDriftThreshold is the relative cost divergence that invalidates
+// cached advice: the advised layout pricing the live workload 15% worse
+// than the O2P shadow layout.
+const DefaultDriftThreshold = 0.15
+
+// DefaultDriftWindow is how many observed queries a tracker retains when
+// the config does not say. It must be finite: a daemon under steady
+// /observe traffic with an unbounded log would grow memory without limit
+// and re-price an ever-longer workload on every batch.
+const DefaultDriftWindow = 256
+
+// newTracker seeds a tracker with the workload the advice was computed for.
+func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, threshold float64, window int, fp Fingerprint) *Tracker {
+	if !(threshold > 0) { // negated compare also catches NaN
+		threshold = DefaultDriftThreshold
+	}
+	t := &Tracker{
+		table:     tw.Table,
+		model:     m,
+		threshold: threshold,
+		window:    window,
+		log:       append([]schema.TableQuery(nil), tw.Queries...),
+		advice:    advice,
+		regFP:     fp,
+	}
+	t.trim()
+	return t
+}
+
+// trim drops the oldest log entries beyond the window. Caller holds mu.
+func (t *Tracker) trim() {
+	if t.window > 0 && len(t.log) > t.window {
+		t.log = append([]schema.TableQuery(nil), t.log[len(t.log)-t.window:]...)
+	}
+}
+
+// DriftReport describes the tracker's state after an observation batch.
+type DriftReport struct {
+	Table string `json:"table"`
+	// Ratio is the relative excess cost of the advised layout over the O2P
+	// shadow layout on the observed workload. Negative means the advised
+	// layout still wins.
+	Ratio float64 `json:"ratio"`
+	// Threshold is the ratio beyond which advice is recomputed.
+	Threshold float64 `json:"threshold"`
+	// Drifted reports whether this batch pushed the ratio past the
+	// threshold.
+	Drifted bool `json:"drifted"`
+	// Recomputed reports whether the advice was recomputed (drift implies
+	// recompute unless the recomputation itself failed).
+	Recomputed bool `json:"recomputed"`
+	// Observed is the number of queries observed since registration.
+	Observed int64 `json:"observed"`
+	// Recomputes counts drift-triggered recomputations since registration.
+	Recomputes int64 `json:"recomputes"`
+}
+
+// Observe folds a batch of queries into the log, re-runs the O2P shadow,
+// and recomputes the advice if it drifted past the threshold. On
+// recomputation it returns the fresh advice PAIRED with the log snapshot it
+// was computed from (taken under the same critical section), so the service
+// caches exactly that workload's fingerprint — never a newer advice under
+// an older workload's key.
+//
+// The shadow run and the portfolio recompute execute outside the tracker
+// lock: a drift-triggered search on a big table must not stall concurrent
+// /advice and /observe traffic for that table. Concurrent Observe batches
+// may therefore both recompute; each installs the advice for its own
+// snapshot and the later install wins, which is at worst one redundant
+// search, never a stale pairing.
+//
+// Ingestion is at-least-once: the batch joins the log before the searches
+// run, so a client retrying after a search error re-ingests it. Searches
+// on validated input do not realistically fail (errors require an invalid
+// layout, which validated queries cannot produce), so this trade is taken
+// over the extra locking a staged commit would need.
+func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+	t.mu.Lock()
+	// Validate against the CURRENT table inside the lock: the caller may
+	// have built attr bitmasks against a schema snapshot that a concurrent
+	// re-registration has since replaced (setAdvice swaps t.table).
+	// Out-of-range attrs would price garbage; fail cleanly and let the
+	// client re-advise instead.
+	all := t.table.AllAttrs()
+	for _, q := range queries {
+		if q.Attrs.IsEmpty() {
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: query %s references no attributes", ErrBadObservation, q.ID)
+		}
+		if !all.ContainsAll(q.Attrs) {
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: query %s references %v of table %s (re-advise)",
+				ErrStaleSchema, q.ID, q.Attrs, t.table.Name)
+		}
+		if !(q.Weight >= 0) { // negated compare also rejects NaN
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
+		}
+	}
+	return t.observeLocked(queries)
+}
+
+// ObserveNamed is Observe for queries carrying column NAMES: the names are
+// resolved against the tracker's current table under the same lock that
+// appends them, so a concurrent re-registration can neither rebind a name
+// to a different column index nor slip an out-of-range bitmask through.
+// Unknown names map to ErrStaleSchema — with name-based observation, an
+// unknown column almost always means the schema moved under the client.
+func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+	t.mu.Lock()
+	queries := make([]schema.TableQuery, 0, len(named))
+	for i, oq := range named {
+		if len(oq.Attrs) == 0 {
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: observed query %d references no columns", ErrBadObservation, i+1)
+		}
+		if !(oq.Weight >= 0) { // negated compare also rejects NaN
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: observed query %d has invalid weight %v", ErrBadObservation, i+1, oq.Weight)
+		}
+		attrs, err := resolveAttrs(t.table, oq.Attrs)
+		if err != nil {
+			t.mu.Unlock()
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+				"%w: observed query %d: %v (re-advise)", ErrStaleSchema, i+1, err)
+		}
+		weight := oq.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		queries = append(queries, schema.TableQuery{
+			ID:     fmt.Sprintf("obs%d", i+1),
+			Weight: weight,
+			Attrs:  attrs,
+		})
+	}
+	return t.observeLocked(queries)
+}
+
+// observeLocked appends validated queries and runs the drift check. It is
+// entered with t.mu held and releases it before the searches.
+func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+	t.log = append(t.log, queries...)
+	t.observed += int64(len(queries))
+	t.trim()
+	advised := t.advice
+	gen := t.gen
+	obsAt := t.observed
+	tw := schema.TableWorkload{
+		Table:   t.table,
+		Queries: append([]schema.TableQuery(nil), t.log...),
+	}
+	rep := DriftReport{
+		Table:      t.table.Name,
+		Threshold:  t.threshold,
+		Observed:   t.observed,
+		Recomputes: t.recomputes,
+	}
+	t.mu.Unlock()
+
+	// Nothing new observed (or nothing at all): skip the shadow search —
+	// an empty poll must not burn a process-wide search slot re-pricing a
+	// log that hasn't changed.
+	if len(queries) == 0 || len(tw.Queries) == 0 {
+		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+	}
+
+	// The shadow search draws from the same process-wide budget as every
+	// other kernel entry point, so a burst of /observe traffic cannot
+	// oversubscribe the machine.
+	algo.AcquireSearchSlot()
+	shadow, err := o2p.New().Partition(tw, t.model)
+	algo.ReleaseSearchSlot()
+	if err != nil {
+		return rep, TableAdvice{}, schema.TableWorkload{}, err
+	}
+	advisedCost := cost.WorkloadCost(t.model, tw, advised.Layout.Parts)
+	switch {
+	case shadow.Cost > 0:
+		rep.Ratio = (advisedCost - shadow.Cost) / shadow.Cost
+	case advisedCost > 0:
+		// A zero-cost shadow layout against a positive-cost advised layout
+		// is infinitely drifted, not "ratio unknown, stay put".
+		rep.Ratio = math.Inf(1)
+	}
+	if rep.Ratio <= t.threshold {
+		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+	}
+
+	rep.Drifted = true
+	fresh, err := AdviseTable(tw, t.model)
+	if err != nil {
+		return rep, TableAdvice{}, schema.TableWorkload{}, err
+	}
+	t.mu.Lock()
+	// Install only if (a) no re-registration (setAdvice) landed while the
+	// lock was released — it may have swapped t.table for a different
+	// schema, and pairing advice computed for the old geometry with the
+	// new table would index out of range when priced; the generation
+	// counter catches this even when the re-registration reuses the same
+	// *schema.Table pointer — and (b) no sibling Observe already installed
+	// advice computed from a LONGER log: within a generation the observed
+	// counter is monotone, so comparing snapshot positions makes the
+	// newest-log advice win regardless of which portfolio search finishes
+	// last. The (fresh, snapshot) pair returned below stays valid either
+	// way: the service caches it under the snapshot's own fingerprint.
+	installed := t.gen == gen && obsAt >= t.advObserved
+	if installed {
+		t.advice = fresh
+		t.advObserved = obsAt
+		// The tracker now effectively tracks the observed snapshot: re-key
+		// regFP so a client re-advising exactly this workload (the
+		// fingerprint GET /advice reports) is recognized as identical and
+		// preserves the observation state instead of resetting it.
+		t.regFP = FingerprintOf(tw)
+		t.recomputes++
+		rep.Recomputed = true
+	}
+	rep.Recomputes = t.recomputes
+	t.mu.Unlock()
+	if !installed {
+		// The search ran but a newer registration or sibling install
+		// superseded its result; report drift without claiming a
+		// recompute, and hand nothing back to cache.
+		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+	}
+	return rep, fresh, tw, nil
+}
+
+// Advice returns the tracker's current advice.
+func (t *Tracker) Advice() TableAdvice {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.advice
+}
+
+// State returns the current advice together with a snapshot of the observed
+// workload it is tracked against, consistently under one lock.
+func (t *Tracker) State() (TableAdvice, schema.TableWorkload) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.advice, schema.TableWorkload{
+		Table:   t.table,
+		Queries: append([]schema.TableQuery(nil), t.log...),
+	}
+}
+
+// setAdvice replaces the tracked advice and its reference workload; used
+// when a fresh /advise request re-registers the table. The table pointer is
+// replaced too: a re-registration may carry the same table name with a
+// different schema or row count, and pricing the new workload against the
+// old *schema.Table would at best drift against the wrong geometry and at
+// worst index out of range.
+func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.table = tw.Table
+	t.log = append([]schema.TableQuery(nil), tw.Queries...)
+	t.advice = advice
+	t.gen++
+	// The observed/recompute counters read "since registration", so a new
+	// registration starts them over (and advObserved with them).
+	t.observed = 0
+	t.recomputes = 0
+	t.advObserved = 0
+	t.regFP = fp
+	t.trim()
+}
+
+// matches reports whether fp identifies a workload the tracker already
+// covers: the one it was registered with, or the currently tracked log
+// (whose fingerprint GET /advice reports — these differ when the
+// registration workload was wider than the drift window, or after
+// observations accumulated). Re-advising either must preserve the
+// observation state.
+func (t *Tracker) matches(fp Fingerprint) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if fp == t.regFP {
+		return true
+	}
+	return fp == FingerprintOf(schema.TableWorkload{Table: t.table, Queries: t.log})
+}

@@ -1,0 +1,63 @@
+package advisor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"knives/internal/schema"
+)
+
+// Fingerprint canonically identifies one table workload: the table's schema
+// (name, row count, and every column's name, kind, and byte width) plus the
+// normalized query stream (each query reduced to its weight and attribute
+// bitmask — IDs are cosmetic and never affect cost).
+//
+// Query ORDER is part of the fingerprint. The offline algorithms are
+// order-insensitive (the metamorphic tests pin this), but O2P is an online
+// algorithm and intentionally order-sensitive: the same queries arriving in
+// a different order can leave it a different layout. Since O2P is a
+// portfolio member, only workloads with the same arrival order are
+// guaranteed byte-identical advice, so only those may share a cache entry.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// FingerprintOf computes the fingerprint of a table workload.
+func FingerprintOf(tw schema.TableWorkload) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	t := tw.Table
+	writeStr(t.Name)
+	writeInt(uint64(t.Rows))
+	writeInt(uint64(len(t.Columns)))
+	for _, c := range t.Columns {
+		writeStr(c.Name)
+		writeInt(uint64(c.Kind))
+		writeInt(uint64(c.Size))
+	}
+	writeInt(uint64(len(tw.Queries)))
+	for _, q := range tw.Queries {
+		// Zero weights price as 1 everywhere (schema.ForTable normalizes
+		// them), so normalize here too: equal-cost workloads share advice.
+		w := q.Weight
+		if w == 0 {
+			w = 1
+		}
+		writeInt(math.Float64bits(w))
+		writeInt(uint64(q.Attrs))
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

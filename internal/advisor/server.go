@@ -1,0 +1,179 @@
+package advisor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Server exposes a Service over HTTP:
+//
+//	POST /advise   workload in, per-table advice out (fingerprint cache)
+//	POST /observe  stream queries for a registered table (drift tracking)
+//	GET  /advice?table=NAME   current tracked advice for one table
+//	GET  /tables   registered table names
+//	GET  /stats    service counters
+//	GET  /healthz  liveness
+//
+// The handler is safe for concurrent use; every request body is limited to
+// maxBodyBytes.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+const maxBodyBytes = 8 << 20
+
+// NewServer wraps a Service in an http.Handler.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /observe", s.handleObserve)
+	s.mux.HandleFunc("GET /advice", s.handleAdvice)
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders a 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders an error body with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeBody parses a bounded JSON request body: exactly one document,
+// unknown fields and trailing data rejected — a concatenated second batch
+// silently dropped would read as ingested.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("advisor: bad request body: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("advisor: bad request body: trailing data after JSON document")
+	}
+	return nil
+}
+
+// writeDecodeError classifies a decodeBody failure: an over-limit body is
+// 413 (splitting the batch can succeed), anything else is 400 (retrying
+// the same payload cannot).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	b, err := req.Materialize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fan the tables out over the parallel kernel; the response keeps the
+	// request's table order.
+	tws := b.TableWorkloads()
+	wires := make([]TableAdviceWire, len(tws))
+	err = fanOut(len(tws), func(i int) error {
+		advice, fp, cached, err := s.svc.adviseTable(tws[i])
+		if err != nil {
+			return err
+		}
+		wires[i] = toWire(advice, fp, cached)
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, AdviseResponse{Advice: wires})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	// Names resolve inside the tracker lock, against the table's current
+	// schema — resolving here against a snapshot would race a concurrent
+	// re-registration and silently rebind names to different columns. All
+	// per-query validation (weights, empty attrs) lives there too, so the
+	// rules have one source of truth.
+	rep, err := s.svc.ObserveNamed(req.Table, req.Queries)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBadObservation):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrNotRegistered):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrStaleSchema):
+			// The client's to fix (re-advise), not a server fault.
+			writeError(w, http.StatusConflict, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	current, fp, err := s.svc.CurrentState(req.Table)
+	if err != nil {
+		// The tracker can be evicted between Observe and this read.
+		if errors.Is(err, ErrNotRegistered) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, ObserveResponse{Drift: rep, Advice: toWire(current, fp, false)})
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("advisor: missing table query parameter"))
+		return
+	}
+	advice, fp, err := s.svc.CurrentState(table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, toWire(advice, fp, false))
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string][]string{"tables": s.svc.TrackedTables()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.svc.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,432 @@
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"knives/internal/cost"
+	"knives/internal/schema"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Model prices layouts; nil defaults to the paper's HDD model on the
+	// default disk.
+	Model cost.Model
+	// DriftThreshold is the relative cost divergence past which cached
+	// advice is invalidated and recomputed; <= 0 uses
+	// DefaultDriftThreshold.
+	DriftThreshold float64
+	// DriftWindow bounds how many observed queries each table's tracker
+	// retains; 0 uses DefaultDriftWindow, negative keeps the whole log
+	// (only sensible for bounded offline replays — the daemon should keep
+	// a finite window).
+	DriftWindow int
+	// CacheCapacity bounds the fingerprint cache; when full, the oldest
+	// entries are evicted first. 0 uses DefaultCacheCapacity, negative
+	// disables eviction.
+	CacheCapacity int
+	// TrackerCapacity bounds how many per-table drift trackers the service
+	// keeps; when full, the longest-registered tracker is evicted first
+	// (its table must be re-advised to be tracked again). 0 uses
+	// DefaultTrackerCapacity, negative disables eviction.
+	TrackerCapacity int
+}
+
+// DefaultCacheCapacity bounds the advice cache in a long-running daemon:
+// every distinct workload fingerprint (and every drift recompute) inserts
+// an entry, so without a cap memory grows with the lifetime of the
+// process.
+const DefaultCacheCapacity = 4096
+
+// DefaultTrackerCapacity bounds the drift trackers for the same reason the
+// advice cache is bounded; each tracker holds a schema, up to a drift
+// window of logged queries, and the current advice.
+const DefaultTrackerCapacity = 1024
+
+// Service is a long-running, concurrent partitioning advisor: it answers
+// workload questions from a fingerprint-keyed advice cache, computes misses
+// by fanning the portfolio out over the parallel search kernel, and watches
+// per-table query streams for drift. All methods are safe for concurrent
+// use.
+type Service struct {
+	cfg   Config
+	model cost.Model
+
+	mu           sync.Mutex
+	entries      map[Fingerprint]*entry
+	order        []Fingerprint // insertion order, for FIFO eviction
+	trackers     map[string]*Tracker
+	trackerOrder []string // registration order, for FIFO eviction
+
+	requests   atomic.Int64 // table advice requests answered
+	hits       atomic.Int64 // answered from cache without searching
+	searches   atomic.Int64 // portfolio searches actually run
+	recomputes atomic.Int64 // drift-triggered recomputations
+}
+
+// entry computes one workload's advice at most once. The service mutex only
+// guards the map; the expensive portfolio search runs under the entry's
+// once, so different workloads compute concurrently and identical
+// concurrent requests collapse into one search.
+type entry struct {
+	once   sync.Once
+	advice TableAdvice
+	err    error
+}
+
+// NewService returns an empty advisor service.
+func NewService(cfg Config) *Service {
+	m := cfg.Model
+	if m == nil {
+		m = cost.NewHDD(cost.DefaultDisk())
+	}
+	if !(cfg.DriftThreshold > 0) { // negated compare also catches NaN
+		cfg.DriftThreshold = DefaultDriftThreshold
+	}
+	if cfg.DriftWindow == 0 {
+		cfg.DriftWindow = DefaultDriftWindow
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	if cfg.TrackerCapacity == 0 {
+		cfg.TrackerCapacity = DefaultTrackerCapacity
+	}
+	return &Service{
+		cfg:      cfg,
+		model:    m,
+		entries:  make(map[Fingerprint]*entry),
+		trackers: make(map[string]*Tracker),
+	}
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	// Searches counts portfolio searches whose result was served, seeded,
+	// or installed. O2P shadow runs and the rare drift recompute whose
+	// install lost a race are kernel work this counter does not include.
+	Searches   int64 `json:"searches"`
+	Recomputes int64 `json:"recomputes"`
+	Cached     int   `json:"cached_entries"`
+	Tracked    int   `json:"tracked_tables"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	cached, tracked := len(s.entries), len(s.trackers)
+	s.mu.Unlock()
+	// Load hits before requests: a request increments requests first, so
+	// this order can only overcount misses, never report a negative count.
+	hits := s.hits.Load()
+	req := s.requests.Load()
+	return Stats{
+		Requests:   req,
+		Hits:       hits,
+		Misses:     req - hits,
+		Searches:   s.searches.Load(),
+		Recomputes: s.recomputes.Load(),
+		Cached:     cached,
+		Tracked:    tracked,
+	}
+}
+
+// lookup returns the cache entry for a fingerprint, creating it if absent.
+// Hit/miss attribution is NOT decided here — it belongs to whoever wins
+// the entry's once and actually runs the search.
+func (s *Service) lookup(fp Fingerprint) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fp]
+	if !ok {
+		e = &entry{}
+		s.insertLocked(fp, e)
+	}
+	return e
+}
+
+// insertLocked stores an entry and evicts the oldest fingerprints past the
+// capacity. Callers hold s.mu. Evicted entries that a request is currently
+// resolving still complete through their retained *entry pointer; they are
+// simply no longer findable.
+//
+// Invariant: s.order lists exactly the map's fingerprints, oldest first,
+// each once. Re-inserting a live fingerprint (a drift recompute refreshing
+// a snapshot a client advised earlier) overwrites the map value in place
+// and keeps the original order slot; removals always pop or splice the
+// order slice alongside the map delete (see dropLocked). Without this, a
+// duplicated fingerprint in order would make eviction delete a FRESH entry
+// when it pops the stale occurrence.
+func (s *Service) insertLocked(fp Fingerprint, e *entry) {
+	if _, live := s.entries[fp]; live {
+		s.entries[fp] = e
+		return
+	}
+	s.entries[fp] = e
+	s.order = evictOldest(s.entries, append(s.order, fp), s.cfg.CacheCapacity, fp)
+}
+
+// evictOldest trims a FIFO-bounded map back under capacity by deleting the
+// oldest keys, never the just-inserted one, and returns the updated order
+// slice. The invariant both bounded maps in this file share lives here
+// exactly once: order lists exactly the map's live keys, oldest first,
+// each once (see insertLocked for why a duplicated key would make eviction
+// delete a fresh entry). capacity <= 0 disables eviction.
+func evictOldest[K comparable, V any](m map[K]V, order []K, capacity int, justInserted K) []K {
+	if capacity <= 0 {
+		return order
+	}
+	for len(m) > capacity && len(order) > 1 {
+		oldest := order[0]
+		if oldest == justInserted {
+			break
+		}
+		order = order[1:]
+		delete(m, oldest)
+	}
+	return order
+}
+
+// dropLocked removes a fingerprint from the map and its order slot,
+// preserving the insertLocked invariant. Callers hold s.mu.
+func (s *Service) dropLocked(fp Fingerprint) {
+	delete(s.entries, fp)
+	for i, f := range s.order {
+		if f == fp {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// AdviseTable answers one table workload, from cache when the fingerprint
+// has been answered before. The second return reports whether the answer
+// came from cache (no search kernel invocation by this call).
+func (s *Service) AdviseTable(tw schema.TableWorkload) (TableAdvice, bool, error) {
+	advice, _, hit, err := s.adviseTable(tw)
+	return advice, hit, err
+}
+
+// adviseTable is AdviseTable plus the fingerprint the answer is cached
+// under, so the HTTP layer can render it without hashing the workload a
+// second time.
+func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint, bool, error) {
+	if tw.Table == nil {
+		return TableAdvice{}, Fingerprint{}, false, fmt.Errorf("advisor: nil table")
+	}
+	for _, q := range tw.Queries {
+		if !(q.Weight >= 0) { // negated compare also rejects NaN
+			return TableAdvice{}, Fingerprint{}, false, fmt.Errorf(
+				"advisor: query %s has invalid weight %v (it would corrupt the cost comparison)", q.ID, q.Weight)
+		}
+	}
+	// Zero weights price as 1 (the ForTable convention) and fingerprint as
+	// 1; searching with the raw workload would let two differently-priced
+	// workloads share a cache entry.
+	tw = normalizeWeights(tw)
+	s.requests.Add(1)
+	fp := FingerprintOf(tw)
+	e := s.lookup(fp)
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		s.searches.Add(1)
+		e.advice, e.err = AdviseTable(tw, s.model)
+	})
+	// Attribution is by who ran the search, not who created the entry: a
+	// concurrent requester can find the entry yet win the once race and do
+	// the work, while the creator blocks and gets the cached result. "Hit"
+	// must always mean "did not run the kernel".
+	hit := !ran
+	if e.err != nil {
+		// Failed computations must not poison the cache key forever.
+		s.mu.Lock()
+		if s.entries[fp] == e {
+			s.dropLocked(fp)
+		}
+		s.mu.Unlock()
+		return TableAdvice{}, fp, false, e.err
+	}
+	if hit {
+		s.hits.Add(1)
+	}
+	// Register unconditionally: the helper preserves a live tracker's
+	// observation state when the same workload is re-advised, restores
+	// evicted trackers (the documented ErrNotRegistered remedy, which must
+	// work even while the advice cache still answers), and resets on a
+	// genuinely different registration.
+	s.registerTracker(tw, e.advice, fp)
+	return e.advice, fp, hit, nil
+}
+
+// registerTracker creates or refreshes the drift tracker for a table after
+// advice was answered. Trackers are keyed by table NAME and the last
+// registration wins: a client advising a different workload under an
+// existing name takes the name over, exactly like re-creating a table in a
+// database. Re-advising the workload the tracker is already registered
+// with (matched by fingerprint, NOT by cache residency — the advice cache
+// may have evicted the entry independently) is a no-op that preserves the
+// accumulated observation log and any in-flight recompute. Clients sharing
+// a knivesd must own their table names; the tracker's in-lock validation
+// turns the racy window into a clean ErrStaleSchema/ErrBadObservation,
+// never garbage pricing.
+//
+// The tracker map mirrors the advice cache's FIFO bound: each tracker
+// holds a schema, a query log, and advice, so an unbounded map would grow
+// with every distinct table name for the life of the daemon. Like the
+// cache's order slice, trackerOrder lists exactly the live tracker names,
+// oldest registration first, each once.
+func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.trackers[tw.Table.Name]
+	if !ok {
+		s.trackers[tw.Table.Name] = newTracker(tw, advice, s.model, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp)
+		s.trackerOrder = evictOldest(s.trackers,
+			append(s.trackerOrder, tw.Table.Name), s.cfg.TrackerCapacity, tw.Table.Name)
+		return
+	}
+	// The fingerprint check and reset happen under s.mu so they always
+	// apply to the LIVE tracker: with the lock released in between, an
+	// eviction + re-registration could swap the map entry and this reset
+	// would mutate an orphan while the live tracker kept another
+	// workload's state. Tracker methods take only t.mu and never s.mu, so
+	// holding s.mu across them cannot deadlock.
+	if t.matches(fp) {
+		return // an already-covered workload re-advised: keep the state
+	}
+	t.setAdvice(tw, advice, fp)
+}
+
+// AdviseBenchmark answers every table of a benchmark, fanning tables out
+// concurrently. Advice is sorted by table name; hits[i] corresponds to
+// advice[i].
+func (s *Service) AdviseBenchmark(b *schema.Benchmark) ([]TableAdvice, []bool, error) {
+	if b == nil {
+		return nil, nil, fmt.Errorf("advisor: nil benchmark")
+	}
+	tws := b.TableWorkloads()
+	advice := make([]TableAdvice, len(tws))
+	hits := make([]bool, len(tws))
+	err := fanOut(len(tws), func(i int) error {
+		var err error
+		advice[i], hits[i], err = s.AdviseTable(tws[i])
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sort advice and hit flags together by table name.
+	idx := make([]int, len(advice))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return advice[idx[i]].Table.Name < advice[idx[j]].Table.Name
+	})
+	sortedAdvice := make([]TableAdvice, len(advice))
+	sortedHits := make([]bool, len(hits))
+	for i, k := range idx {
+		sortedAdvice[i] = advice[k]
+		sortedHits[i] = hits[k]
+	}
+	return sortedAdvice, sortedHits, nil
+}
+
+// Observe streams a batch of queries for a registered table into its drift
+// tracker. If the advised layout has drifted past the threshold, the advice
+// is recomputed from the observed log, the tracker updated, and the fresh
+// advice cached under the observed workload's fingerprint.
+func (s *Service) Observe(table string, queries []schema.TableQuery) (DriftReport, error) {
+	t, err := s.tracker(table)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	rep, fresh, snapshot, err := t.Observe(normalizeQueryWeights(queries))
+	return s.afterObserve(rep, fresh, snapshot, err)
+}
+
+// ObserveNamed is Observe for queries carrying column names; resolution
+// happens inside the tracker lock, against the table's current schema.
+func (s *Service) ObserveNamed(table string, named []ObservedQry) (DriftReport, error) {
+	t, err := s.tracker(table)
+	if err != nil {
+		return DriftReport{}, err
+	}
+	rep, fresh, snapshot, err := t.ObserveNamed(named)
+	return s.afterObserve(rep, fresh, snapshot, err)
+}
+
+// ErrNotRegistered reports an operation on a table no drift tracker covers
+// — never advised, or evicted past TrackerCapacity. The remedy is to
+// advise the table (again).
+var ErrNotRegistered = errors.New("advisor: table is not registered")
+
+// tracker looks up the drift tracker of a registered table.
+func (s *Service) tracker(table string) (*Tracker, error) {
+	s.mu.Lock()
+	t, ok := s.trackers[table]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (advise on it first)", ErrNotRegistered, table)
+	}
+	return t, nil
+}
+
+// afterObserve books a drift recompute into the stats and the cache.
+func (s *Service) afterObserve(rep DriftReport, fresh TableAdvice, snapshot schema.TableWorkload, err error) (DriftReport, error) {
+	if err != nil {
+		return rep, err
+	}
+	if rep.Recomputed {
+		s.recomputes.Add(1)
+		s.searches.Add(1) // the tracker ran a portfolio search
+		// fresh was computed for exactly this snapshot, so the pairing is
+		// safe to cache even if newer batches have since moved the tracker.
+		e := &entry{advice: fresh}
+		e.once.Do(func() {}) // mark resolved
+		s.mu.Lock()
+		s.insertLocked(FingerprintOf(snapshot), e)
+		s.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// CurrentAdvice returns the tracked advice for a registered table.
+func (s *Service) CurrentAdvice(table string) (TableAdvice, error) {
+	t, err := s.tracker(table)
+	if err != nil {
+		return TableAdvice{}, err
+	}
+	return t.Advice(), nil
+}
+
+// CurrentState returns the tracked advice for a registered table together
+// with the fingerprint of the workload it currently covers.
+func (s *Service) CurrentState(table string) (TableAdvice, Fingerprint, error) {
+	t, err := s.tracker(table)
+	if err != nil {
+		return TableAdvice{}, Fingerprint{}, err
+	}
+	advice, tw := t.State()
+	return advice, FingerprintOf(tw), nil
+}
+
+// TrackedTables returns the names of tables with drift trackers, sorted.
+func (s *Service) TrackedTables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.trackers))
+	for n := range s.trackers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,209 @@
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+// Wire types: the JSON workload format knivesd ingests. Tables and queries
+// mirror schema.Table / schema.Query with columns referenced by name, plus
+// a benchmark shorthand so clients can ask about TPC-H/SSB without
+// restating the paper's schemas.
+
+// ColumnSpec describes one column of a table.
+type ColumnSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"` // int, decimal, date, char, varchar
+	Size int    `json:"size"`
+}
+
+// TableSpec describes one table.
+type TableSpec struct {
+	Name    string       `json:"name"`
+	Rows    int64        `json:"rows"`
+	Columns []ColumnSpec `json:"columns"`
+}
+
+// QuerySpec is one workload query: per-table referenced column names.
+type QuerySpec struct {
+	ID     string              `json:"id,omitempty"`
+	Weight float64             `json:"weight,omitempty"`
+	Tables map[string][]string `json:"tables"`
+}
+
+// AdviseRequest is the body of POST /advise.
+type AdviseRequest struct {
+	// Benchmark optionally names a built-in benchmark ("tpch" or "ssb") at
+	// ScaleFactor (default 10); Tables/Queries must then be empty.
+	Benchmark   string  `json:"benchmark,omitempty"`
+	ScaleFactor float64 `json:"sf,omitempty"`
+
+	Tables  []TableSpec `json:"tables,omitempty"`
+	Queries []QuerySpec `json:"queries,omitempty"`
+}
+
+// TableAdviceWire is one table's advice as served over HTTP.
+type TableAdviceWire struct {
+	Table                 string             `json:"table"`
+	Algorithm             string             `json:"algorithm"`
+	Layout                [][]string         `json:"layout"`
+	Cost                  float64            `json:"cost"`
+	RowCost               float64            `json:"row_cost"`
+	ColumnCost            float64            `json:"column_cost"`
+	ImprovementOverRow    float64            `json:"improvement_over_row"`
+	ImprovementOverColumn float64            `json:"improvement_over_column"`
+	PerAlgorithm          map[string]float64 `json:"per_algorithm"`
+	Fingerprint           string             `json:"fingerprint"`
+	Cached                bool               `json:"cached"`
+}
+
+// AdviseResponse is the body answering POST /advise.
+type AdviseResponse struct {
+	Advice []TableAdviceWire `json:"advice"`
+}
+
+// ObserveRequest is the body of POST /observe: a batch of queries seen on
+// one registered table.
+type ObserveRequest struct {
+	Table   string        `json:"table"`
+	Queries []ObservedQry `json:"queries"`
+}
+
+// ObservedQry is one observed query: referenced column names and weight.
+type ObservedQry struct {
+	Attrs  []string `json:"attrs"`
+	Weight float64  `json:"weight,omitempty"`
+}
+
+// ObserveResponse reports the drift state after an observation batch.
+type ObserveResponse struct {
+	Drift  DriftReport     `json:"drift"`
+	Advice TableAdviceWire `json:"advice"`
+}
+
+// parseKind maps a wire kind to a schema.ColumnKind; empty defaults to int
+// (the kind only matters to the storage engine, not the cost model).
+func parseKind(k string) (schema.ColumnKind, error) {
+	switch strings.ToLower(k) {
+	case "", "int":
+		return schema.KindInt, nil
+	case "decimal":
+		return schema.KindDecimal, nil
+	case "date":
+		return schema.KindDate, nil
+	case "char":
+		return schema.KindChar, nil
+	case "varchar":
+		return schema.KindVarchar, nil
+	default:
+		return 0, fmt.Errorf("advisor: unknown column kind %q", k)
+	}
+}
+
+// Materialize turns the request into a validated schema.Benchmark.
+func (r AdviseRequest) Materialize() (*schema.Benchmark, error) {
+	if r.Benchmark != "" {
+		if len(r.Tables) > 0 || len(r.Queries) > 0 {
+			return nil, fmt.Errorf("advisor: benchmark shorthand excludes explicit tables/queries")
+		}
+		b, err := schema.BenchmarkByName(r.Benchmark, r.ScaleFactor)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: %w", err)
+		}
+		return b, nil
+	}
+	if len(r.Tables) == 0 {
+		return nil, fmt.Errorf("advisor: request has no tables")
+	}
+	if r.ScaleFactor != 0 {
+		// sf only scales the built-in benchmarks; silently ignoring it on
+		// explicit tables would advise a different workload than the
+		// client thinks they described.
+		return nil, fmt.Errorf("advisor: sf applies only to the benchmark shorthand, not explicit tables")
+	}
+	b := &schema.Benchmark{Name: "custom"}
+	for _, ts := range r.Tables {
+		cols := make([]schema.Column, len(ts.Columns))
+		for i, cs := range ts.Columns {
+			kind, err := parseKind(cs.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("%w (table %s column %s)", err, ts.Name, cs.Name)
+			}
+			cols[i] = schema.Column{Name: cs.Name, Kind: kind, Size: cs.Size}
+		}
+		t, err := schema.NewTable(ts.Name, ts.Rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		if b.Table(ts.Name) != nil {
+			return nil, fmt.Errorf("advisor: duplicate table %q", ts.Name)
+		}
+		b.Tables = append(b.Tables, t)
+	}
+	for i, qs := range r.Queries {
+		id := qs.ID
+		if id == "" {
+			id = fmt.Sprintf("q%d", i+1)
+		}
+		if !(qs.Weight >= 0) { // negated compare also rejects NaN
+			return nil, fmt.Errorf("advisor: query %s has invalid weight %v", id, qs.Weight)
+		}
+		q := schema.Query{ID: id, Weight: qs.Weight, Refs: make(map[string]attrset.Set, len(qs.Tables))}
+		for tname, colNames := range qs.Tables {
+			t := b.Table(tname)
+			if t == nil {
+				return nil, fmt.Errorf("advisor: query %s references unknown table %q", id, tname)
+			}
+			attrs, err := resolveAttrs(t, colNames)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: query %s: %w", id, err)
+			}
+			q.Refs[tname] = attrs
+		}
+		b.Workload.Queries = append(b.Workload.Queries, q)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// resolveAttrs maps column names to an attribute set.
+func resolveAttrs(t *schema.Table, names []string) (attrset.Set, error) {
+	var s attrset.Set
+	if len(names) == 0 {
+		return 0, fmt.Errorf("references no columns of %s", t.Name)
+	}
+	for _, n := range names {
+		i := t.AttrIndex(n)
+		if i < 0 {
+			return 0, fmt.Errorf("table %s has no column %q", t.Name, n)
+		}
+		s = s.Add(i)
+	}
+	return s, nil
+}
+
+// toWire renders advice for the wire.
+func toWire(a TableAdvice, fp Fingerprint, cached bool) TableAdviceWire {
+	layout := make([][]string, 0, a.Layout.NumParts())
+	for _, part := range a.Layout.Canonical().Parts {
+		layout = append(layout, a.Table.AttrNames(part))
+	}
+	return TableAdviceWire{
+		Table:                 a.Table.Name,
+		Algorithm:             a.Algorithm,
+		Layout:                layout,
+		Cost:                  a.Cost,
+		RowCost:               a.RowCost,
+		ColumnCost:            a.ColumnCost,
+		ImprovementOverRow:    a.ImprovementOverRow(),
+		ImprovementOverColumn: a.ImprovementOverColumn(),
+		PerAlgorithm:          a.PerAlgorithm,
+		Fingerprint:           fp.String(),
+		Cached:                cached,
+	}
+}

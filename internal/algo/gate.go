@@ -1,0 +1,21 @@
+package algo
+
+import "runtime"
+
+// SearchGate bounds how many partitioning searches run at once across the
+// whole process, however many experiment suites, advisor services, and
+// benchmarks overlap. Both the experiments fan-out (Prewarm x runAll) and
+// the advisor's portfolio fan-out draw from this one budget, so stacked
+// parallelism cannot admit dozens of concurrent searches: BruteForce's
+// walker pool draws from its own GOMAXPROCS-1 budget shared across searches
+// (bruteforce/parallel.go), which keeps worst-case runnable CPU-bound
+// goroutines bounded by ~2x the core count rather than growing
+// quadratically.
+var searchGate = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// AcquireSearchSlot blocks until a process-wide search slot is free. Every
+// Acquire must be paired with exactly one ReleaseSearchSlot.
+func AcquireSearchSlot() { searchGate <- struct{}{} }
+
+// ReleaseSearchSlot returns a slot taken by AcquireSearchSlot.
+func ReleaseSearchSlot() { <-searchGate }

@@ -1,0 +1,163 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"knives/internal/cost"
+	"knives/internal/schema"
+	"knives/internal/workgen"
+)
+
+// randomTable builds a table with a random number of randomly sized columns.
+func randomTable(t *testing.T, rng *rand.Rand, maxAttrs int) *schema.Table {
+	t.Helper()
+	n := 1 + rng.Intn(maxAttrs)
+	cols := make([]schema.Column, n)
+	kinds := []schema.ColumnKind{schema.KindInt, schema.KindDecimal, schema.KindDate, schema.KindChar, schema.KindVarchar}
+	for i := range cols {
+		cols[i] = schema.Column{
+			Name: fmt.Sprintf("c%d", i),
+			Kind: kinds[rng.Intn(len(kinds))],
+			Size: 1 + rng.Intn(200),
+		}
+	}
+	tab, err := schema.NewTable(fmt.Sprintf("t%d", rng.Int63()), int64(1+rng.Intn(1_000_000)), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// randomWorkload draws a workload with a random access pattern shape.
+func randomWorkload(t *testing.T, rng *rand.Rand, tab *schema.Table) schema.TableWorkload {
+	t.Helper()
+	tw, err := workgen.Generate(tab, workgen.Config{
+		Queries:       1 + rng.Intn(12),
+		Fragmentation: rng.Float64(),
+		MeanAttrs:     1 + rng.Intn(tab.NumAttrs()),
+		Seed:          rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tw
+}
+
+// Property: on any workload, every algorithm returns a disjoint, complete
+// cover of the table's attributes, and the cost it reports prices that
+// layout under the model it was given.
+//
+// The cost check re-prices the canonicalized layout, whose partition order
+// may differ from the order the search used internally; since float
+// addition is order-sensitive in the last ulp, the comparison uses a tight
+// relative tolerance rather than bit equality (the bit-exact claims of the
+// search kernel are pinned by the equivalence tests in internal/algo).
+func TestPropertyAlgorithmsProduceValidCovers(t *testing.T) {
+	const trials = 40
+	rng := rand.New(rand.NewSource(2013))
+	models := []cost.Model{cost.NewHDD(cost.DefaultDisk()), cost.NewMM()}
+	for trial := 0; trial < trials; trial++ {
+		// BruteForce enumerates Bell(n) candidates: cap its tables.
+		maxAttrs := 12
+		tab := randomTable(t, rng, maxAttrs)
+		tw := randomWorkload(t, rng, tab)
+		m := models[trial%len(models)]
+		for _, a := range All() {
+			if a.Name() == "BruteForce" && tab.NumAttrs() > 8 {
+				continue
+			}
+			res, err := a.Partition(tw, m)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, a.Name(), err)
+			}
+			if err := res.Partitioning.Validate(); err != nil {
+				t.Fatalf("trial %d: %s returned an invalid cover: %v", trial, a.Name(), err)
+			}
+			if res.Partitioning.Table != tab {
+				t.Fatalf("trial %d: %s partitioned the wrong table", trial, a.Name())
+			}
+			repriced := cost.WorkloadCost(m, tw, res.Partitioning.Parts)
+			if !closeEnough(res.Cost, repriced) {
+				t.Fatalf("trial %d: %s reported cost %v, layout prices at %v",
+					trial, a.Name(), res.Cost, repriced)
+			}
+			if res.Stats.Candidates <= 0 {
+				t.Fatalf("trial %d: %s evaluated %d candidates", trial, a.Name(), res.Stats.Candidates)
+			}
+		}
+	}
+}
+
+// closeEnough compares costs up to float summation-order jitter.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// Property: an algorithm's result does not depend on what ran before it on
+// the same instance — repeated Partition calls agree (determinism, required
+// by the algo.Algorithm contract and relied on by the advisor cache).
+func TestPropertyAlgorithmsAreDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := cost.NewHDD(cost.DefaultDisk())
+	for trial := 0; trial < 10; trial++ {
+		tab := randomTable(t, rng, 10)
+		tw := randomWorkload(t, rng, tab)
+		for _, a := range All() {
+			if a.Name() == "BruteForce" && tab.NumAttrs() > 8 {
+				continue
+			}
+			r1, err := a.Partition(tw, m)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			r2, err := a.Partition(tw, m)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			if r1.Cost != r2.Cost || !r1.Partitioning.Equal(r2.Partitioning) ||
+				r1.Stats.Candidates != r2.Stats.Candidates {
+				t.Fatalf("trial %d: %s is nondeterministic: (%v, %s, %d) vs (%v, %s, %d)",
+					trial, a.Name(), r1.Cost, r1.Partitioning, r1.Stats.Candidates,
+					r2.Cost, r2.Partitioning, r2.Stats.Candidates)
+			}
+		}
+	}
+}
+
+// Property: no heuristic beats BruteForce — its cost is the global optimum
+// of the candidate space, so a cheaper heuristic layout would mean a broken
+// cost evaluation somewhere.
+func TestPropertyBruteForceIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := cost.NewHDD(cost.DefaultDisk())
+	bf, err := ByName("BruteForce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		tab := randomTable(t, rng, 7)
+		tw := randomWorkload(t, rng, tab)
+		opt, err := bf.Partition(tw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range Heuristics() {
+			res, err := a.Partition(tw, m)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			if res.Cost < opt.Cost && !closeEnough(res.Cost, opt.Cost) {
+				t.Errorf("trial %d: %s cost %v beats BruteForce optimum %v",
+					trial, a.Name(), res.Cost, opt.Cost)
+			}
+		}
+	}
+}

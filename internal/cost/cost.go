@@ -11,6 +11,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"knives/internal/attrset"
 	"knives/internal/schema"
@@ -116,6 +117,25 @@ type HDD struct {
 
 // NewHDD returns an HDD model over the given disk.
 func NewHDD(d Disk) *HDD { return &HDD{Disk: d} }
+
+// ModelByName returns the named cost model ("hdd" or "mm",
+// case-insensitive) — the one mapping every surface that accepts a model
+// name (knives CLI, knivesd flags) resolves through. The disk only applies
+// to the HDD model and is validated there, so a degenerate buffer or block
+// size fails loudly instead of silently pricing garbage.
+func ModelByName(name string, d Disk) (Model, error) {
+	switch strings.ToLower(name) {
+	case "hdd":
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		return NewHDD(d), nil
+	case "mm":
+		return NewMM(), nil
+	default:
+		return nil, fmt.Errorf("cost: unknown cost model %q (hdd or mm)", name)
+	}
+}
 
 // Name implements Model.
 func (*HDD) Name() string { return "HDD" }

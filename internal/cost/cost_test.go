@@ -300,3 +300,34 @@ func TestQuickHDDMonotoneInQuery(t *testing.T) {
 		}
 	}
 }
+
+func TestModelByName(t *testing.T) {
+	hdd, err := ModelByName("HDD", DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hdd.(*HDD); !ok {
+		t.Errorf("ModelByName(HDD) = %T", hdd)
+	}
+	mm, err := ModelByName("mm", DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mm.(*MM); !ok {
+		t.Errorf("ModelByName(mm) = %T", mm)
+	}
+	if _, err := ModelByName("quantum", DefaultDisk()); err == nil {
+		t.Error("accepted unknown model name")
+	}
+	// The HDD path validates the disk; a degenerate buffer must fail
+	// loudly instead of silently pricing garbage.
+	bad := DefaultDisk()
+	bad.BufferSize = 0
+	if _, err := ModelByName("hdd", bad); err == nil {
+		t.Error("accepted a zero-buffer disk")
+	}
+	// The MM model ignores the disk entirely.
+	if _, err := ModelByName("mm", bad); err != nil {
+		t.Errorf("MM rejected an (irrelevant) bad disk: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package cost
+
+import (
+	"testing"
+
+	"knives/internal/schema"
+)
+
+// FuzzPartitionCost asserts the satellite invariant of the memoized search
+// kernel: for any table geometry, disk, and (rowSize, totalRowSize) pair,
+// the memo path and the direct PartitionCost path return bit-identical
+// floats — on first computation AND when served from cache — for both the
+// HDD and MM models. Sharded BruteForce results are only reproducible
+// because of this.
+func FuzzPartitionCost(f *testing.F) {
+	f.Add(int64(6_000_000), int64(8), int64(50), int64(8192), int64(8<<20), uint8(0))
+	f.Add(int64(1), int64(1), int64(1), int64(1), int64(1), uint8(1))
+	f.Add(int64(100), int64(10_000), int64(20_000), int64(512), int64(4096), uint8(0))
+	f.Add(int64(1_000_000), int64(158), int64(158), int64(8192), int64(1<<30), uint8(2))
+
+	f.Fuzz(func(t *testing.T, rows, rowSize, totalRowSize, blockSize, bufferSize int64, modelPick uint8) {
+		// Constrain to the domain real searches present: positive geometry,
+		// a partition no wider than the referenced total.
+		if rows < 0 || rows > 1<<40 {
+			t.Skip()
+		}
+		if rowSize < 1 || rowSize > 1<<31 {
+			t.Skip()
+		}
+		if totalRowSize < rowSize || totalRowSize > 1<<32 {
+			t.Skip()
+		}
+		if blockSize < 1 || blockSize > 1<<30 || bufferSize < 1 || bufferSize > 1<<40 {
+			t.Skip()
+		}
+		tab, err := schema.NewTable("f", rows, []schema.Column{{Name: "c", Kind: schema.KindInt, Size: 4}})
+		if err != nil {
+			t.Skip()
+		}
+		var pc PartitionCoster
+		switch modelPick % 2 {
+		case 0:
+			d := DefaultDisk()
+			d.BlockSize = blockSize
+			d.BufferSize = bufferSize
+			pc = NewHDD(d)
+		default:
+			pc = NewMM()
+		}
+		direct := pc.PartitionCost(tab, rowSize, totalRowSize)
+		memo := NewPartitionCostMemo(pc, tab)
+		if got := memo.Cost(rowSize, totalRowSize); got != direct {
+			t.Fatalf("memo first call = %v, direct = %v", got, direct)
+		}
+		if got := memo.Cost(rowSize, totalRowSize); got != direct {
+			t.Fatalf("memo cached call = %v, direct = %v", got, direct)
+		}
+		// Re-deriving through the memo after unrelated insertions (forcing
+		// probe collisions and growth) must still return the same float.
+		for i := int64(1); i <= 64; i++ {
+			w := rowSize + i
+			if w > totalRowSize {
+				break
+			}
+			memo.Cost(w, totalRowSize)
+		}
+		if got := memo.Cost(rowSize, totalRowSize); got != direct {
+			t.Fatalf("memo after growth = %v, direct = %v", got, direct)
+		}
+	})
+}

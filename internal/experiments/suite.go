@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"knives/internal/algo"
@@ -143,6 +142,12 @@ func (s *Suite) seedResults(name string, rs []algo.Result) {
 	e.once.Do(func() { e.rs = rs })
 }
 
+// Results returns the cached (or computes the) default-setting layouts of
+// the named algorithm over every table of the benchmark, in benchmark table
+// order. The advisor service uses this after Prewarm to assemble per-table
+// advice without repeating any search.
+func (s *Suite) Results(name string) ([]algo.Result, error) { return s.results(name) }
+
 // Prewarm computes the default-setting layouts of the named algorithms
 // concurrently. Experiments that report on several algorithms call it first
 // so the independent (table x algorithm) partitioning jobs use every core;
@@ -166,20 +171,11 @@ func (s *Suite) Prewarm(names ...string) error {
 	return nil
 }
 
-// partitionSem bounds how many partitioning jobs run at once across the
-// whole package, however many experiments, Prewarm calls, and benchmarks
-// overlap. Without it, Prewarm (algorithms) x runAll (tables) would admit
-// dozens of concurrent searches. BruteForce's walker pool draws from its
-// own GOMAXPROCS-1 budget shared across searches (bruteforce/parallel.go),
-// so worst-case runnable CPU-bound goroutines are bounded by ~2x the core
-// count — a brief transient while short table jobs overlap a sharded
-// search — rather than growing quadratically.
-var partitionSem = make(chan struct{}, runtime.GOMAXPROCS(0))
-
 // runAll partitions every table of a benchmark, tables in parallel (bounded
-// by partitionSem). Results keep the benchmark's table order, and the
-// lowest-index error wins, so the output is indistinguishable from a serial
-// run (algorithms are required to be deterministic and concurrency-safe).
+// by the process-wide algo search gate, which the advisor service draws from
+// too). Results keep the benchmark's table order, and the lowest-index error
+// wins, so the output is indistinguishable from a serial run (algorithms are
+// required to be deterministic and concurrency-safe).
 func runAll(a algo.Algorithm, b *schema.Benchmark, m cost.Model) ([]algo.Result, error) {
 	tws := b.TableWorkloads()
 	rs := make([]algo.Result, len(tws))
@@ -189,9 +185,9 @@ func runAll(a algo.Algorithm, b *schema.Benchmark, m cost.Model) ([]algo.Result,
 		wg.Add(1)
 		go func(i int, tw schema.TableWorkload) {
 			defer wg.Done()
-			partitionSem <- struct{}{}
+			algo.AcquireSearchSlot()
 			r, err := a.Partition(tw, m)
-			<-partitionSem
+			algo.ReleaseSearchSlot()
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: %s on %s: %w", a.Name(), tw.Table.Name, err)
 				return

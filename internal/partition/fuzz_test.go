@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+// FuzzFragments drives the primary-partition computation with arbitrary
+// workload shapes: whatever the queries look like, the fragments must be a
+// disjoint, complete cover of the table that no query splits. This is the
+// foundation every fragment-based search (AutoPart, HYRISE, fragment-mode
+// BruteForce) stands on.
+func FuzzFragments(f *testing.F) {
+	f.Add(uint8(5), uint8(3), uint64(1))
+	f.Add(uint8(1), uint8(0), uint64(2))
+	f.Add(uint8(17), uint8(22), uint64(2013))
+	f.Add(uint8(64), uint8(9), uint64(7))
+
+	f.Fuzz(func(t *testing.T, nAttrs, nQueries uint8, seed uint64) {
+		n := int(nAttrs)
+		if n < 1 || n > attrset.MaxAttrs {
+			t.Skip()
+		}
+		q := int(nQueries)
+		if q > 128 {
+			t.Skip()
+		}
+		cols := make([]schema.Column, n)
+		for i := range cols {
+			cols[i] = schema.Column{Name: fmt.Sprintf("c%d", i), Kind: schema.KindInt, Size: 4}
+		}
+		tab, err := schema.NewTable("f", 1000, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// splitmix-style stateless generator: deterministic per seed.
+		state := seed
+		next := func() uint64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		tw := schema.TableWorkload{Table: tab}
+		for i := 0; i < q; i++ {
+			attrs := attrset.Set(next()) & tab.AllAttrs()
+			if attrs.IsEmpty() {
+				continue
+			}
+			tw.Queries = append(tw.Queries, schema.TableQuery{
+				ID:     fmt.Sprintf("q%d", i),
+				Weight: float64(1 + next()%10),
+				Attrs:  attrs,
+			})
+		}
+		frags := Fragments(tw)
+		if _, err := New(tab, frags); err != nil {
+			t.Fatalf("fragments are not a valid cover: %v", err)
+		}
+		for _, frag := range frags {
+			for _, query := range tw.Queries {
+				inter := query.Attrs.Intersect(frag)
+				if !inter.IsEmpty() && inter != frag {
+					t.Fatalf("query %v splits fragment %v", query.Attrs, frag)
+				}
+			}
+		}
+		// Fragments must be maximal: merging any two distinct fragments
+		// that are referenced identically would contradict construction, so
+		// every pair must be distinguished by some query (or by referenced
+		// vs unreferenced status).
+		for i := 0; i < len(frags); i++ {
+			for j := i + 1; j < len(frags); j++ {
+				distinguished := false
+				for _, query := range tw.Queries {
+					if query.Attrs.Overlaps(frags[i]) != query.Attrs.Overlaps(frags[j]) {
+						distinguished = true
+						break
+					}
+				}
+				if !distinguished {
+					// Both unreferenced is only legal for one trailing
+					// fragment; two co-referenced fragments are a missed
+					// merge.
+					t.Fatalf("fragments %v and %v are never distinguished by any query", frags[i], frags[j])
+				}
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ package schema
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"knives/internal/attrset"
 )
@@ -224,6 +225,30 @@ type Benchmark struct {
 	Name     string
 	Tables   []*Table
 	Workload Workload
+}
+
+// BenchmarkByName builds a built-in benchmark ("tpch"/"tpc-h" or "ssb",
+// case-insensitive) at the given scale factor. A zero scale factor means
+// "unset" and uses the paper's default of 10 (the advisor wire format
+// omits the field); a negative one is rejected rather than silently
+// rewritten. Every surface that accepts a benchmark name (the knives CLI,
+// knivesd flags, the advisor wire format) resolves through this one
+// helper.
+func BenchmarkByName(name string, sf float64) (*Benchmark, error) {
+	if !(sf >= 0) { // negated compare also rejects NaN
+		return nil, fmt.Errorf("schema: invalid scale factor %v", sf)
+	}
+	if sf == 0 {
+		sf = 10
+	}
+	switch strings.ToLower(name) {
+	case "tpch", "tpc-h":
+		return TPCH(sf), nil
+	case "ssb":
+		return SSB(sf), nil
+	default:
+		return nil, fmt.Errorf("schema: unknown benchmark %q (tpch or ssb)", name)
+	}
 }
 
 // Table returns the named table, or nil.

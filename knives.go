@@ -123,6 +123,13 @@ func TPCH(sf float64) *Benchmark { return schema.TPCH(sf) }
 // SSB returns the Star Schema Benchmark at the given scale factor.
 func SSB(sf float64) *Benchmark { return schema.SSB(sf) }
 
+// BenchmarkByName returns a built-in benchmark by name ("tpch" or "ssb",
+// case-insensitive) at the given scale factor. Zero means "unset" and uses
+// the paper's default of 10; negative scale factors are rejected.
+func BenchmarkByName(name string, sf float64) (*Benchmark, error) {
+	return schema.BenchmarkByName(name, sf)
+}
+
 // NewTable builds a validated custom table.
 func NewTable(name string, rows int64, cols []Column) (*Table, error) {
 	return schema.NewTable(name, rows, cols)
@@ -142,6 +149,12 @@ func NewHDDModel(d Disk) CostModel { return cost.NewHDD(d) }
 // NewMMModel returns the main-memory (cache-miss) cost model used by the
 // paper's Table 6.
 func NewMMModel() CostModel { return cost.NewMM() }
+
+// CostModelByName returns the named cost model ("hdd" or "mm",
+// case-insensitive); the disk applies to the HDD model and is validated.
+func CostModelByName(name string, d Disk) (CostModel, error) {
+	return cost.ModelByName(name, d)
+}
 
 // Algorithms returns fresh instances of the seven evaluated algorithms in
 // the paper's presentation order.

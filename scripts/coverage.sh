@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Coverage gate for the kernel packages: the partitioning combinatorics and
+# the cost model are where a silent regression corrupts every number the
+# reproduction claims, so their statement coverage must never drop below
+# the level recorded when this gate was added (95.4% / 83.1%).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+check() {
+  local pkg=$1 floor=$2
+  local out pct
+  # The assignment must survive set -e so a failing test run still prints
+  # its output instead of killing the script with the diagnostics captured.
+  if ! out=$(go test -count=1 -cover "./$pkg" 2>&1); then
+    echo "coverage: go test ./$pkg failed:"
+    echo "$out"
+    fail=1
+    return
+  fi
+  pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+  if [ -z "$pct" ]; then
+    echo "coverage: could not parse coverage for $pkg:"
+    echo "$out"
+    fail=1
+    return
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage: $pkg at ${pct}% dropped below the ${floor}% floor"
+    fail=1
+  else
+    echo "coverage: $pkg at ${pct}% (floor ${floor}%)"
+  fi
+}
+
+check internal/partition 95.0
+check internal/cost 83.0
+exit $fail
