@@ -38,6 +38,13 @@ func Advise(b *Benchmark, m CostModel) ([]TableAdvice, error) {
 	return advisor.Advise(b, m)
 }
 
+// AdviseTable races the heuristic portfolio on one table's workload and
+// returns the cheapest layout found, falling back to column layout when
+// nothing beats it.
+func AdviseTable(tw TableWorkload, m CostModel) (TableAdvice, error) {
+	return advisor.AdviseTable(tw, m)
+}
+
 // NewAdvisorService returns an empty advisor service.
 func NewAdvisorService(cfg AdvisorConfig) *AdvisorService {
 	return advisor.NewService(cfg)

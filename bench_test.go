@@ -214,6 +214,13 @@ func BenchmarkExtGrouping(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "3", 1), "three-replica-seconds")
 }
 
+func BenchmarkExtReplay(b *testing.B) {
+	rep := runExperiment(b, "ext-replay")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-measured-seconds")
+	b.ReportMetric(cell(b, rep, "Row", 1), "row-measured-seconds")
+	b.ReportMetric(cell(b, rep, "HillClimb", 3), "hillclimb-max-abs-delta")
+}
+
 // Kernel benches: the parallel, incremental search kernel (see DESIGN.md).
 // The sequential/parallel pair below is the kernel's headline speedup
 // measurement on the paper's biggest exhaustive search — BruteForce over

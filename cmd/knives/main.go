@@ -13,6 +13,13 @@
 //	knives advise [-benchmark tpch|ssb] [-sf N]
 //	    Recommend the cheapest layout per table across all heuristics.
 //
+//	knives replay [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
+//	              [-algorithm advisor|NAME|Row|Column] [-model hdd|mm]
+//	              [-buffer MB] [-rows N] [-workers N] [-seed N]
+//	              [-backend mem|file] [-dir PATH]
+//	    Materialize advised layouts through the storage engine, replay the
+//	    workload, and verify measured I/O equals the cost model exactly.
+//
 //	knives experiment ID|all [-reps N]
 //	    Regenerate a paper figure/table (fig1..fig14, tab3..tab7).
 package main
@@ -51,6 +58,8 @@ func run(args []string) int {
 		err = runOptimize(args[1:])
 	case "advise":
 		err = runAdvise(args[1:])
+	case "replay":
+		err = runReplay(args[1:])
 	case "experiment":
 		err = runExperiment(args[1:])
 	case "-h", "--help", "help":
@@ -109,6 +118,7 @@ commands:
   list                      list algorithms and experiments
   optimize [flags]          compute layouts for one or all tables
   advise [flags]            recommend the best layout per table
+  replay [flags]            execute advised layouts and verify the cost model
   experiment <id|all>       regenerate a paper figure or table
 
 run "knives <command> -h" for command flags`)
@@ -209,6 +219,99 @@ func runAdvise(args []string) error {
 			a.Table.Name, a.Algorithm, a.Cost,
 			a.ImprovementOverRow()*100, a.ImprovementOverColumn()*100)
 		fmt.Printf("           %s\n", a.Layout)
+	}
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	table := fs.String("table", "all", "table name or all")
+	algoName := fs.String("algorithm", "advisor",
+		"layout source: an algorithm name, Row, Column, or advisor (portfolio winner)")
+	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
+	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	rows := fs.Int64("rows", 0, "max rows materialized per table (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the numbers")
+	seed := fs.Int64("seed", 1, "data generator seed")
+	backend := fs.String("backend", "mem", "partition page store: mem or file")
+	dir := fs.String("dir", "", "directory for -backend file (default: a fresh temp dir)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	if *rows < 0 {
+		// Reject before any portfolio search runs, not after.
+		return usageError{err: fmt.Errorf("-rows %d must be non-negative", *rows)}
+	}
+	disk := knives.DefaultDisk()
+	disk.BufferSize = int64(*bufferMB * float64(1<<20))
+	model, err := knives.CostModelByName(*modelName, disk)
+	if err != nil {
+		return err
+	}
+	cfg := knives.ReplayConfig{
+		Model:   *modelName,
+		Disk:    disk,
+		MaxRows: *rows,
+		Workers: *workers,
+		Seed:    *seed,
+		Backend: *backend,
+		Dir:     *dir,
+	}
+	if *backend == "file" && *dir == "" {
+		tmp, err := os.MkdirTemp("", "knives-replay-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		cfg.Dir = tmp
+	}
+
+	// The advisor path replays each table's portfolio winner; a named
+	// algorithm (or Row/Column) replays that layout family everywhere.
+	// Advice is computed per matched table, so -table never searches the
+	// rest of the benchmark.
+	advisorMode := strings.EqualFold(*algoName, "advisor")
+	matched := false
+	allExact := true
+	for _, tw := range bench.TableWorkloads() {
+		if *table != "all" && tw.Table.Name != *table {
+			continue
+		}
+		matched = true
+		var rep *knives.TableReplay
+		if advisorMode {
+			advice, err := knives.AdviseTable(tw, model)
+			if err != nil {
+				return err
+			}
+			rep, err = knives.ReplayAdvice(tw, advice, cfg)
+			if err != nil {
+				return err
+			}
+		} else {
+			rep, err = knives.ReplayAlgorithm(tw, *algoName, cfg)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Print(rep)
+		fmt.Println()
+		if !rep.Exact() {
+			allExact = false
+		}
+	}
+	if !matched {
+		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
+	}
+	if !allExact {
+		return fmt.Errorf("measured execution diverged from the cost model (see deltas above)")
 	}
 	return nil
 }

@@ -112,6 +112,42 @@ func TestRunAdvise(t *testing.T) {
 	}
 }
 
+func TestRunReplaySmallTable(t *testing.T) {
+	// Region at SF 0.01 with a capped sample: the full advise-materialize-
+	// replay-verify path, exact or the command errors (exit 1).
+	if err := runReplay([]string{"-table", "region", "-sf", "0.01", "-rows", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	// A named algorithm, the MM model, and the file backend all flow
+	// through the same path.
+	if err := runReplay([]string{"-table", "region", "-sf", "0.01", "-rows", "500",
+		"-algorithm", "HillClimb", "-model", "mm", "-backend", "file"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplayRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-model", "quantum"},
+		{"-benchmark", "mystery"},
+		{"-algorithm", "Nope", "-table", "region", "-sf", "0.01"},
+		{"-table", "nonexistent", "-sf", "0.01"},
+		{"-backend", "s3", "-table", "region", "-sf", "0.01"},
+		{"-rows", "-4", "-table", "region", "-sf", "0.01"},
+	}
+	for _, args := range cases {
+		if err := runReplay(args); err == nil {
+			t.Errorf("runReplay(%v) accepted bad input", args)
+		}
+	}
+	if got := run([]string{"replay", "-nosuchflag"}); got != 2 {
+		t.Errorf("replay usage error exited %d, want 2", got)
+	}
+	if got := run([]string{"replay", "-table", "nonexistent", "-sf", "0.01"}); got != 1 {
+		t.Errorf("replay unknown table exited %d, want 1", got)
+	}
+}
+
 func TestRunExperimentCheapID(t *testing.T) {
 	// tab4 touches only Lineitem prefixes with HillClimb: cheap enough for
 	// a smoke test of the full experiment path.

@@ -12,6 +12,9 @@
 // Endpoints:
 //
 //	POST /advise   {tables, queries} or {benchmark, sf} -> per-table advice
+//	POST /replay   same workload + {max_rows, seed, workers} -> advise,
+//	               materialize through the storage engine, replay, and
+//	               report measured vs predicted cost (fingerprint-cached)
 //	POST /observe  {table, queries} -> drift report + current advice
 //	GET  /advice?table=NAME         -> current tracked advice
 //	GET  /tables                    -> registered tables

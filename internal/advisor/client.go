@@ -75,6 +75,13 @@ func (c *Client) Advise(ctx context.Context, req AdviseRequest) (AdviseResponse,
 	return resp, err
 }
 
+// Replay requests an advise-materialize-replay-report chain for a workload.
+func (c *Client) Replay(ctx context.Context, req ReplayRequest) (ReplayResponse, error) {
+	var resp ReplayResponse
+	err := c.do(ctx, http.MethodPost, "/replay", req, &resp)
+	return resp, err
+}
+
 // Observe streams a batch of observed queries for a registered table.
 func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveResponse, error) {
 	var resp ObserveResponse

@@ -1,0 +1,160 @@
+package advisor
+
+import (
+	"fmt"
+	"sync"
+
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/replay"
+	"knives/internal/schema"
+)
+
+// Replay limits: the server materializes real pages and scans them, so the
+// request must not be able to ask for unbounded work.
+const (
+	// MaxReplayRows caps how many rows one replay may materialize per table.
+	MaxReplayRows = 1_000_000
+	// MaxReplayWorkers caps the requested worker pool (the count never
+	// changes a reported number, only memory and scheduling).
+	MaxReplayWorkers = 256
+)
+
+// DefaultReplayCacheCapacity bounds the replay report cache. Reports carry
+// per-query measurements and are an order of magnitude bigger than advice
+// entries, so the bound is correspondingly smaller.
+const DefaultReplayCacheCapacity = 256
+
+// ReplayOptions are the knobs one replay request may turn. The zero value
+// uses the service defaults.
+type ReplayOptions struct {
+	// MaxRows caps the materialized rows per table; 0 uses
+	// replay.DefaultMaxRows.
+	MaxRows int64
+	// Seed feeds the deterministic data generator.
+	Seed int64
+	// Workers bounds the replay worker pool; 0 uses GOMAXPROCS. Workers
+	// never affect the report's numbers, so they are NOT part of the
+	// replay cache key.
+	Workers int
+}
+
+// validate enforces the request-side limits.
+func (o ReplayOptions) validate() error {
+	if o.MaxRows < 0 || o.MaxRows > MaxReplayRows {
+		return fmt.Errorf("%w: max_rows %d out of range [0, %d]", ErrBadReplay, o.MaxRows, MaxReplayRows)
+	}
+	if o.Workers < 0 || o.Workers > MaxReplayWorkers {
+		return fmt.Errorf("%w: workers %d out of range [0, %d]", ErrBadReplay, o.Workers, MaxReplayWorkers)
+	}
+	return nil
+}
+
+// ErrBadReplay reports replay options the service refuses to execute.
+var ErrBadReplay = fmt.Errorf("advisor: invalid replay request")
+
+// replayKey identifies one cached replay report: the workload fingerprint
+// (PR-2's cache key, which already covers schema, weights, and query order)
+// plus the two options that change the materialized data.
+type replayKey struct {
+	fp   Fingerprint
+	rows int64
+	seed int64
+}
+
+// replayEntry computes one replay at most once, like the advice cache's
+// entry: the service mutex only guards the map, the expensive
+// materialize-and-scan runs under the once, so identical concurrent
+// requests collapse into one execution.
+type replayEntry struct {
+	once   sync.Once
+	report *replay.TableReplay
+	err    error
+}
+
+// replayConfig translates the service's cost model into a replay config.
+func (s *Service) replayConfig(opt ReplayOptions) (replay.Config, error) {
+	cfg := replay.Config{MaxRows: opt.MaxRows, Seed: opt.Seed, Workers: opt.Workers}
+	switch m := s.model.(type) {
+	case *cost.HDD:
+		cfg.Model, cfg.Disk = "hdd", m.Disk
+	case *cost.MM:
+		cfg.Model = "mm"
+	default:
+		return cfg, fmt.Errorf("advisor: cost model %s has no replay pricing", s.model.Name())
+	}
+	return cfg, nil
+}
+
+// ReplayTable answers one table's advise-materialize-replay-report chain:
+// the advice comes from the fingerprint cache (searching on a miss), the
+// layout is materialized through the storage engine, the workload replayed,
+// and the report compared against the cost model. Reports are cached under
+// (fingerprint, rows, seed); the bool reports whether this call executed a
+// replay (false = cache hit).
+func (s *Service) ReplayTable(tw schema.TableWorkload, opt ReplayOptions) (*replay.TableReplay, Fingerprint, bool, error) {
+	if err := opt.validate(); err != nil {
+		return nil, Fingerprint{}, false, err
+	}
+	cfg, err := s.replayConfig(opt)
+	if err != nil {
+		return nil, Fingerprint{}, false, err
+	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = replay.DefaultMaxRows
+	}
+	if tw.Table == nil {
+		return nil, Fingerprint{}, false, fmt.Errorf("advisor: nil table")
+	}
+	tw = normalizeWeights(tw)
+	s.replays.Add(1)
+	key := replayKey{fp: FingerprintOf(tw), rows: cfg.MaxRows, seed: cfg.Seed}
+
+	s.mu.Lock()
+	e, ok := s.replayEntries[key]
+	if !ok {
+		e = &replayEntry{}
+		s.replayEntries[key] = e
+		s.replayOrder = evictOldest(s.replayEntries, append(s.replayOrder, key), s.cfg.ReplayCacheCapacity, key)
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		// The advice may come from the cache, computed for an earlier
+		// request whose *Table pointer differs; rebind the layout onto THIS
+		// workload's table (the fingerprint guarantees identical schemas).
+		advice, _, _, err := s.adviseTable(tw)
+		if err != nil {
+			e.err = err
+			return
+		}
+		layout, err := partition.New(tw.Table, advice.Layout.Parts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.report, e.err = replay.Layout(tw, layout, advice.Algorithm, cfg)
+	})
+	if e.err != nil {
+		// Like a failed advice search, a failed replay must not poison its
+		// cache key forever.
+		s.mu.Lock()
+		if s.replayEntries[key] == e {
+			delete(s.replayEntries, key)
+			for i, k := range s.replayOrder {
+				if k == key {
+					s.replayOrder = append(s.replayOrder[:i], s.replayOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil, key.fp, false, e.err
+	}
+	if !ran {
+		s.replayHits.Add(1)
+	}
+	return e.report, key.fp, !ran, nil
+}

@@ -11,6 +11,7 @@ import (
 // Server exposes a Service over HTTP:
 //
 //	POST /advise   workload in, per-table advice out (fingerprint cache)
+//	POST /replay   workload in -> advise, materialize, replay, report
 //	POST /observe  stream queries for a registered table (drift tracking)
 //	GET  /advice?table=NAME   current tracked advice for one table
 //	GET  /tables   registered table names
@@ -30,6 +31,7 @@ const maxBodyBytes = 8 << 20
 func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /replay", s.handleReplay)
 	s.mux.HandleFunc("POST /observe", s.handleObserve)
 	s.mux.HandleFunc("GET /advice", s.handleAdvice)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
@@ -111,6 +113,45 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, AdviseResponse{Advice: wires})
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	opt := ReplayOptions{MaxRows: req.MaxRows, Seed: req.Seed, Workers: req.Workers}
+	if err := opt.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := req.advise().Materialize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fan the tables out, as /advise does; the response keeps the request's
+	// table order.
+	tws := b.TableWorkloads()
+	wires := make([]TableReplayWire, len(tws))
+	err = fanOut(len(tws), func(i int) error {
+		rep, fp, cached, err := s.svc.ReplayTable(tws[i], opt)
+		if err != nil {
+			return err
+		}
+		wires[i] = toReplayWire(rep, fp, cached)
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrBadReplay) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, ReplayResponse{Reports: wires})
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {

@@ -34,6 +34,10 @@ type Config struct {
 	// (its table must be re-advised to be tracked again). 0 uses
 	// DefaultTrackerCapacity, negative disables eviction.
 	TrackerCapacity int
+	// ReplayCacheCapacity bounds the replay report cache (FIFO, like the
+	// advice cache). 0 uses DefaultReplayCacheCapacity, negative disables
+	// eviction.
+	ReplayCacheCapacity int
 }
 
 // DefaultCacheCapacity bounds the advice cache in a long-running daemon:
@@ -56,16 +60,20 @@ type Service struct {
 	cfg   Config
 	model cost.Model
 
-	mu           sync.Mutex
-	entries      map[Fingerprint]*entry
-	order        []Fingerprint // insertion order, for FIFO eviction
-	trackers     map[string]*Tracker
-	trackerOrder []string // registration order, for FIFO eviction
+	mu            sync.Mutex
+	entries       map[Fingerprint]*entry
+	order         []Fingerprint // insertion order, for FIFO eviction
+	trackers      map[string]*Tracker
+	trackerOrder  []string // registration order, for FIFO eviction
+	replayEntries map[replayKey]*replayEntry
+	replayOrder   []replayKey // insertion order, for FIFO eviction
 
 	requests   atomic.Int64 // table advice requests answered
 	hits       atomic.Int64 // answered from cache without searching
 	searches   atomic.Int64 // portfolio searches actually run
 	recomputes atomic.Int64 // drift-triggered recomputations
+	replays    atomic.Int64 // table replay requests answered
+	replayHits atomic.Int64 // replays answered from cache without executing
 }
 
 // entry computes one workload's advice at most once. The service mutex only
@@ -96,11 +104,15 @@ func NewService(cfg Config) *Service {
 	if cfg.TrackerCapacity == 0 {
 		cfg.TrackerCapacity = DefaultTrackerCapacity
 	}
+	if cfg.ReplayCacheCapacity == 0 {
+		cfg.ReplayCacheCapacity = DefaultReplayCacheCapacity
+	}
 	return &Service{
-		cfg:      cfg,
-		model:    m,
-		entries:  make(map[Fingerprint]*entry),
-		trackers: make(map[string]*Tracker),
+		cfg:           cfg,
+		model:         m,
+		entries:       make(map[Fingerprint]*entry),
+		trackers:      make(map[string]*Tracker),
+		replayEntries: make(map[replayKey]*replayEntry),
 	}
 }
 
@@ -116,25 +128,35 @@ type Stats struct {
 	Recomputes int64 `json:"recomputes"`
 	Cached     int   `json:"cached_entries"`
 	Tracked    int   `json:"tracked_tables"`
+	// Replays counts replay requests answered; ReplayHits the ones served
+	// from the report cache without materializing anything.
+	Replays       int64 `json:"replays"`
+	ReplayHits    int64 `json:"replay_hits"`
+	CachedReplays int   `json:"cached_replays"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	cached, tracked := len(s.entries), len(s.trackers)
+	cached, tracked, cachedReplays := len(s.entries), len(s.trackers), len(s.replayEntries)
 	s.mu.Unlock()
 	// Load hits before requests: a request increments requests first, so
 	// this order can only overcount misses, never report a negative count.
 	hits := s.hits.Load()
 	req := s.requests.Load()
+	replayHits := s.replayHits.Load()
+	replays := s.replays.Load()
 	return Stats{
-		Requests:   req,
-		Hits:       hits,
-		Misses:     req - hits,
-		Searches:   s.searches.Load(),
-		Recomputes: s.recomputes.Load(),
-		Cached:     cached,
-		Tracked:    tracked,
+		Requests:      req,
+		Hits:          hits,
+		Misses:        req - hits,
+		Searches:      s.searches.Load(),
+		Recomputes:    s.recomputes.Load(),
+		Cached:        cached,
+		Tracked:       tracked,
+		Replays:       replays,
+		ReplayHits:    replayHits,
+		CachedReplays: cachedReplays,
 	}
 }
 

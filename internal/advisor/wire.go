@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"knives/internal/attrset"
+	"knives/internal/replay"
 	"knives/internal/schema"
 )
 
@@ -63,6 +64,75 @@ type TableAdviceWire struct {
 // AdviseResponse is the body answering POST /advise.
 type AdviseResponse struct {
 	Advice []TableAdviceWire `json:"advice"`
+}
+
+// ReplayRequest is the body of POST /replay: the same workload forms as
+// /advise (benchmark shorthand or explicit tables/queries) plus the replay
+// knobs. The server advises the workload (from the fingerprint cache),
+// materializes every advised layout through the storage engine, replays the
+// full per-table workload, and reports measured execution against the cost
+// model's predictions.
+type ReplayRequest struct {
+	Benchmark   string  `json:"benchmark,omitempty"`
+	ScaleFactor float64 `json:"sf,omitempty"`
+
+	Tables  []TableSpec `json:"tables,omitempty"`
+	Queries []QuerySpec `json:"queries,omitempty"`
+
+	// MaxRows caps the materialized rows per table (0 = server default,
+	// bounded by MaxReplayRows). Seed feeds the deterministic generator.
+	// Workers bounds the worker pool and never changes a reported number.
+	MaxRows int64 `json:"max_rows,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+// advise returns the request's workload as an AdviseRequest.
+func (r ReplayRequest) advise() AdviseRequest {
+	return AdviseRequest{
+		Benchmark:   r.Benchmark,
+		ScaleFactor: r.ScaleFactor,
+		Tables:      r.Tables,
+		Queries:     r.Queries,
+	}
+}
+
+// QueryReplayWire is one query's measured execution on the wire.
+type QueryReplayWire struct {
+	ID               string  `json:"id"`
+	Weight           float64 `json:"weight"`
+	Seeks            int64   `json:"seeks"`
+	BytesRead        int64   `json:"bytes_read"`
+	CacheLines       int64   `json:"cache_lines"`
+	ReconJoins       int64   `json:"recon_joins"`
+	Checksum         string  `json:"checksum"`
+	MeasuredSeconds  float64 `json:"measured_seconds"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+}
+
+// TableReplayWire is one table's replay report as served over HTTP.
+type TableReplayWire struct {
+	Table            string            `json:"table"`
+	Algorithm        string            `json:"algorithm"`
+	Layout           [][]string        `json:"layout"`
+	Model            string            `json:"model"`
+	RowsReplayed     int64             `json:"rows_replayed"`
+	RowsFull         int64             `json:"rows_full"`
+	MeasuredSeconds  float64           `json:"measured_seconds"`
+	PredictedSeconds float64           `json:"predicted_seconds"`
+	Exact            bool              `json:"exact"`
+	MaxAbsDelta      float64           `json:"max_abs_delta"`
+	BytesRead        int64             `json:"bytes_read"`
+	Seeks            int64             `json:"seeks"`
+	ReconJoins       int64             `json:"recon_joins"`
+	Queries          []QueryReplayWire `json:"queries"`
+	Fingerprint      string            `json:"fingerprint"`
+	Cached           bool              `json:"cached"`
+}
+
+// ReplayResponse is the body answering POST /replay.
+type ReplayResponse struct {
+	Reports []TableReplayWire `json:"reports"`
 }
 
 // ObserveRequest is the body of POST /observe: a batch of queries seen on
@@ -185,6 +255,47 @@ func resolveAttrs(t *schema.Table, names []string) (attrset.Set, error) {
 		s = s.Add(i)
 	}
 	return s, nil
+}
+
+// toReplayWire renders a replay report for the wire.
+func toReplayWire(r *replay.TableReplay, fp Fingerprint, cached bool) TableReplayWire {
+	t := r.Layout.Table
+	layout := make([][]string, 0, r.Layout.NumParts())
+	for _, part := range r.Layout.Canonical().Parts {
+		layout = append(layout, t.AttrNames(part))
+	}
+	qs := make([]QueryReplayWire, len(r.Queries))
+	for i, q := range r.Queries {
+		qs[i] = QueryReplayWire{
+			ID:               q.ID,
+			Weight:           q.Weight,
+			Seeks:            q.Stats.Seeks,
+			BytesRead:        q.Stats.BytesRead,
+			CacheLines:       q.Stats.CacheLines,
+			ReconJoins:       q.Stats.ReconJoins,
+			Checksum:         fmt.Sprintf("%016x", q.Stats.Checksum),
+			MeasuredSeconds:  q.MeasuredSeconds,
+			PredictedSeconds: q.PredictedSeconds,
+		}
+	}
+	return TableReplayWire{
+		Table:            r.Table,
+		Algorithm:        r.Algorithm,
+		Layout:           layout,
+		Model:            r.Model,
+		RowsReplayed:     r.RowsReplayed,
+		RowsFull:         r.RowsFull,
+		MeasuredSeconds:  r.MeasuredTotal,
+		PredictedSeconds: r.PredictedTotal,
+		Exact:            r.Exact(),
+		MaxAbsDelta:      r.MaxAbsDelta(),
+		BytesRead:        r.BytesRead,
+		Seeks:            r.Seeks,
+		ReconJoins:       r.ReconJoins,
+		Queries:          qs,
+		Fingerprint:      fp.String(),
+		Cached:           cached,
+	}
 }
 
 // toWire renders advice for the wire.

@@ -190,6 +190,27 @@ func (m *HDD) PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float6
 	return seekCost + scanCost
 }
 
+// PartitionSeeks returns the buffer refills the HDD formulas imply for
+// reading one partition of row size rowSize in full, when the query's
+// referenced partitions have combined row size totalRowSize:
+// ceil(blocks / blocksBuff) under the proportional buffer split. This is
+// the seek count inside PartitionCost, exported standalone so the replay
+// subsystem predicts integer seeks from the same arithmetic the model
+// prices them with; TestPartitionCostDecomposes pins the two in lockstep.
+// (PartitionCost keeps its own inlined copy: it is the kernel's hottest
+// function and must not compute PartitionBlocks twice.)
+func PartitionSeeks(rows, rowSize, totalRowSize int64, d Disk) int64 {
+	if rowSize <= 0 || totalRowSize <= 0 {
+		return 0
+	}
+	blocks := PartitionBlocks(rows, rowSize, d.BlockSize)
+	blocksBuff := d.BufferSize * rowSize / totalRowSize / d.BlockSize
+	if blocksBuff < 1 {
+		blocksBuff = 1
+	}
+	return ceilDiv(blocks, blocksBuff)
+}
+
 // PartitionBlocks returns the number of disk blocks a partition with the
 // given row size occupies: rows are packed whole into blocks when they fit,
 // otherwise stored contiguously.

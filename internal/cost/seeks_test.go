@@ -1,0 +1,46 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"knives/internal/schema"
+)
+
+// PartitionCost keeps its own inlined seek arithmetic for kernel speed;
+// PartitionSeeks is the exported decomposition the replay subsystem
+// predicts integer seeks with. This pin keeps the two in lockstep: for any
+// disk and any (rows, rowSize, totalRowSize), the cost must equal
+// SeekTime*seeks + blocks*blockSize/bandwidth, bit for bit.
+func TestPartitionCostDecomposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2_000; trial++ {
+		d := Disk{
+			BlockSize:     int64(64 << rng.Intn(9)), // 64 .. 16384
+			BufferSize:    1 + rng.Int63n(1<<24),
+			ReadBandwidth: 1 + rng.Float64()*100e6,
+			SeekTime:      rng.Float64() * 1e-2,
+		}
+		rows := rng.Int63n(5_000_000)
+		rowSize := 1 + rng.Int63n(500)
+		totalRowSize := rowSize + rng.Int63n(1_000)
+		tab, err := schema.NewTable("t", rows, []schema.Column{{Name: "a", Size: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewHDD(d)
+		seeks := PartitionSeeks(rows, rowSize, totalRowSize, d)
+		blocks := PartitionBlocks(rows, rowSize, d.BlockSize)
+		want := d.SeekTime*float64(seeks) + float64(blocks)*float64(d.BlockSize)/d.ReadBandwidth
+		if got := m.PartitionCost(tab, rowSize, totalRowSize); got != want {
+			t.Fatalf("trial %d: PartitionCost = %.18g, decomposition = %.18g (disk %+v rows %d rowSize %d total %d)",
+				trial, got, want, d, rows, rowSize, totalRowSize)
+		}
+	}
+	if got := PartitionSeeks(1000, 0, 8, DefaultDisk()); got != 0 {
+		t.Errorf("zero row size: %d seeks, want 0", got)
+	}
+	if got := PartitionSeeks(1000, 8, 0, DefaultDisk()); got != 0 {
+		t.Errorf("zero total row size: %d seeks, want 0", got)
+	}
+}

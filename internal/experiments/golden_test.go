@@ -38,6 +38,10 @@ func TestGoldenReports(t *testing.T) {
 		{"tab4", nil},
 		{"fig1", maskFig1},
 		{"fig10", maskFig10},
+		// ext-replay's times are simulated (virtual-disk) seconds — fully
+		// deterministic, so measured-vs-estimated deltas, exactness
+		// verdicts, and all three rankings are golden without masking.
+		{"ext-replay", nil},
 	}
 	for _, tc := range cases {
 		tc := tc

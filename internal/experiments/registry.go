@@ -43,6 +43,7 @@ var registry = []Experiment{
 	{"ext-convergence", "Search effort vs workload fragmentation (Section 2 claims)", ExtConvergence},
 	{"ext-replication", "AutoPart with partial replication (stripped feature restored)", ExtReplication},
 	{"ext-grouping", "Trojan query grouping across replicas (stripped feature restored)", ExtGrouping},
+	{"ext-replay", "Measured replay of advised layouts vs cost-model predictions (fig3 from execution)", ExtReplay},
 }
 
 // All returns every registered experiment in paper order.

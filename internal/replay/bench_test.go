@@ -1,0 +1,30 @@
+package replay
+
+import (
+	"testing"
+
+	"knives/internal/schema"
+)
+
+// The replay hot path: materialize Lineitem once per iteration and scan the
+// full TPC-H per-table workload against the HillClimb layout. Sequential vs
+// parallel pins the worker pool's speedup on multi-core runners (identical
+// numbers are the correctness contract; wall clock is the perf record).
+func benchmarkLineitem(b *testing.B, workers int) {
+	bench := schema.TPCH(10)
+	tw := bench.Workload.ForTable(bench.Table("lineitem"))
+	for i := 0; i < b.N; i++ {
+		rep, err := Algorithm(tw, "HillClimb", Config{MaxRows: 20_000, Workers: workers, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Exact() {
+			b.Fatal("replay not exact")
+		}
+		b.ReportMetric(float64(rep.BytesRead), "bytes-replayed")
+		b.ReportMetric(float64(len(rep.Queries)), "queries")
+	}
+}
+
+func BenchmarkReplayLineitemSequential(b *testing.B) { benchmarkLineitem(b, 1) }
+func BenchmarkReplayLineitemParallel(b *testing.B)   { benchmarkLineitem(b, 0) }

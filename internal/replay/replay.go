@@ -1,0 +1,448 @@
+// Package replay closes the loop between the paper's estimated verdicts and
+// executed I/O: it materializes any advised layout through the storage
+// engine (mem- or file-backed pages), replays the full per-table workload
+// through a parallel scan pool, and reports measured seeks, bytes, cache
+// lines, and simulated time next to the cost model's predictions — per
+// query and in aggregate.
+//
+// The headline guarantee is measured == predicted with ZERO tolerance: the
+// engine and the cost model share no pricing code, but they describe the
+// same system (common-granularity reads, proportional buffer sharing,
+// per-partition seek/scan charging), so every replayed number must equal
+// the model's formula bit for bit. The differential test suite pins this
+// for every algorithm x benchmark x cost model; a single last-bit
+// divergence means one of the two implementations no longer simulates the
+// paper's system.
+//
+// Tables larger than Config.MaxRows are materialized at a sampled row
+// count. Layouts are still searched on the FULL-scale workload (the
+// paper's setting); only the physical copy the engine scans is sampled,
+// and the model prices the sampled table, so the comparison stays exact.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"knives/internal/algo"
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/storage"
+)
+
+// DefaultMaxRows caps how many rows of a table a replay materializes. TPC-H
+// SF 10's Lineitem has ~60M rows; scanning that per query per algorithm is
+// wall-clock prohibitive, and the measured-equals-predicted guarantee holds
+// at any row count, so replays default to a sample.
+const DefaultMaxRows = 50_000
+
+// Backend kinds a replay can materialize partitions on.
+const (
+	BackendMem  = "mem"
+	BackendFile = "file"
+)
+
+// Config parameterizes a replay.
+type Config struct {
+	// Model names the cost model the measurements are validated against:
+	// "hdd" or "mm" (case-insensitive). Empty means "hdd".
+	Model string
+	// Disk is the simulated disk the engine materializes and scans with
+	// (and, for the HDD model, prices with). Zero value means the paper's
+	// default disk.
+	Disk cost.Disk
+	// MaxRows caps the materialized row count per table; 0 uses
+	// DefaultMaxRows, negative is invalid.
+	MaxRows int64
+	// Workers bounds the partition-parallel load and the query-parallel
+	// scan pool; <= 0 uses GOMAXPROCS. The worker count never changes a
+	// single reported number — only how fast it is produced.
+	Workers int
+	// Seed feeds the deterministic data generator.
+	Seed int64
+	// Backend selects where partition pages live: BackendMem (default) or
+	// BackendFile.
+	Backend string
+	// Dir is the directory for file-backed partitions; required iff
+	// Backend is BackendFile.
+	Dir string
+}
+
+// normalized validates and defaults a config, returning the cost model the
+// replay prices against.
+func (c Config) normalized() (Config, cost.Model, error) {
+	if c.Model == "" {
+		c.Model = "hdd"
+	}
+	if c.Disk == (cost.Disk{}) {
+		c.Disk = cost.DefaultDisk()
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return c, nil, fmt.Errorf("replay: %w", err)
+	}
+	m, err := cost.ModelByName(c.Model, c.Disk)
+	if err != nil {
+		return c, nil, fmt.Errorf("replay: %w", err)
+	}
+	switch c.MaxRows {
+	case 0:
+		c.MaxRows = DefaultMaxRows
+	default:
+		if c.MaxRows < 0 {
+			return c, nil, fmt.Errorf("replay: MaxRows %d must be non-negative", c.MaxRows)
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch c.Backend {
+	case "":
+		c.Backend = BackendMem
+	case BackendMem, BackendFile:
+	default:
+		return c, nil, fmt.Errorf("replay: unknown backend %q (%s or %s)", c.Backend, BackendMem, BackendFile)
+	}
+	if c.Backend == BackendFile && c.Dir == "" {
+		return c, nil, fmt.Errorf("replay: file backend needs Dir")
+	}
+	return c, m, nil
+}
+
+// QueryReplay is one query's measured execution next to its prediction.
+type QueryReplay struct {
+	ID     string
+	Weight float64
+	// Stats is what the engine measured: real page reads, buffer refills,
+	// cache lines, reconstruction joins, and the layout-independent
+	// checksum of the projected values.
+	Stats storage.ScanStats
+	// MeasuredSeconds prices the measured execution in the cost model's
+	// unit (HDD: the virtual disk's simulated time; MM: measured cache
+	// lines times the miss latency).
+	MeasuredSeconds float64
+	// PredictedSeconds is the cost model's estimate for this query.
+	PredictedSeconds float64
+	// PredictedBytes and PredictedSeeks are the disk mechanics the cost
+	// formulas imply, for integer-exact comparison against Stats.
+	PredictedBytes int64
+	PredictedSeeks int64
+}
+
+// Delta returns measured minus predicted seconds.
+func (q QueryReplay) Delta() float64 { return q.MeasuredSeconds - q.PredictedSeconds }
+
+// Exact reports whether every measured quantity equals its prediction.
+func (q QueryReplay) Exact() bool {
+	return q.MeasuredSeconds == q.PredictedSeconds &&
+		q.Stats.BytesRead == q.PredictedBytes &&
+		q.Stats.Seeks == q.PredictedSeeks
+}
+
+// TableReplay is the report of replaying one table's workload on one layout.
+type TableReplay struct {
+	Table     string
+	Algorithm string // what produced the layout ("HillClimb", "Row", ...)
+	// Layout is the replayed partitioning, over the (possibly sampled)
+	// materialized table.
+	Layout partition.Partitioning
+	// RowsFull is the logical table's row count; RowsReplayed is how many
+	// rows were actually materialized and scanned.
+	RowsFull, RowsReplayed int64
+	Model                  string
+	Backend                string
+	Queries                []QueryReplay
+	// MeasuredTotal and PredictedTotal are the weighted workload sums,
+	// accumulated with cost.WorkloadCost's exact arithmetic.
+	MeasuredTotal, PredictedTotal float64
+	// Unweighted engine totals across all queries.
+	BytesRead, Seeks, ReconJoins, Tuples int64
+	// Elapsed is the wall-clock time of materialization plus replay.
+	Elapsed time.Duration
+}
+
+// Exact reports whether every query and the aggregate matched predictions
+// exactly.
+func (r *TableReplay) Exact() bool {
+	for _, q := range r.Queries {
+		if !q.Exact() {
+			return false
+		}
+	}
+	return r.MeasuredTotal == r.PredictedTotal
+}
+
+// MaxAbsDelta returns the largest per-query |measured - predicted|.
+func (r *TableReplay) MaxAbsDelta() float64 {
+	var m float64
+	for _, q := range r.Queries {
+		if d := q.Delta(); d > m {
+			m = d
+		} else if -d > m {
+			m = -d
+		}
+	}
+	return m
+}
+
+// String renders the replay as an aligned text report.
+func (r *TableReplay) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay %s: algorithm=%s model=%s backend=%s rows=%d/%d\n",
+		r.Table, r.Algorithm, r.Model, r.Backend, r.RowsReplayed, r.RowsFull)
+	fmt.Fprintf(&b, "  layout %s\n", r.Layout)
+	fmt.Fprintf(&b, "  %-8s %6s %8s %12s %8s %14s %14s %10s\n",
+		"query", "weight", "seeks", "bytes", "joins", "measured(s)", "predicted(s)", "delta")
+	for _, q := range r.Queries {
+		fmt.Fprintf(&b, "  %-8s %6.1f %8d %12d %8d %14.6e %14.6e %10.1e\n",
+			q.ID, q.Weight, q.Stats.Seeks, q.Stats.BytesRead, q.Stats.ReconJoins,
+			q.MeasuredSeconds, q.PredictedSeconds, q.Delta())
+	}
+	fmt.Fprintf(&b, "  total: measured=%.9e predicted=%.9e exact=%v\n",
+		r.MeasuredTotal, r.PredictedTotal, r.Exact())
+	return b.String()
+}
+
+// Layout materializes the table through the storage engine under the given
+// layout and replays the workload's queries with a worker pool, comparing
+// every measurement against the cost model. The layout must partition
+// tw.Table; tables larger than cfg.MaxRows are materialized at a sampled
+// row count (the layout and the model both move to the sampled table, so
+// exactness is preserved).
+func Layout(tw schema.TableWorkload, layout partition.Partitioning, algorithm string, cfg Config) (*TableReplay, error) {
+	cfg, model, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if tw.Table == nil {
+		return nil, fmt.Errorf("replay: nil table")
+	}
+	if layout.Table != tw.Table {
+		return nil, fmt.Errorf("replay: layout partitions %v, workload is over %s", layout.Table, tw.Table.Name)
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	// A replay materializes up to MaxRows of real pages and scans them with
+	// a worker pool — the same class of heavy job as a search. Drawing from
+	// the process-wide gate bounds concurrent replays (stacked fan-outs,
+	// parallel /replay requests) by the core count instead of letting each
+	// request hold its own table copy and pool. No caller holds a slot
+	// while invoking Layout, so this cannot deadlock.
+	algo.AcquireSearchSlot()
+	defer algo.ReleaseSearchSlot()
+	start := time.Now()
+
+	// Sample: same columns, capped rows. Attribute sets are positional, so
+	// the layout transfers unchanged.
+	sample := tw.Table
+	if sample.Rows > cfg.MaxRows {
+		sample, err = schema.NewTable(tw.Table.Name, cfg.MaxRows, tw.Table.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("replay: sample %s: %w", tw.Table.Name, err)
+		}
+	}
+	sampled, err := partition.New(sample, layout.Parts)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+
+	var newBackend func(name string, pageSize int) (storage.Backend, error)
+	if cfg.Backend == BackendFile {
+		dir := cfg.Dir
+		newBackend = func(name string, pageSize int) (storage.Backend, error) {
+			return storage.NewFileBackend(dir, name, pageSize)
+		}
+	}
+	e, err := storage.NewEngine(sampled, cfg.Disk, newBackend)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	defer e.Close()
+	if mm, ok := model.(*cost.MM); ok && mm.CacheLineSize > 0 {
+		if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	if err := e.LoadParallel(storage.NewGenerator(cfg.Seed), sample.Rows, cfg.Workers); err != nil {
+		return nil, fmt.Errorf("replay: load %s: %w", sample.Name, err)
+	}
+
+	// Query-parallel replay. Scan keeps all state in local cursors, so
+	// concurrent scans over one loaded engine are safe; results land at
+	// their query's index and the aggregation below runs in query order,
+	// keeping every reported number independent of the worker count.
+	parts := sampled.Canonical().Parts
+	rep := &TableReplay{
+		Table:        sample.Name,
+		Algorithm:    algorithm,
+		Layout:       sampled,
+		RowsFull:     tw.Table.Rows,
+		RowsReplayed: sample.Rows,
+		Model:        model.Name(),
+		Backend:      cfg.Backend,
+		Queries:      make([]QueryReplay, len(tw.Queries)),
+	}
+	sem := make(chan struct{}, cfg.Workers)
+	errs := make([]error, len(tw.Queries))
+	var wg sync.WaitGroup
+	for i, q := range tw.Queries {
+		wg.Add(1)
+		go func(i int, q schema.TableQuery) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			stats, err := e.Scan(q.Attrs)
+			if err != nil {
+				errs[i] = fmt.Errorf("replay: scan %s/%s: %w", sample.Name, q.ID, err)
+				return
+			}
+			measured, err := measuredSeconds(model, stats)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep.Queries[i] = QueryReplay{
+				ID:               q.ID,
+				Weight:           q.Weight,
+				Stats:            stats,
+				MeasuredSeconds:  measured,
+				PredictedSeconds: model.QueryCost(sample, parts, q.Attrs),
+				PredictedBytes:   cost.ScanBytes(sample, parts, q.Attrs, cfg.Disk.BlockSize),
+				PredictedSeeks:   predictedSeeks(sample, parts, q.Attrs, cfg.Disk),
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Weighted totals, mirroring cost.WorkloadCost's arithmetic (weighted
+	// product rounded in its own statement before the running sum).
+	for i := range rep.Queries {
+		q := &rep.Queries[i]
+		mq := q.Weight * q.MeasuredSeconds
+		rep.MeasuredTotal += mq
+		pq := q.Weight * q.PredictedSeconds
+		rep.PredictedTotal += pq
+		rep.BytesRead += q.Stats.BytesRead
+		rep.Seeks += q.Stats.Seeks
+		rep.ReconJoins += q.Stats.ReconJoins
+		rep.Tuples += q.Stats.Tuples
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// measuredSeconds prices a measured scan in the model's unit. For HDD this
+// is the virtual disk's simulated time, already accumulated per partition in
+// the model's summation order; for MM it is the measured cache lines of each
+// referenced partition times the miss latency, summed in the same order the
+// model sums partitions.
+func measuredSeconds(m cost.Model, s storage.ScanStats) (float64, error) {
+	switch m := m.(type) {
+	case *cost.HDD:
+		return s.SimTime, nil
+	case *cost.MM:
+		var total float64
+		for _, p := range s.Parts {
+			total += float64(p.CacheLines) * m.MissLatency
+		}
+		return total, nil
+	}
+	return 0, fmt.Errorf("replay: cost model %s has no measured pricing", m.Name())
+}
+
+// predictedSeeks computes the buffer refills the HDD formulas imply for a
+// query: per referenced partition, cost.PartitionSeeks under the
+// proportional buffer split. This is disk mechanics, not model pricing, so
+// it applies to the engine regardless of the cost model replayed against.
+func predictedSeeks(t *schema.Table, parts []schema.Set, query schema.Set, d cost.Disk) int64 {
+	var totalRowSize int64
+	for _, p := range parts {
+		if p.Overlaps(query) {
+			totalRowSize += t.SetSize(p)
+		}
+	}
+	var seeks int64
+	for _, p := range parts {
+		if p.Overlaps(query) {
+			seeks += cost.PartitionSeeks(t.Rows, t.SetSize(p), totalRowSize, d)
+		}
+	}
+	return seeks
+}
+
+// Algorithm searches the FULL-scale table workload with the named algorithm
+// ("Row" and "Column" name the baseline families) and replays the resulting
+// layout. The search runs under a process-wide search slot, like every other
+// kernel invocation.
+func Algorithm(tw schema.TableWorkload, name string, cfg Config) (*TableReplay, error) {
+	_, model, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	layout, resolved, err := layoutFor(tw, name, model)
+	if err != nil {
+		return nil, err
+	}
+	return Layout(tw, layout, resolved, cfg)
+}
+
+// layoutFor resolves an algorithm name to a layout for the workload.
+func layoutFor(tw schema.TableWorkload, name string, m cost.Model) (partition.Partitioning, string, error) {
+	if tw.Table == nil {
+		return partition.Partitioning{}, "", fmt.Errorf("replay: nil table")
+	}
+	switch strings.ToLower(name) {
+	case "row":
+		return partition.Row(tw.Table), "Row", nil
+	case "column":
+		return partition.Column(tw.Table), "Column", nil
+	}
+	a, err := algorithms.ByName(name)
+	if err != nil {
+		return partition.Partitioning{}, "", fmt.Errorf("replay: %w", err)
+	}
+	algo.AcquireSearchSlot()
+	defer algo.ReleaseSearchSlot()
+	res, err := a.Partition(tw, m)
+	if err != nil {
+		return partition.Partitioning{}, "", fmt.Errorf("replay: %s on %s: %w", a.Name(), tw.Table.Name, err)
+	}
+	return res.Partitioning, a.Name(), nil
+}
+
+// Benchmark replays every table of a benchmark under the named algorithm,
+// fanning tables out concurrently. Reports keep the benchmark's table
+// order; the lowest-index error wins, like every fan-out in this codebase.
+func Benchmark(b *schema.Benchmark, name string, cfg Config) ([]*TableReplay, error) {
+	if b == nil {
+		return nil, fmt.Errorf("replay: nil benchmark")
+	}
+	tws := b.TableWorkloads()
+	out := make([]*TableReplay, len(tws))
+	errs := make([]error, len(tws))
+	var wg sync.WaitGroup
+	for i, tw := range tws {
+		wg.Add(1)
+		go func(i int, tw schema.TableWorkload) {
+			defer wg.Done()
+			out[i], errs[i] = Algorithm(tw, name, cfg)
+		}(i, tw)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

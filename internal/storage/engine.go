@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"knives/internal/attrset"
 	"knives/internal/cost"
@@ -18,6 +19,21 @@ type ScanStats struct {
 	SimTime    float64 // seconds charged by the virtual disk
 	ReconJoins int64   // tuple-reconstruction joins performed
 	Checksum   uint64  // layout-independent digest of the projected values
+	CacheLines int64   // cache lines touched walking the referenced column-group streams
+	// Parts breaks the totals down per referenced partition, in the
+	// layout's canonical order — the same order the cost model sums its
+	// per-partition terms in, which is what lets replayed measurements
+	// equal model predictions bit for bit.
+	Parts []PartScanStats
+}
+
+// PartScanStats is one referenced partition's share of a scan.
+type PartScanStats struct {
+	Attrs      attrset.Set // the partition's column group
+	RowSize    int         // bytes per partition row
+	BytesRead  int64       // page bytes fetched for this partition
+	Seeks      int64       // buffer refills charged to this partition
+	CacheLines int64       // cache lines of the partition's logical stream touched
 }
 
 // Engine executes scan/projection queries over one table stored in a
@@ -32,7 +48,12 @@ type Engine struct {
 
 	parts      []enginePart
 	loadedRows int64
+	cacheLine  int64
 }
+
+// DefaultCacheLine is the cache-line granularity Scan counts logical-stream
+// transfers at; it matches cost.NewMM's 64-byte lines.
+const DefaultCacheLine = 64
 
 type enginePart struct {
 	attrs       attrset.Set
@@ -59,7 +80,7 @@ func NewEngine(layout partition.Partitioning, disk cost.Disk, newBackend func(na
 		}
 	}
 	t := layout.Table
-	e := &Engine{table: t, layout: layout.Canonical(), disk: disk}
+	e := &Engine{table: t, layout: layout.Canonical(), disk: disk, cacheLine: DefaultCacheLine}
 	for i, p := range e.layout.Parts {
 		ep := enginePart{attrs: p}
 		off := 0
@@ -95,41 +116,90 @@ func (e *Engine) Close() error {
 	return first
 }
 
+// SetCacheLine changes the granularity Scan counts cache-line transfers at.
+// The default matches cost.NewMM's 64-byte lines; the replay subsystem sets
+// it from the main-memory model it validates against. Must be called before
+// Scan, not concurrently with it.
+func (e *Engine) SetCacheLine(bytes int64) error {
+	if bytes <= 0 {
+		return fmt.Errorf("storage: cache line size %d must be positive", bytes)
+	}
+	e.cacheLine = bytes
+	return nil
+}
+
 // Load generates rows rows with gen and writes every partition's pages.
 func (e *Engine) Load(gen *Generator, rows int64) error {
+	return e.LoadParallel(gen, rows, 1)
+}
+
+// LoadParallel is Load with a partition-parallel worker pool: each partition
+// file is generated and written by one worker, workers at a time. Partitions
+// share nothing during materialization — the generator derives every value
+// from (seed, column, row) statelessly and each partition owns its backend —
+// so any worker count produces byte-identical files. workers <= 0 uses one
+// worker per partition.
+func (e *Engine) LoadParallel(gen *Generator, rows int64, workers int) error {
 	e.gen = gen
+	if workers <= 0 || workers > len(e.parts) {
+		workers = len(e.parts)
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(e.parts))
+	var wg sync.WaitGroup
 	for pi := range e.parts {
-		p := &e.parts[pi]
-		page := make([]byte, e.disk.BlockSize)
-		inPage := 0
-		for r := int64(0); r < rows; r++ {
-			base := inPage * p.rowSize
-			for ci, col := range p.cols {
-				c := e.table.Columns[col]
-				e.gen.Value(c, r, page[base+p.offsets[ci]:base+p.offsets[ci]+c.Size])
-			}
-			inPage++
-			if inPage == p.rowsPerPage {
-				if err := p.backend.WritePage(page); err != nil {
-					return err
-				}
-				zero(page)
-				inPage = 0
-			}
-		}
-		if inPage > 0 {
-			if err := p.backend.WritePage(page); err != nil {
-				return err
-			}
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[pi] = e.loadPart(&e.parts[pi], rows)
+		}(pi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	e.loadedRows = rows
 	return nil
 }
 
+// loadPart generates and writes one partition's pages.
+func (e *Engine) loadPart(p *enginePart, rows int64) error {
+	page := make([]byte, e.disk.BlockSize)
+	inPage := 0
+	for r := int64(0); r < rows; r++ {
+		base := inPage * p.rowSize
+		for ci, col := range p.cols {
+			c := e.table.Columns[col]
+			e.gen.Value(c, r, page[base+p.offsets[ci]:base+p.offsets[ci]+c.Size])
+		}
+		inPage++
+		if inPage == p.rowsPerPage {
+			if err := p.backend.WritePage(page); err != nil {
+				return err
+			}
+			zero(page)
+			inPage = 0
+		}
+	}
+	if inPage > 0 {
+		if err := p.backend.WritePage(page); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Scan executes a projection query: it reads every partition containing a
 // referenced attribute in full, reconstructs tuples, and digests the
 // projected attribute values into a layout-independent checksum.
+//
+// Scan keeps all of its state in local cursors and mutates nothing on the
+// engine, so after Load has returned, any number of Scans may run
+// concurrently over the same engine — the replay worker pool depends on it.
 func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 	var stats ScanStats
 	query = query.Intersect(e.table.AllAttrs())
@@ -155,6 +225,8 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 		buffered  int64  // pages remaining in the buffer
 		nextPage  int64  // next page index to fetch
 		inPage    int    // row index within the current page
+		seeks     int64  // buffer refills charged to this partition
+		bytes     int64  // page bytes fetched for this partition
 	}
 	cursors := make([]*cursor, len(refs))
 	for i, p := range refs {
@@ -170,13 +242,13 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 	// buffer allotment is exhausted (the cost model's refill rule).
 	fetch := func(c *cursor) error {
 		if c.buffered == 0 {
-			stats.Seeks++
+			c.seeks++
 			c.buffered = c.pagesBuff
 		}
 		if err := c.p.backend.ReadPage(c.nextPage, c.page); err != nil {
 			return err
 		}
-		stats.BytesRead += e.disk.BlockSize
+		c.bytes += e.disk.BlockSize
 		c.nextPage++
 		c.buffered--
 		c.inPage = 0
@@ -224,8 +296,34 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 		stats.ReconJoins += int64(len(refs) - 1)
 	}
 
-	stats.SimTime = float64(stats.Seeks)*e.disk.SeekTime +
-		float64(stats.BytesRead)/e.disk.ReadBandwidth
+	// Aggregate per-partition measurements in cursor (canonical layout)
+	// order, charging simulated time with the SAME per-partition grouping
+	// and summation order as cost.HDD.QueryCost — floating-point addition
+	// is not associative, so any other order could differ in the last bit.
+	for _, c := range cursors {
+		// Cache lines of the partition's logical stream entered by the row
+		// walk above: the walk is sequential and reads the partition in
+		// full, so the distinct lines touched are exactly the lines of
+		// [0, rows*rowSize) — counting them per row would recompute this
+		// constant in the hot loop.
+		var lines int64
+		if e.loadedRows > 0 {
+			lines = (e.loadedRows*int64(c.p.rowSize)-1)/e.cacheLine + 1
+		}
+		ps := PartScanStats{
+			Attrs:      c.p.attrs,
+			RowSize:    c.p.rowSize,
+			BytesRead:  c.bytes,
+			Seeks:      c.seeks,
+			CacheLines: lines,
+		}
+		stats.Parts = append(stats.Parts, ps)
+		stats.Seeks += ps.Seeks
+		stats.BytesRead += ps.BytesRead
+		stats.CacheLines += ps.CacheLines
+		stats.SimTime += e.disk.SeekTime*float64(ps.Seeks) +
+			float64(ps.BytesRead)/e.disk.ReadBandwidth
+	}
 	stats.Checksum = h.Sum64()
 	return stats, nil
 }

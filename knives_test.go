@@ -114,8 +114,8 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if got := len(knives.Experiments()); got != 24 {
-		t.Errorf("Experiments() has %d entries, want 24", got)
+	if got := len(knives.Experiments()); got != 25 {
+		t.Errorf("Experiments() has %d entries, want 25", got)
 	}
 	// Run the cheapest experiment end to end through the public API.
 	rep, err := knives.RunExperiment("tab4")

@@ -1,0 +1,49 @@
+package knives
+
+import (
+	"knives/internal/partition"
+	"knives/internal/replay"
+)
+
+// Replay types: the execution-backed validation layer. A replay
+// materializes a layout through the storage engine, executes the full
+// per-table workload with a parallel worker pool, and reports measured
+// seeks, bytes, and simulated time against the cost model's predictions —
+// which must agree bit for bit.
+type (
+	// ReplayConfig parameterizes a replay (cost model, disk, row cap,
+	// worker pool, seed, backend).
+	ReplayConfig = replay.Config
+	// TableReplay is the report of replaying one table's workload.
+	TableReplay = replay.TableReplay
+	// QueryReplay is one query's measured execution next to its prediction.
+	QueryReplay = replay.QueryReplay
+)
+
+// ReplayLayout materializes the table under the given layout and replays
+// the workload, comparing every measurement against the cost model.
+func ReplayLayout(tw TableWorkload, layout Partitioning, algorithm string, cfg ReplayConfig) (*TableReplay, error) {
+	return replay.Layout(tw, layout, algorithm, cfg)
+}
+
+// ReplayAlgorithm searches the full-scale workload with the named algorithm
+// ("Row" and "Column" name the baseline families) and replays the result.
+func ReplayAlgorithm(tw TableWorkload, name string, cfg ReplayConfig) (*TableReplay, error) {
+	return replay.Algorithm(tw, name, cfg)
+}
+
+// ReplayBenchmark replays every table of a benchmark under the named
+// algorithm, fanning tables out concurrently.
+func ReplayBenchmark(b *Benchmark, name string, cfg ReplayConfig) ([]*TableReplay, error) {
+	return replay.Benchmark(b, name, cfg)
+}
+
+// ReplayAdvice replays an advisor recommendation: the advised layout is
+// rebound onto the workload's table and replayed under the config.
+func ReplayAdvice(tw TableWorkload, advice TableAdvice, cfg ReplayConfig) (*TableReplay, error) {
+	layout, err := partition.New(tw.Table, advice.Layout.Parts)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Layout(tw, layout, advice.Algorithm, cfg)
+}
