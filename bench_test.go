@@ -221,6 +221,13 @@ func BenchmarkExtReplay(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "HillClimb", 3), "hillclimb-max-abs-delta")
 }
 
+func BenchmarkExtMigrate(b *testing.B) {
+	rep := runExperiment(b, "ext-migrate")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-migration-seconds")
+	b.ReportMetric(cell(b, rep, "HillClimb", 3), "hillclimb-break-even-queries")
+	b.ReportMetric(cell(b, rep, "Trojan", 3), "trojan-break-even-queries")
+}
+
 // Kernel benches: the parallel, incremental search kernel (see DESIGN.md).
 // The sequential/parallel pair below is the kernel's headline speedup
 // measurement on the paper's biggest exhaustive search — BruteForce over

@@ -20,6 +20,18 @@
 //	    Materialize advised layouts through the storage engine, replay the
 //	    workload, and verify measured I/O equals the cost model exactly.
 //
+//	knives migrate [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
+//	               [-algorithm advisor|NAME] [-model hdd|mm] [-buffer MB]
+//	               [-drift F] [-drift-seed N] [-window N]
+//	               [-rows N] [-workers N] [-seed N] [-backend mem|file] [-dir PATH]
+//	    Plan and execute the drift-triggered re-layout of each table: the
+//	    layout advised for the original workload is materialized, the
+//	    workload drifts by fraction F, the layout advised for the drifted
+//	    mix becomes the target, and the store is repartitioned in place —
+//	    with the measured migration cost checked against the cost model
+//	    and the migrated store verified against a fresh materialization,
+//	    both at zero tolerance (non-zero exit on any divergence).
+//
 //	knives experiment ID|all [-reps N]
 //	    Regenerate a paper figure/table (fig1..fig14, tab3..tab7).
 package main
@@ -60,6 +72,8 @@ func run(args []string) int {
 		err = runAdvise(args[1:])
 	case "replay":
 		err = runReplay(args[1:])
+	case "migrate":
+		err = runMigrate(args[1:])
 	case "experiment":
 		err = runExperiment(args[1:])
 	case "-h", "--help", "help":
@@ -119,6 +133,7 @@ commands:
   optimize [flags]          compute layouts for one or all tables
   advise [flags]            recommend the best layout per table
   replay [flags]            execute advised layouts and verify the cost model
+  migrate [flags]           plan + execute a drift-triggered re-layout and verify it
   experiment <id|all>       regenerate a paper figure or table
 
 run "knives <command> -h" for command flags`)
@@ -312,6 +327,135 @@ func runReplay(args []string) error {
 	}
 	if !allExact {
 		return fmt.Errorf("measured execution diverged from the cost model (see deltas above)")
+	}
+	return nil
+}
+
+func runMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ContinueOnError)
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	table := fs.String("table", "all", "table name or all")
+	algoName := fs.String("algorithm", "advisor",
+		"layout source for both endpoints: an algorithm name or advisor (portfolio winner)")
+	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
+	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	drift := fs.Float64("drift", 0.5, "fraction of the workload replaced by perturbed queries")
+	driftSeed := fs.Int64("drift-seed", 42, "seed for the deterministic workload drift")
+	window := fs.Int64("window", 0, "break-even horizon bound in queries (0 = default)")
+	rows := fs.Int64("rows", 0, "max rows materialized per table (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the numbers")
+	seed := fs.Int64("seed", 1, "data generator seed")
+	backend := fs.String("backend", "mem", "partition page store: mem or file")
+	dir := fs.String("dir", "", "directory for -backend file (default: a fresh temp dir)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	if *rows < 0 {
+		return usageError{err: fmt.Errorf("-rows %d must be non-negative", *rows)}
+	}
+	if *drift < 0 || *drift > 1 {
+		return usageError{err: fmt.Errorf("-drift %v outside [0, 1]", *drift)}
+	}
+	disk := knives.DefaultDisk()
+	disk.BufferSize = int64(*bufferMB * float64(1<<20))
+	model, err := knives.CostModelByName(*modelName, disk)
+	if err != nil {
+		return err
+	}
+	cfg := knives.MigrationConfig{
+		Model:   *modelName,
+		Disk:    disk,
+		MaxRows: *rows,
+		Workers: *workers,
+		Seed:    *seed,
+		Backend: *backend,
+		Dir:     *dir,
+	}
+	if *backend == "file" && *dir == "" {
+		tmp, err := os.MkdirTemp("", "knives-migrate-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		cfg.Dir = tmp
+	}
+	// Validate the execution config before any portfolio search runs: an
+	// unknown backend must fail fast, not after minutes of optimization
+	// (and not never, when every table's plan happens to be an identity).
+	if _, _, err := cfg.Normalized(); err != nil {
+		return err
+	}
+
+	// Per table: the FROM layout is what the source advises for the
+	// original workload, the TO layout what it advises after the workload
+	// drifts. The advisor path races the portfolio; a named algorithm uses
+	// that algorithm on both endpoints.
+	layoutFor := func(tw knives.TableWorkload) (knives.Partitioning, string, error) {
+		if strings.EqualFold(*algoName, "advisor") {
+			advice, err := knives.AdviseTable(tw, model)
+			if err != nil {
+				return knives.Partitioning{}, "", err
+			}
+			return advice.Layout, advice.Algorithm, nil
+		}
+		a, err := knives.AlgorithmByName(*algoName)
+		if err != nil {
+			return knives.Partitioning{}, "", err
+		}
+		res, err := a.Partition(tw, model)
+		if err != nil {
+			return knives.Partitioning{}, "", err
+		}
+		return res.Partitioning, a.Name(), nil
+	}
+
+	matched := false
+	allExact := true
+	for _, tw := range bench.TableWorkloads() {
+		if *table != "all" && tw.Table.Name != *table {
+			continue
+		}
+		matched = true
+		drifted := knives.DriftWorkload(tw, *drift, *driftSeed)
+		from, fromAlgo, err := layoutFor(tw)
+		if err != nil {
+			return err
+		}
+		to, toAlgo, err := layoutFor(drifted)
+		if err != nil {
+			return err
+		}
+		plan, err := knives.MigratePlan(drifted, from, to, model, *window)
+		if err != nil {
+			return err
+		}
+		plan.FromAlgorithm, plan.ToAlgorithm = fromAlgo, toAlgo
+		if plan.From.Equal(plan.To) {
+			fmt.Print(plan)
+			fmt.Println()
+			continue
+		}
+		rep, err := knives.MigrateExecute(drifted, plan, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		fmt.Println()
+		if !rep.Exact() {
+			allExact = false
+		}
+	}
+	if !matched {
+		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
+	}
+	if !allExact {
+		return fmt.Errorf("migration diverged: measured cost != predicted, or the migrated store failed verification (see above)")
 	}
 	return nil
 }

@@ -148,6 +148,51 @@ func TestRunReplayRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunMigrateSmallTable(t *testing.T) {
+	// Partsupp at SF 0.01: the full advise-drift-plan-execute-verify path.
+	// The command errors (exit 1) on any measured/predicted divergence, so
+	// a nil error IS the zero-tolerance assertion.
+	if err := runMigrate([]string{"-table", "partsupp", "-sf", "0.01", "-rows", "500",
+		"-drift", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	// A named algorithm, the MM model, and the file backend all flow
+	// through the same path.
+	if err := runMigrate([]string{"-table", "partsupp", "-sf", "0.01", "-rows", "500",
+		"-algorithm", "HillClimb", "-model", "mm", "-backend", "file", "-drift", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero drift: identical layouts, a refused identity plan, success.
+	if err := runMigrate([]string{"-table", "region", "-sf", "0.01", "-rows", "500",
+		"-drift", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMigrateRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-model", "quantum"},
+		{"-benchmark", "mystery"},
+		{"-algorithm", "Nope", "-table", "region", "-sf", "0.01"},
+		{"-table", "nonexistent", "-sf", "0.01"},
+		{"-backend", "s3", "-table", "region", "-sf", "0.01"},
+		{"-rows", "-4", "-table", "region", "-sf", "0.01"},
+		{"-drift", "1.5", "-table", "region", "-sf", "0.01"},
+		{"-drift", "-0.1", "-table", "region", "-sf", "0.01"},
+	}
+	for _, args := range cases {
+		if err := runMigrate(args); err == nil {
+			t.Errorf("runMigrate(%v) accepted bad input", args)
+		}
+	}
+	if got := run([]string{"migrate", "-nosuchflag"}); got != 2 {
+		t.Errorf("migrate usage error exited %d, want 2", got)
+	}
+	if got := run([]string{"migrate", "-table", "nonexistent", "-sf", "0.01"}); got != 1 {
+		t.Errorf("migrate unknown table exited %d, want 1", got)
+	}
+}
+
 func TestRunExperimentCheapID(t *testing.T) {
 	// tab4 touches only Lineitem prefixes with HillClimb: cheap enough for
 	// a smoke test of the full experiment path.

@@ -7,7 +7,7 @@
 //
 //	knivesd [-addr :7978] [-model hdd|mm] [-buffer MB]
 //	        [-drift-threshold 0.15] [-drift-window N]
-//	        [-prewarm tpch|ssb] [-sf N]
+//	        [-migrate-window N] [-prewarm tpch|ssb] [-sf N]
 //
 // Endpoints:
 //
@@ -16,9 +16,13 @@
 //	               materialize through the storage engine, replay, and
 //	               report measured vs predicted cost (fingerprint-cached)
 //	POST /observe  {table, queries} -> drift report + current advice
+//	POST /migrate  {table, window, max_rows, seed, workers} -> plan the
+//	               applied->advised re-layout against the observed mix,
+//	               execute + verify it on a sampled store, and advance the
+//	               applied layout when it proves out (pair-cached)
 //	GET  /advice?table=NAME         -> current tracked advice
 //	GET  /tables                    -> registered tables
-//	GET  /stats                     -> cache and drift counters
+//	GET  /stats                     -> cache, drift, and migration counters
 //	GET  /healthz                   -> liveness
 package main
 
@@ -35,6 +39,7 @@ import (
 
 	"knives/internal/advisor"
 	"knives/internal/cost"
+	"knives/internal/migrate"
 	"knives/internal/schema"
 )
 
@@ -48,6 +53,7 @@ type config struct {
 	model          cost.Model
 	driftThreshold float64
 	driftWindow    int
+	migrateWindow  int64
 	prewarm        *schema.Benchmark
 }
 
@@ -61,6 +67,8 @@ func parseFlags(args []string) (config, error) {
 		"relative cost divergence past which cached advice is recomputed")
 	driftWindow := fs.Int("drift-window", advisor.DefaultDriftWindow,
 		"observed queries each tracker retains (0 = default, negative = unbounded; offline replays only)")
+	migrateWindow := fs.Int64("migrate-window", migrate.DefaultWindow,
+		"default break-even horizon bound for /migrate plans, in queries of the observed mix")
 	prewarm := fs.String("prewarm", "", "benchmark to prewarm advice for: tpch or ssb (empty = none)")
 	sf := fs.Float64("sf", 10, "scale factor for -prewarm")
 	if err := fs.Parse(args); err != nil {
@@ -75,10 +83,14 @@ func parseFlags(args []string) (config, error) {
 		// flag value must not be reinterpreted.
 		return config{}, fmt.Errorf("-drift-threshold must be positive (got %v)", *driftThreshold)
 	}
+	if *migrateWindow <= 0 || *migrateWindow > advisor.MaxMigrateWindow {
+		return config{}, fmt.Errorf("-migrate-window must be in (0, %d] (got %v)", advisor.MaxMigrateWindow, *migrateWindow)
+	}
 	cfg := config{
 		addr:           *addr,
 		driftThreshold: *driftThreshold,
 		driftWindow:    *driftWindow,
+		migrateWindow:  *migrateWindow,
 	}
 	disk := cost.DefaultDisk()
 	disk.BufferSize = int64(*bufferMB * float64(1<<20))
@@ -103,6 +115,7 @@ func newService(cfg config) (*advisor.Service, error) {
 		Model:          cfg.model,
 		DriftThreshold: cfg.driftThreshold,
 		DriftWindow:    cfg.driftWindow,
+		MigrateWindow:  cfg.migrateWindow,
 	})
 	if cfg.prewarm != nil {
 		if err := svc.Prewarm(cfg.prewarm); err != nil {

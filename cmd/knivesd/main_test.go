@@ -7,6 +7,7 @@ import (
 
 	"knives/internal/advisor"
 	"knives/internal/cost"
+	"knives/internal/migrate"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -26,6 +27,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.prewarm != nil {
 		t.Error("prewarm benchmark set by default")
 	}
+	if cfg.migrateWindow != migrate.DefaultWindow {
+		t.Errorf("migrate window = %d, want %d", cfg.migrateWindow, migrate.DefaultWindow)
+	}
 }
 
 func TestParseFlagsRejectsBadValues(t *testing.T) {
@@ -35,6 +39,9 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-buffer", "0"},
 		{"-drift-threshold", "0"},
 		{"-drift-threshold", "-1"},
+		{"-migrate-window", "0"},
+		{"-migrate-window", "-5"},
+		{"-migrate-window", "2000000000"},
 		{"-nosuchflag"},
 	} {
 		if _, err := parseFlags(args); err == nil {

@@ -1,11 +1,15 @@
-// Knivesd: the advisor as a service, drift included.
+// Knivesd: the advisor as a service, drift and migration included.
 //
 // This example runs the knivesd HTTP server in-process on a random port,
 // asks it for advice on a telemetry table, hammers the same question again
 // (served from the fingerprint cache), then streams a shifted query log at
 // /observe until the O2P-backed drift tracker notices the advised layout
 // has gone stale and recomputes it — the paper's Section 6.3 workload-drift
-// aside, operational.
+// aside, operational. Finally it closes the loop with POST /migrate: the
+// service prices the transition from the layout the store still holds to
+// the recomputed advice, computes the break-even horizon over the observed
+// mix, executes the repartition on a sampled store, and verifies it at
+// zero tolerance before declaring the new layout applied.
 package main
 
 import (
@@ -87,10 +91,30 @@ func main() {
 		}
 	}
 
+	// The advice moved, but the store did not: ask the migration engine
+	// whether acting on the drift pays for itself, and prove the
+	// repartition safe on a sampled twin.
+	mig, err := client.Migrate(ctx, advisor.MigrateRequest{Table: "events", MaxRows: 5_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmigrate %s -> %s:\n", mig.FromAlgorithm, mig.ToAlgorithm)
+	fmt.Printf("  migration cost %.3e s, gain %.3e s/query\n",
+		mig.MigrationSeconds, mig.PerQueryFrom-mig.PerQueryTo)
+	if mig.Viable {
+		fmt.Printf("  breaks even after %d queries (window %d)\n", mig.BreakEven, mig.Window)
+	} else {
+		fmt.Printf("  refused: %s\n", mig.Reason)
+	}
+	if mig.Executed {
+		fmt.Printf("  sampled execution on %d rows: cost exact=%v, migrated==fresh=%v, applied=%v\n",
+			mig.RowsExecuted, mig.CostExact, mig.VerifyExact, mig.AppliedUpdated)
+	}
+
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nstats: %d requests, %d hits, %d searches, %d drift recomputes\n",
-		stats.Requests, stats.Hits, stats.Searches, stats.Recomputes)
+	fmt.Printf("\nstats: %d requests, %d hits, %d searches, %d drift recomputes, %d migrations\n",
+		stats.Requests, stats.Hits, stats.Searches, stats.Recomputes, stats.Migrations)
 }

@@ -89,6 +89,14 @@ func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveRespon
 	return resp, err
 }
 
+// Migrate requests a drift-triggered migration plan (and sampled
+// execute-and-verify run) for a registered table.
+func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrationWire, error) {
+	var resp MigrationWire
+	err := c.do(ctx, http.MethodPost, "/migrate", req, &resp)
+	return resp, err
+}
+
 // Advice fetches the current tracked advice for one table.
 func (c *Client) Advice(ctx context.Context, table string) (TableAdviceWire, error) {
 	var resp TableAdviceWire

@@ -49,6 +49,12 @@ type Tracker struct {
 	// re-advising the identical workload can be recognized and preserve
 	// the accumulated observation state instead of resetting it.
 	regFP Fingerprint
+	// applied is the layout the client's STORE is assumed to hold: the
+	// advice of the registration, untouched by drift recomputes (drift
+	// changes what the service would advise, not what the store physically
+	// is) until a migration verifies and marks the new layout applied.
+	applied   TableAdvice
+	appliedFP Fingerprint
 }
 
 // DefaultDriftThreshold is the relative cost divergence that invalidates
@@ -75,6 +81,8 @@ func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, thres
 		log:       append([]schema.TableQuery(nil), tw.Queries...),
 		advice:    advice,
 		regFP:     fp,
+		applied:   advice,
+		appliedFP: fp,
 	}
 	t.trim()
 	return t
@@ -113,7 +121,9 @@ type DriftReport struct {
 // recomputation it returns the fresh advice PAIRED with the log snapshot it
 // was computed from (taken under the same critical section), so the service
 // caches exactly that workload's fingerprint — never a newer advice under
-// an older workload's key.
+// an older workload's key. The Fingerprint return is the one the tracker
+// covered BEFORE the recompute re-keyed it: the service evicts that key's
+// replay reports, which were computed for advice the drift just invalidated.
 //
 // The shadow run and the portfolio recompute execute outside the tracker
 // lock: a drift-triggered search on a big table must not stall concurrent
@@ -127,7 +137,7 @@ type DriftReport struct {
 // on validated input do not realistically fail (errors require an invalid
 // layout, which validated queries cannot produce), so this trade is taken
 // over the extra locking a staged commit would need.
-func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
 	t.mu.Lock()
 	// Validate against the CURRENT table inside the lock: the caller may
 	// have built attr bitmasks against a schema snapshot that a concurrent
@@ -138,18 +148,18 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice
 	for _, q := range queries {
 		if q.Attrs.IsEmpty() {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: query %s references no attributes", ErrBadObservation, q.ID)
 		}
 		if !all.ContainsAll(q.Attrs) {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: query %s references %v of table %s (re-advise)",
 				ErrStaleSchema, q.ID, q.Attrs, t.table.Name)
 		}
 		if !(q.Weight >= 0) { // negated compare also rejects NaN
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
 		}
 	}
@@ -162,24 +172,24 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice
 // to a different column index nor slip an out-of-range bitmask through.
 // Unknown names map to ErrStaleSchema — with name-based observation, an
 // unknown column almost always means the schema moved under the client.
-func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
 	t.mu.Lock()
 	queries := make([]schema.TableQuery, 0, len(named))
 	for i, oq := range named {
 		if len(oq.Attrs) == 0 {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: observed query %d references no columns", ErrBadObservation, i+1)
 		}
 		if !(oq.Weight >= 0) { // negated compare also rejects NaN
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: observed query %d has invalid weight %v", ErrBadObservation, i+1, oq.Weight)
 		}
 		attrs, err := resolveAttrs(t.table, oq.Attrs)
 		if err != nil {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, fmt.Errorf(
+			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
 				"%w: observed query %d: %v (re-advise)", ErrStaleSchema, i+1, err)
 		}
 		weight := oq.Weight
@@ -197,7 +207,7 @@ func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, s
 
 // observeLocked appends validated queries and runs the drift check. It is
 // entered with t.mu held and releases it before the searches.
-func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, error) {
+func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
 	t.log = append(t.log, queries...)
 	t.observed += int64(len(queries))
 	t.trim()
@@ -220,7 +230,7 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 	// an empty poll must not burn a process-wide search slot re-pricing a
 	// log that hasn't changed.
 	if len(queries) == 0 || len(tw.Queries) == 0 {
-		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
 	}
 
 	// The shadow search draws from the same process-wide budget as every
@@ -230,7 +240,7 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 	shadow, err := o2p.New().Partition(tw, t.model)
 	algo.ReleaseSearchSlot()
 	if err != nil {
-		return rep, TableAdvice{}, schema.TableWorkload{}, err
+		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, err
 	}
 	advisedCost := cost.WorkloadCost(t.model, tw, advised.Layout.Parts)
 	switch {
@@ -242,13 +252,13 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 		rep.Ratio = math.Inf(1)
 	}
 	if rep.Ratio <= t.threshold {
-		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
 	}
 
 	rep.Drifted = true
 	fresh, err := AdviseTable(tw, t.model)
 	if err != nil {
-		return rep, TableAdvice{}, schema.TableWorkload{}, err
+		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, err
 	}
 	t.mu.Lock()
 	// Install only if (a) no re-registration (setAdvice) landed while the
@@ -263,13 +273,19 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 	// last. The (fresh, snapshot) pair returned below stays valid either
 	// way: the service caches it under the snapshot's own fingerprint.
 	installed := t.gen == gen && obsAt >= t.advObserved
+	var prevFP Fingerprint
 	if installed {
 		t.advice = fresh
 		t.advObserved = obsAt
 		// The tracker now effectively tracks the observed snapshot: re-key
 		// regFP so a client re-advising exactly this workload (the
 		// fingerprint GET /advice reports) is recognized as identical and
-		// preserves the observation state instead of resetting it.
+		// preserves the observation state instead of resetting it. The key
+		// it covered until now goes back to the service, which evicts that
+		// fingerprint's replay reports — they were computed for the advice
+		// this install just invalidated, and a post-drift /replay must not
+		// serve a stale layout's report from cache.
+		prevFP = t.regFP
 		t.regFP = FingerprintOf(tw)
 		t.recomputes++
 		rep.Recomputed = true
@@ -280,9 +296,9 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 		// The search ran but a newer registration or sibling install
 		// superseded its result; report drift without claiming a
 		// recompute, and hand nothing back to cache.
-		return rep, TableAdvice{}, schema.TableWorkload{}, nil
+		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
 	}
-	return rep, fresh, tw, nil
+	return rep, fresh, tw, prevFP, nil
 }
 
 // Advice returns the tracker's current advice.
@@ -322,7 +338,40 @@ func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fing
 	t.recomputes = 0
 	t.advObserved = 0
 	t.regFP = fp
+	// A re-registration is a client declaring a (possibly new) store laid
+	// out as freshly advised, so the applied layout resets with it.
+	t.applied = advice
+	t.appliedFP = fp
 	t.trim()
+}
+
+// MigrationState returns, under one lock, everything a migration plan
+// needs: the layout the store is assumed to hold (applied), the current
+// advice the drift recomputes have moved to, the observed mix snapshot the
+// transition is priced against, and both fingerprints.
+func (t *Tracker) MigrationState() (applied TableAdvice, appliedFP Fingerprint, current TableAdvice, currentFP Fingerprint, tw schema.TableWorkload) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applied, t.appliedFP, t.advice, t.regFP, schema.TableWorkload{
+		Table:   t.table,
+		Queries: append([]schema.TableQuery(nil), t.log...),
+	}
+}
+
+// MarkApplied records that the store now physically holds the advice the
+// tracker currently tracks — called after a migration to it executed and
+// verified. The compare-and-set against currentFP makes a stale migration
+// (one planned before a newer drift recompute or re-registration moved the
+// advice) unable to claim application.
+func (t *Tracker) MarkApplied(currentFP Fingerprint) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.regFP != currentFP {
+		return false
+	}
+	t.applied = t.advice
+	t.appliedFP = t.regFP
+	return true
 }
 
 // matches reports whether fp identifies a workload the tracker already

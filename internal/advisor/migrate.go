@@ -1,0 +1,211 @@
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"knives/internal/migrate"
+	"knives/internal/partition"
+	"knives/internal/replay"
+	"knives/internal/schema"
+)
+
+// The migration endpoint: a drift-triggered client asks the service to
+// price, plan, and (when the layouts differ) execute-and-verify the
+// transition from the layout its store HOLDS (the tracker's applied
+// advice) to the layout the service now ADVISES (moved by drift
+// recomputes), amortized over the tracker's observed query mix. This is
+// the closing of the drift loop: PR-2's trackers detect the shift and
+// recompute advice; the migration engine decides whether acting on it pays
+// and proves the transition safe before anyone touches a production store.
+
+// DefaultMigrateCacheCapacity bounds the migration outcome cache. Outcomes
+// carry two replay reports plus the plan, the same weight class as replay
+// entries.
+const DefaultMigrateCacheCapacity = 256
+
+// MaxMigrateWindow bounds the requestable break-even horizon so a request
+// cannot make the planner accept an effectively-never horizon.
+const MaxMigrateWindow = 1_000_000_000
+
+// ErrBadMigrate reports migration options the service refuses to execute.
+var ErrBadMigrate = errors.New("advisor: invalid migrate request")
+
+// MigrateOptions are the knobs one migration request may turn. The zero
+// value uses the service defaults.
+type MigrateOptions struct {
+	// Window bounds the acceptable break-even horizon in queries; 0 uses
+	// the service's configured default.
+	Window int64
+	// MaxRows, Seed, Workers parameterize the sampled verification
+	// execution exactly like a replay (same limits).
+	MaxRows int64
+	Seed    int64
+	Workers int
+}
+
+// validate enforces the request-side limits (shared with replay where the
+// knobs are the same knobs).
+func (o MigrateOptions) validate() error {
+	if o.Window < 0 || o.Window > MaxMigrateWindow {
+		return fmt.Errorf("%w: window %d out of range [0, %d]", ErrBadMigrate, o.Window, MaxMigrateWindow)
+	}
+	if o.MaxRows < 0 || o.MaxRows > MaxReplayRows {
+		return fmt.Errorf("%w: max_rows %d out of range [0, %d]", ErrBadMigrate, o.MaxRows, MaxReplayRows)
+	}
+	if o.Workers < 0 || o.Workers > MaxReplayWorkers {
+		return fmt.Errorf("%w: workers %d out of range [0, %d]", ErrBadMigrate, o.Workers, MaxReplayWorkers)
+	}
+	return nil
+}
+
+// migrateKey identifies one cached migration outcome: the FINGERPRINT PAIR
+// (the workload the applied layout was advised for, the workload the
+// current advice covers), the fingerprint of the observed mix the plan is
+// amortized over — observation batches below the drift threshold move the
+// mix without re-keying the advice, and a break-even verdict priced on an
+// older mix must not answer for a newer one — plus every option that
+// changes the plan or the executed store.
+type migrateKey struct {
+	from, to Fingerprint
+	mix      Fingerprint
+	window   int64
+	rows     int64
+	seed     int64
+}
+
+// migrateEntry computes one migration outcome at most once, with the same
+// sync.Once discipline as the advice and replay caches.
+type migrateEntry struct {
+	once    sync.Once
+	outcome *MigrationOutcome
+	err     error
+}
+
+// MigrationOutcome is what one migration request resolves to.
+type MigrationOutcome struct {
+	Table string
+	// FromFP/ToFP are the fingerprint pair the outcome is cached under.
+	FromFP, ToFP Fingerprint
+	// Plan is the full-scale break-even analysis (Viable=false plans carry
+	// the refusal reason).
+	Plan *migrate.Plan
+	// Report is the sampled execute-and-verify run; nil when the layouts
+	// are identical and there is nothing to execute.
+	Report *migrate.Report
+	// AppliedUpdated reports whether this request moved the tracker's
+	// applied layout forward (the store is now considered migrated).
+	AppliedUpdated bool
+}
+
+// MigrateTable plans — and, when the layouts differ, executes and verifies
+// on a sampled store — the migration of a REGISTERED table from its
+// applied layout to its currently tracked advice, amortized over the
+// tracker's observed mix. Outcomes are cached by fingerprint pair; the
+// bool reports whether this call was served from cache. After a verified,
+// viable execution (or a no-op transition), the tracker's applied layout
+// advances, so a repeated /migrate converges to "nothing to migrate".
+func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutcome, bool, error) {
+	if err := opt.validate(); err != nil {
+		return nil, false, err
+	}
+	t, err := s.tracker(table)
+	if err != nil {
+		return nil, false, err
+	}
+	window := opt.Window
+	if window == 0 {
+		window = s.cfg.MigrateWindow
+	}
+	rcfg, err := s.replayConfig(ReplayOptions{MaxRows: opt.MaxRows, Seed: opt.Seed, Workers: opt.Workers})
+	if err != nil {
+		return nil, false, err
+	}
+	if rcfg.MaxRows == 0 {
+		rcfg.MaxRows = replay.DefaultMaxRows
+	}
+
+	applied, appliedFP, current, currentFP, tw := t.MigrationState()
+	s.migrations.Add(1)
+	key := migrateKey{
+		from: appliedFP, to: currentFP, mix: FingerprintOf(tw),
+		window: window, rows: rcfg.MaxRows, seed: rcfg.Seed,
+	}
+
+	s.mu.Lock()
+	e, ok := s.migrateEntries[key]
+	if !ok {
+		e = &migrateEntry{}
+		s.migrateEntries[key] = e
+		s.migrateOrder = evictOldest(s.migrateEntries, append(s.migrateOrder, key), s.cfg.MigrateCacheCapacity, key)
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		e.outcome, e.err = s.migrateOnce(table, applied, current, tw, key, rcfg)
+	})
+	if e.err != nil {
+		// Like a failed advice search or replay, a failed migration must
+		// not poison its cache key forever.
+		s.mu.Lock()
+		if s.migrateEntries[key] == e {
+			delete(s.migrateEntries, key)
+			for i, k := range s.migrateOrder {
+				if k == key {
+					s.migrateOrder = append(s.migrateOrder[:i], s.migrateOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil, false, e.err
+	}
+	if !ran {
+		s.migrateHits.Add(1)
+	}
+	// Advance the applied layout outside the once so cache hits converge
+	// too: the CAS against currentFP refuses if a newer drift recompute or
+	// re-registration moved the advice since this outcome was computed.
+	out := *e.outcome
+	if out.Plan != nil && (out.Report == nil || (out.Plan.Viable && out.Report.Exact())) {
+		out.AppliedUpdated = t.MarkApplied(currentFP)
+	}
+	return &out, !ran, nil
+}
+
+// migrateOnce computes one migration outcome: rebind both layouts onto the
+// tracked table, plan at full scale, and execute-and-verify on a sampled
+// in-memory store when the layouts differ.
+func (s *Service) migrateOnce(table string, applied, current TableAdvice, tw schema.TableWorkload, key migrateKey, rcfg migrate.Config) (*MigrationOutcome, error) {
+	from, err := partition.New(tw.Table, applied.Layout.Parts)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: applied layout: %w", err)
+	}
+	to, err := partition.New(tw.Table, current.Layout.Parts)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: advised layout: %w", err)
+	}
+	plan, err := migrate.New(tw, from, to, s.model, key.window)
+	if err != nil {
+		return nil, err
+	}
+	plan.FromAlgorithm, plan.ToAlgorithm = applied.Algorithm, current.Algorithm
+	out := &MigrationOutcome{Table: table, FromFP: key.from, ToFP: key.to, Plan: plan}
+	if plan.From.Equal(plan.To) {
+		// Nothing to move; the outcome is the refusal itself (and the
+		// caller advances the applied fingerprint — the store already
+		// matches the advice).
+		return out, nil
+	}
+	// Execute even when the plan was refused: a refusal backed by a
+	// verified sampled run is an honest refusal, and the execution never
+	// touches the client's store — it is a from-scratch sampled twin.
+	out.Report, err = migrate.Execute(tw, plan, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -13,6 +13,8 @@ import (
 //	POST /advise   workload in, per-table advice out (fingerprint cache)
 //	POST /replay   workload in -> advise, materialize, replay, report
 //	POST /observe  stream queries for a registered table (drift tracking)
+//	POST /migrate  plan + execute-and-verify a drift-triggered re-layout
+//	               of a registered table (fingerprint-pair cache)
 //	GET  /advice?table=NAME   current tracked advice for one table
 //	GET  /tables   registered table names
 //	GET  /stats    service counters
@@ -33,6 +35,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("POST /advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /replay", s.handleReplay)
 	s.mux.HandleFunc("POST /observe", s.handleObserve)
+	s.mux.HandleFunc("POST /migrate", s.handleMigrate)
 	s.mux.HandleFunc("GET /advice", s.handleAdvice)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -191,6 +194,33 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, ObserveResponse{Drift: rep, Advice: toWire(current, fp, false)})
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Table == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("advisor: migrate request names no table"))
+		return
+	}
+	out, cached, err := s.svc.MigrateTable(req.Table, MigrateOptions{
+		Window: req.Window, MaxRows: req.MaxRows, Seed: req.Seed, Workers: req.Workers,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBadMigrate):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrNotRegistered):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, toMigrationWire(out, cached))
 }
 
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {

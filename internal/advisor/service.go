@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"knives/internal/cost"
+	"knives/internal/migrate"
 	"knives/internal/schema"
 )
 
@@ -38,6 +39,14 @@ type Config struct {
 	// advice cache). 0 uses DefaultReplayCacheCapacity, negative disables
 	// eviction.
 	ReplayCacheCapacity int
+	// MigrateWindow is the default break-even horizon bound (in queries of
+	// the tracked mix) for migration plans whose request does not name one.
+	// 0 uses migrate.DefaultWindow.
+	MigrateWindow int64
+	// MigrateCacheCapacity bounds the migration outcome cache (FIFO, like
+	// the replay cache). 0 uses DefaultMigrateCacheCapacity, negative
+	// disables eviction.
+	MigrateCacheCapacity int
 }
 
 // DefaultCacheCapacity bounds the advice cache in a long-running daemon:
@@ -60,20 +69,24 @@ type Service struct {
 	cfg   Config
 	model cost.Model
 
-	mu            sync.Mutex
-	entries       map[Fingerprint]*entry
-	order         []Fingerprint // insertion order, for FIFO eviction
-	trackers      map[string]*Tracker
-	trackerOrder  []string // registration order, for FIFO eviction
-	replayEntries map[replayKey]*replayEntry
-	replayOrder   []replayKey // insertion order, for FIFO eviction
+	mu             sync.Mutex
+	entries        map[Fingerprint]*entry
+	order          []Fingerprint // insertion order, for FIFO eviction
+	trackers       map[string]*Tracker
+	trackerOrder   []string // registration order, for FIFO eviction
+	replayEntries  map[replayKey]*replayEntry
+	replayOrder    []replayKey // insertion order, for FIFO eviction
+	migrateEntries map[migrateKey]*migrateEntry
+	migrateOrder   []migrateKey // insertion order, for FIFO eviction
 
-	requests   atomic.Int64 // table advice requests answered
-	hits       atomic.Int64 // answered from cache without searching
-	searches   atomic.Int64 // portfolio searches actually run
-	recomputes atomic.Int64 // drift-triggered recomputations
-	replays    atomic.Int64 // table replay requests answered
-	replayHits atomic.Int64 // replays answered from cache without executing
+	requests    atomic.Int64 // table advice requests answered
+	hits        atomic.Int64 // answered from cache without searching
+	searches    atomic.Int64 // portfolio searches actually run
+	recomputes  atomic.Int64 // drift-triggered recomputations
+	replays     atomic.Int64 // table replay requests answered
+	replayHits  atomic.Int64 // replays answered from cache without executing
+	migrations  atomic.Int64 // migration requests answered
+	migrateHits atomic.Int64 // migrations answered from cache without executing
 }
 
 // entry computes one workload's advice at most once. The service mutex only
@@ -107,12 +120,19 @@ func NewService(cfg Config) *Service {
 	if cfg.ReplayCacheCapacity == 0 {
 		cfg.ReplayCacheCapacity = DefaultReplayCacheCapacity
 	}
+	if cfg.MigrateWindow == 0 {
+		cfg.MigrateWindow = migrate.DefaultWindow
+	}
+	if cfg.MigrateCacheCapacity == 0 {
+		cfg.MigrateCacheCapacity = DefaultMigrateCacheCapacity
+	}
 	return &Service{
-		cfg:           cfg,
-		model:         m,
-		entries:       make(map[Fingerprint]*entry),
-		trackers:      make(map[string]*Tracker),
-		replayEntries: make(map[replayKey]*replayEntry),
+		cfg:            cfg,
+		model:          m,
+		entries:        make(map[Fingerprint]*entry),
+		trackers:       make(map[string]*Tracker),
+		replayEntries:  make(map[replayKey]*replayEntry),
+		migrateEntries: make(map[migrateKey]*migrateEntry),
 	}
 }
 
@@ -133,12 +153,17 @@ type Stats struct {
 	Replays       int64 `json:"replays"`
 	ReplayHits    int64 `json:"replay_hits"`
 	CachedReplays int   `json:"cached_replays"`
+	// Migrations counts migration requests answered; MigrateHits the ones
+	// served from the outcome cache without planning or executing.
+	Migrations       int64 `json:"migrations"`
+	MigrateHits      int64 `json:"migrate_hits"`
+	CachedMigrations int   `json:"cached_migrations"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	cached, tracked, cachedReplays := len(s.entries), len(s.trackers), len(s.replayEntries)
+	cached, tracked, cachedReplays, cachedMigrations := len(s.entries), len(s.trackers), len(s.replayEntries), len(s.migrateEntries)
 	s.mu.Unlock()
 	// Load hits before requests: a request increments requests first, so
 	// this order can only overcount misses, never report a negative count.
@@ -146,17 +171,22 @@ func (s *Service) Stats() Stats {
 	req := s.requests.Load()
 	replayHits := s.replayHits.Load()
 	replays := s.replays.Load()
+	migrateHits := s.migrateHits.Load()
+	migrations := s.migrations.Load()
 	return Stats{
-		Requests:      req,
-		Hits:          hits,
-		Misses:        req - hits,
-		Searches:      s.searches.Load(),
-		Recomputes:    s.recomputes.Load(),
-		Cached:        cached,
-		Tracked:       tracked,
-		Replays:       replays,
-		ReplayHits:    replayHits,
-		CachedReplays: cachedReplays,
+		Requests:         req,
+		Hits:             hits,
+		Misses:           req - hits,
+		Searches:         s.searches.Load(),
+		Recomputes:       s.recomputes.Load(),
+		Cached:           cached,
+		Tracked:          tracked,
+		Replays:          replays,
+		ReplayHits:       replayHits,
+		CachedReplays:    cachedReplays,
+		Migrations:       migrations,
+		MigrateHits:      migrateHits,
+		CachedMigrations: cachedMigrations,
 	}
 }
 
@@ -371,8 +401,8 @@ func (s *Service) Observe(table string, queries []schema.TableQuery) (DriftRepor
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, fresh, snapshot, err := t.Observe(normalizeQueryWeights(queries))
-	return s.afterObserve(rep, fresh, snapshot, err)
+	rep, fresh, snapshot, prevFP, err := t.Observe(normalizeQueryWeights(queries))
+	return s.afterObserve(rep, fresh, snapshot, prevFP, err)
 }
 
 // ObserveNamed is Observe for queries carrying column names; resolution
@@ -382,8 +412,8 @@ func (s *Service) ObserveNamed(table string, named []ObservedQry) (DriftReport, 
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, fresh, snapshot, err := t.ObserveNamed(named)
-	return s.afterObserve(rep, fresh, snapshot, err)
+	rep, fresh, snapshot, prevFP, err := t.ObserveNamed(named)
+	return s.afterObserve(rep, fresh, snapshot, prevFP, err)
 }
 
 // ErrNotRegistered reports an operation on a table no drift tracker covers
@@ -402,8 +432,9 @@ func (s *Service) tracker(table string) (*Tracker, error) {
 	return t, nil
 }
 
-// afterObserve books a drift recompute into the stats and the cache.
-func (s *Service) afterObserve(rep DriftReport, fresh TableAdvice, snapshot schema.TableWorkload, err error) (DriftReport, error) {
+// afterObserve books a drift recompute into the stats and the cache, and
+// evicts the replay reports the recompute invalidated.
+func (s *Service) afterObserve(rep DriftReport, fresh TableAdvice, snapshot schema.TableWorkload, prevFP Fingerprint, err error) (DriftReport, error) {
 	if err != nil {
 		return rep, err
 	}
@@ -414,11 +445,35 @@ func (s *Service) afterObserve(rep DriftReport, fresh TableAdvice, snapshot sche
 		// safe to cache even if newer batches have since moved the tracker.
 		e := &entry{advice: fresh}
 		e.once.Do(func() {}) // mark resolved
+		snapFP := FingerprintOf(snapshot)
 		s.mu.Lock()
-		s.insertLocked(FingerprintOf(snapshot), e)
+		s.insertLocked(snapFP, e)
+		// A recompute means the advice this tracker serves MOVED: replay
+		// reports cached under the fingerprint it covered until now (and
+		// under the snapshot's own key, if a client replayed it while an
+		// older advice entry answered it) describe a layout the daemon no
+		// longer advises. Without this eviction, a post-drift /replay
+		// would serve the stale layout's report from cache.
+		s.dropReplaysLocked(prevFP)
+		s.dropReplaysLocked(snapFP)
 		s.mu.Unlock()
 	}
 	return rep, nil
+}
+
+// dropReplaysLocked evicts every cached replay report keyed by the given
+// workload fingerprint (any rows/seed combination), preserving the
+// order-slice invariant. Callers hold s.mu.
+func (s *Service) dropReplaysLocked(fp Fingerprint) {
+	kept := s.replayOrder[:0]
+	for _, k := range s.replayOrder {
+		if k.fp == fp {
+			delete(s.replayEntries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	s.replayOrder = kept
 }
 
 // CurrentAdvice returns the tracked advice for a registered table.

@@ -135,6 +135,99 @@ type ReplayResponse struct {
 	Reports []TableReplayWire `json:"reports"`
 }
 
+// MigrateRequest is the body of POST /migrate: plan (and, when the layouts
+// differ, execute-and-verify on a sampled store) the migration of a
+// registered table from the layout its store holds to the service's
+// current — possibly drift-recomputed — advice, amortized over the
+// tracker's observed query mix.
+type MigrateRequest struct {
+	Table string `json:"table"`
+	// Window bounds the acceptable break-even horizon in queries of the
+	// observed mix (0 = server default). Plans beyond it are refused.
+	Window int64 `json:"window,omitempty"`
+	// MaxRows, Seed, Workers parameterize the sampled verification
+	// execution, exactly like /replay's knobs.
+	MaxRows int64 `json:"max_rows,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+// MigrationWire is one migration outcome as served over HTTP.
+type MigrationWire struct {
+	Table         string     `json:"table"`
+	FromAlgorithm string     `json:"from_algorithm"`
+	ToAlgorithm   string     `json:"to_algorithm"`
+	FromLayout    [][]string `json:"from_layout"`
+	ToLayout      [][]string `json:"to_layout"`
+	Model         string     `json:"model"`
+	// The plan: full-scale migration cost, per-query gain on the observed
+	// mix, and the break-even verdict.
+	MigrationSeconds float64 `json:"migration_seconds"`
+	PerQueryFrom     float64 `json:"per_query_from"`
+	PerQueryTo       float64 `json:"per_query_to"`
+	BreakEven        int64   `json:"break_even,omitempty"`
+	Window           int64   `json:"window"`
+	Viable           bool    `json:"viable"`
+	Reason           string  `json:"reason,omitempty"`
+	// The sampled execute-and-verify run (absent when nothing moved).
+	Executed         bool    `json:"executed"`
+	RowsExecuted     int64   `json:"rows_executed,omitempty"`
+	MeasuredSeconds  float64 `json:"measured_seconds,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	CostExact        bool    `json:"cost_exact"`
+	VerifyExact      bool    `json:"verify_exact"`
+	// AppliedUpdated reports whether the tracker now considers the store
+	// migrated to the advised layout.
+	AppliedUpdated bool   `json:"applied_updated"`
+	FromFP         string `json:"from_fingerprint"`
+	ToFP           string `json:"to_fingerprint"`
+	Cached         bool   `json:"cached"`
+}
+
+// toMigrationWire renders a migration outcome for the wire.
+func toMigrationWire(o *MigrationOutcome, cached bool) MigrationWire {
+	p := o.Plan
+	t := p.Table
+	layoutNames := func(pg [][]string, parts []schema.Set) [][]string {
+		for _, part := range parts {
+			pg = append(pg, t.AttrNames(part))
+		}
+		return pg
+	}
+	w := MigrationWire{
+		Table:            o.Table,
+		FromAlgorithm:    p.FromAlgorithm,
+		ToAlgorithm:      p.ToAlgorithm,
+		FromLayout:       layoutNames(nil, p.From.Parts),
+		ToLayout:         layoutNames(nil, p.To.Parts),
+		Model:            p.Model,
+		MigrationSeconds: p.Migration.Seconds,
+		PerQueryFrom:     p.PerQueryFrom,
+		PerQueryTo:       p.PerQueryTo,
+		BreakEven:        p.BreakEven,
+		Window:           p.Window,
+		Viable:           p.Viable,
+		Reason:           p.Reason,
+		AppliedUpdated:   o.AppliedUpdated,
+		FromFP:           o.FromFP.String(),
+		ToFP:             o.ToFP.String(),
+		Cached:           cached,
+	}
+	if r := o.Report; r != nil {
+		w.Executed = true
+		w.RowsExecuted = r.RowsExecuted
+		w.MeasuredSeconds = r.MeasuredSeconds
+		w.PredictedSeconds = r.PredictedSeconds
+		w.CostExact = r.CostExact()
+		w.VerifyExact = r.VerifyExact()
+	} else {
+		// Nothing moved; trivially exact.
+		w.CostExact = true
+		w.VerifyExact = true
+	}
+	return w
+}
+
 // ObserveRequest is the body of POST /observe: a batch of queries seen on
 // one registered table.
 type ObserveRequest struct {

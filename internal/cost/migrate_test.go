@@ -1,0 +1,214 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/schema"
+)
+
+func migTable(t *testing.T) *schema.Table {
+	t.Helper()
+	tab, err := schema.NewTable("m", 100_000, []schema.Column{
+		{Name: "a", Size: 4},
+		{Name: "b", Size: 8},
+		{Name: "c", Size: 4},
+		{Name: "d", Size: 100},
+		{Name: "e", Size: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestMigrationCostHDDManual recomputes a split transition by hand from
+// the published formulas and demands bit equality.
+func TestMigrationCostHDDManual(t *testing.T) {
+	tab := migTable(t)
+	d := DefaultDisk()
+	m := NewHDD(d)
+	from := []attrset.Set{attrset.Of(0, 1, 2), attrset.Of(3), attrset.Of(4)}
+	to := []attrset.Set{attrset.Of(0), attrset.Of(1, 2), attrset.Of(3), attrset.Of(4)}
+	mig, err := MigrationCost(m, tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moved: read {a,b,c} (16 B rows); write {a} (4 B) and {b,c} (12 B).
+	// {d} and {e} survive untouched.
+	if len(mig.Reads) != 1 || len(mig.Writes) != 2 {
+		t.Fatalf("moves: %d reads, %d writes; want 1, 2", len(mig.Reads), len(mig.Writes))
+	}
+	if mig.Reads[0].Attrs != attrset.Of(0, 1, 2) {
+		t.Errorf("read move = %v", mig.Reads[0].Attrs)
+	}
+	// Writes ordered by DECREASING row size: {b,c} (12) before {a} (4).
+	if mig.Writes[0].Attrs != attrset.Of(1, 2) || mig.Writes[1].Attrs != attrset.Of(0) {
+		t.Errorf("write order = %v, %v", mig.Writes[0].Attrs, mig.Writes[1].Attrs)
+	}
+
+	manualMove := func(rowSize, totalRowSize int64, bw float64) (int64, int64, float64) {
+		blocks := PartitionBlocks(tab.Rows, rowSize, d.BlockSize)
+		bytes := blocks * d.BlockSize
+		seeks := PartitionSeeks(tab.Rows, rowSize, totalRowSize, d)
+		return bytes, seeks, d.SeekTime*float64(seeks) + float64(bytes)/bw
+	}
+	var want float64
+	_, _, sec := manualMove(16, 16, d.ReadBandwidth)
+	want += sec
+	_, _, sec = manualMove(12, 16, d.WriteBandwidth)
+	want += sec
+	_, _, sec = manualMove(4, 16, d.WriteBandwidth)
+	want += sec
+	if mig.Seconds != want {
+		t.Errorf("total %.18g != manual %.18g", mig.Seconds, want)
+	}
+	wb, ws, _ := manualMove(12, 16, d.WriteBandwidth)
+	if mig.Writes[0].Bytes != wb || mig.Writes[0].Seeks != ws {
+		t.Errorf("write[0] bytes/seeks = %d/%d, want %d/%d", mig.Writes[0].Bytes, mig.Writes[0].Seeks, wb, ws)
+	}
+	if mig.BytesRead != mig.Reads[0].Bytes || mig.BytesWritten != mig.Writes[0].Bytes+mig.Writes[1].Bytes {
+		t.Error("integer totals disagree with the breakdown")
+	}
+}
+
+// TestMigrationCostHDDWriteBandwidthFallback: an unset write bandwidth
+// falls back to the read bandwidth, like CreationTime.
+func TestMigrationCostHDDWriteBandwidthFallback(t *testing.T) {
+	tab := migTable(t)
+	d := DefaultDisk()
+	d.WriteBandwidth = 0
+	from := []attrset.Set{attrset.Of(0, 1, 2, 3, 4)}
+	to := []attrset.Set{attrset.Of(0, 1), attrset.Of(2, 3, 4)}
+	mig, err := MigrationCost(NewHDD(d), tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef := d
+	dRef.WriteBandwidth = d.ReadBandwidth
+	ref, err := MigrationCost(NewHDD(dRef), tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Seconds != ref.Seconds {
+		t.Errorf("fallback write bandwidth: %.18g != %.18g", mig.Seconds, ref.Seconds)
+	}
+}
+
+// TestMigrationCostMM pins the cache-line pricing: every moved byte is
+// charged once on read and once on write.
+func TestMigrationCostMM(t *testing.T) {
+	tab := migTable(t)
+	m := NewMM()
+	from := []attrset.Set{attrset.Of(0, 1, 2, 3, 4)}
+	to := []attrset.Set{attrset.Of(0, 1, 2, 3), attrset.Of(4)}
+	mig, err := MigrationCost(m, tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := func(rowSize int64) int64 { return StreamLines(tab.Rows, rowSize, m.CacheLineSize) }
+	if mig.LinesRead != lines(132) {
+		t.Errorf("lines read = %d, want %d", mig.LinesRead, lines(132))
+	}
+	if mig.LinesWritten != lines(116)+lines(16) {
+		t.Errorf("lines written = %d, want %d", mig.LinesWritten, lines(116)+lines(16))
+	}
+	var want float64
+	want += float64(lines(132)) * m.MissLatency
+	want += float64(lines(116)) * m.MissLatency
+	want += float64(lines(16)) * m.MissLatency
+	if mig.Seconds != want {
+		t.Errorf("MM total %.18g != manual %.18g", mig.Seconds, want)
+	}
+	if mig.SeeksRead != 0 || mig.BytesRead != 0 {
+		t.Error("MM migration charged disk mechanics")
+	}
+}
+
+// TestMigrationCostIdentityAndDisjoint: identity moves nothing; disjoint
+// layouts move everything.
+func TestMigrationCostIdentityAndDisjoint(t *testing.T) {
+	tab := migTable(t)
+	m := NewHDD(DefaultDisk())
+	layout := []attrset.Set{attrset.Of(0, 1), attrset.Of(2, 3, 4)}
+	mig, err := MigrationCost(m, tab, layout, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Seconds != 0 || len(mig.Reads)+len(mig.Writes) != 0 {
+		t.Errorf("identity migration not free: %+v", mig)
+	}
+	row := []attrset.Set{attrset.Of(0, 1, 2, 3, 4)}
+	col := []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2), attrset.Of(3), attrset.Of(4)}
+	mig, err = MigrationCost(m, tab, row, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mig.Reads) != 1 || len(mig.Writes) != 5 {
+		t.Errorf("row->column moves %d/%d, want 1/5", len(mig.Reads), len(mig.Writes))
+	}
+}
+
+// TestMigrationCostUnknownModel: a model without migration pricing fails
+// loudly.
+func TestMigrationCostUnknownModel(t *testing.T) {
+	tab := migTable(t)
+	if _, err := MigrationCost(fakeModel{}, tab, nil, nil); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Name() string { return "fake" }
+func (fakeModel) QueryCost(*schema.Table, []attrset.Set, attrset.Set) float64 {
+	return 0
+}
+
+// TestStreamLines pins the integer line arithmetic, including edge cases.
+func TestStreamLines(t *testing.T) {
+	cases := []struct {
+		rows, rowSize, line, want int64
+	}{
+		{0, 8, 64, 0},
+		{1, 8, 64, 1},
+		{8, 8, 64, 1},
+		{9, 8, 64, 2},
+		{100, 0, 64, 0},
+		{100, 8, 0, 0},
+		{-1, 8, 64, 0},
+	}
+	for _, c := range cases {
+		if got := StreamLines(c.rows, c.rowSize, c.line); got != c.want {
+			t.Errorf("StreamLines(%d, %d, %d) = %d, want %d", c.rows, c.rowSize, c.line, got, c.want)
+		}
+	}
+	// The formula is exactly ceil for in-range values.
+	if got, want := StreamLines(1000, 12, 64), int64(math.Ceil(1000.0*12/64)); got != want {
+		t.Errorf("StreamLines ceil mismatch: %d != %d", got, want)
+	}
+}
+
+// TestMigrationMoveOrderIsSizeThenCanonical pins the summation order the
+// engine mirrors: decreasing row size, ties by smallest attribute.
+func TestMigrationMoveOrderIsSizeThenCanonical(t *testing.T) {
+	tab, err := schema.NewTable("o", 10, []schema.Column{
+		{Name: "a", Size: 4}, {Name: "b", Size: 4}, {Name: "c", Size: 8}, {Name: "d", Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := []attrset.Set{attrset.Of(0, 1, 2, 3)}
+	to := []attrset.Set{attrset.Of(0), attrset.Of(1), attrset.Of(2), attrset.Of(3)}
+	mig, err := MigrationCost(NewHDD(DefaultDisk()), tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []attrset.Set{attrset.Of(2), attrset.Of(0), attrset.Of(1), attrset.Of(3)}
+	for i, mv := range mig.Writes {
+		if mv.Attrs != want[i] {
+			t.Fatalf("write %d = %v, want %v (order: size desc, then canonical)", i, mv.Attrs, want[i])
+		}
+	}
+}

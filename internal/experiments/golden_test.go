@@ -42,6 +42,10 @@ func TestGoldenReports(t *testing.T) {
 		// deterministic, so measured-vs-estimated deltas, exactness
 		// verdicts, and all three rankings are golden without masking.
 		{"ext-replay", nil},
+		// ext-migrate pins, per algorithm, the drift scenario's break-even
+		// horizons and the measured==predicted migration cost — simulated
+		// seconds again, so golden without masking.
+		{"ext-migrate", nil},
 	}
 	for _, tc := range cases {
 		tc := tc

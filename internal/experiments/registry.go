@@ -44,6 +44,7 @@ var registry = []Experiment{
 	{"ext-replication", "AutoPart with partial replication (stripped feature restored)", ExtReplication},
 	{"ext-grouping", "Trojan query grouping across replicas (stripped feature restored)", ExtGrouping},
 	{"ext-replay", "Measured replay of advised layouts vs cost-model predictions (fig3 from execution)", ExtReplay},
+	{"ext-migrate", "Online migration after workload drift: break-even points and verified transition cost", ExtMigrate},
 }
 
 // All returns every registered experiment in paper order.

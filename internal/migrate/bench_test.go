@@ -1,0 +1,77 @@
+package migrate
+
+import (
+	"testing"
+
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/storage"
+	"knives/internal/workgen"
+)
+
+// The migration hot path: materialize Lineitem once per iteration under
+// row layout and repartition it into column layout (every byte moves — the
+// worst case). Sequential vs parallel pins the partition-parallel pools'
+// speedup on multi-core runners; identical reported stats at any worker
+// count are the correctness contract, wall clock is the perf record.
+func benchmarkRepartition(b *testing.B, workers int) {
+	bench := schema.TPCH(10)
+	li := bench.Table("lineitem")
+	sample, err := schema.NewTable(li.Name, 20_000, li.Columns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := partition.Row(sample)
+	to := partition.Column(sample)
+	disk := cost.DefaultDisk()
+	for i := 0; i < b.N; i++ {
+		e, err := storage.NewEngine(from, disk, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.LoadParallel(storage.NewGenerator(1), sample.Rows, workers); err != nil {
+			b.Fatal(err)
+		}
+		stats, err := e.Repartition(to, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := cost.MigrationCost(cost.NewHDD(disk), sample, from.Parts, to.Parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.SimTime != want.Seconds {
+			b.Fatalf("repartition not exact: %.18g != %.18g", stats.SimTime, want.Seconds)
+		}
+		e.Close()
+		b.ReportMetric(float64(stats.BytesRead+stats.BytesWritten), "bytes-moved")
+		b.ReportMetric(float64(len(stats.Writes)), "parts-written")
+	}
+}
+
+func BenchmarkRepartitionSequential(b *testing.B) { benchmarkRepartition(b, 1) }
+func BenchmarkRepartitionParallel(b *testing.B)   { benchmarkRepartition(b, 0) }
+
+// The planner alone: price the Lineitem drift transition and decide
+// break-even. This is the per-request cost a knivesd /migrate pays before
+// any store is touched (searches excluded — layouts are inputs).
+func BenchmarkMigratePlan(b *testing.B) {
+	bench := schema.TPCH(10)
+	tw := bench.Workload.ForTable(bench.Table("lineitem"))
+	drifted := workgen.Drift(tw, 0.5, 42)
+	m := cost.NewHDD(cost.DefaultDisk())
+	from := partition.Row(tw.Table)
+	to := partition.Column(tw.Table)
+	var lastBreakEven int64
+	for i := 0; i < b.N; i++ {
+		p, err := New(drifted, from, to, m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Viable {
+			lastBreakEven = p.BreakEven
+		}
+	}
+	b.ReportMetric(float64(lastBreakEven), "break-even-queries")
+}

@@ -1,0 +1,93 @@
+package migrate
+
+import (
+	"fmt"
+	"testing"
+
+	"knives/internal/algo"
+	"knives/internal/algorithms"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/workgen"
+)
+
+// The migration acceptance matrix: for EVERY algorithm x {TPC-H, SSB} x
+// {HDD, MM}, the transition from the algorithm's layout for the original
+// fact-table workload to its layout for a drifted variant is executed on
+// the storage engine, and
+//
+//  1. the measured repartition cost must equal the migration cost model's
+//     prediction bit for bit, and
+//  2. the migrated store must be indistinguishable from a fresh
+//     materialization of the target layout (every query checksum and
+//     every measured quantity, zero tolerance).
+//
+// Layouts are searched at FULL scale (the paper's setting); the store is
+// materialized at a sampled row count, like the replay differential suite.
+func TestDifferentialMigrationAlgorithmsBenchmarksModels(t *testing.T) {
+	names := []string{"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce"}
+	if testing.Short() {
+		names = []string{"HillClimb", "O2P"}
+	}
+	benches := []*schema.Benchmark{schema.TPCH(10), schema.SSB(10)}
+	facts := map[string]string{"TPC-H": "lineitem", "SSB": "lineorder"}
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			tw := b.Workload.ForTable(b.Table(facts[b.Name]))
+			drifted := workgen.Drift(tw, 0.5, 42)
+			for _, model := range []string{"hdd", "mm"} {
+				for _, name := range names {
+					t.Run(fmt.Sprintf("%s/%s", model, name), func(t *testing.T) {
+						m, err := cost.ModelByName(model, cost.DefaultDisk())
+						if err != nil {
+							t.Fatal(err)
+						}
+						from := searchLayout(t, name, tw, m)
+						to := searchLayout(t, name, drifted, m)
+						p, err := New(drifted, from, to, m, 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						p.FromAlgorithm, p.ToAlgorithm = name, name
+						rep, err := Execute(drifted, p, Config{Model: model, MaxRows: 1_500, Seed: 42})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !rep.CostExact() {
+							t.Errorf("measured migration cost != predicted: measured=%.18g predicted=%.18g\n"+
+								"  bytes %d/%d -> %d/%d seeks %d/%d -> %d/%d lines %d/%d -> %d/%d",
+								rep.MeasuredSeconds, rep.PredictedSeconds,
+								rep.Measured.BytesRead, rep.Predicted.BytesRead,
+								rep.Measured.BytesWritten, rep.Predicted.BytesWritten,
+								rep.Measured.SeeksRead, rep.Predicted.SeeksRead,
+								rep.Measured.SeeksWrite, rep.Predicted.SeeksWrite,
+								rep.Measured.LinesRead, rep.Predicted.LinesRead,
+								rep.Measured.LinesWritten, rep.Predicted.LinesWritten)
+						}
+						if !rep.VerifyExact() {
+							t.Errorf("post-migration replay differs from a fresh materialization of %s", to)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// searchLayout runs the named algorithm on the full-scale workload.
+func searchLayout(t *testing.T, name string, tw schema.TableWorkload, m cost.Model) partition.Partitioning {
+	t.Helper()
+	a, err := algorithms.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo.AcquireSearchSlot()
+	defer algo.ReleaseSearchSlot()
+	res, err := a.Partition(tw, m)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", name, tw.Table.Name, err)
+	}
+	return res.Partitioning
+}

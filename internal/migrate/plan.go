@@ -1,0 +1,161 @@
+// Package migrate is the online layout migration engine: it prices a
+// layout transition with the migration cost model, plans whether the
+// transition ever pays for itself on the recent query mix (the break-even
+// horizon), executes viable transitions against a live storage engine via
+// a partition-parallel, epoch-swapped Repartition, and verifies the
+// migrated store with the replay harness at zero tolerance.
+//
+// The paper's comparison is static — each knife advises a layout for a
+// fixed workload — but its own Section 6.3 aside (and the advisor's drift
+// trackers) concede that workloads shift. This package closes that gap:
+// instead of throwing freshly recomputed advice away because nothing can
+// transform a loaded store, it answers WHEN the re-layout is worth its
+// I/O and then performs it without a reload.
+package migrate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// DefaultWindow is the break-even horizon (in queries of the recent mix) a
+// planner accepts when the caller does not say: a transition that does not
+// pay for itself within this many queries is refused.
+const DefaultWindow = 1_000_000
+
+// Plan is a priced, break-even-analyzed layout transition for one table.
+// A plan is computed at FULL table scale (the paper's setting); Execute
+// later re-prices the sampled store it actually transforms.
+type Plan struct {
+	Table *schema.Table
+	// From is the layout the store currently holds; To is the target.
+	From, To partition.Partitioning
+	// FromAlgorithm and ToAlgorithm label where the layouts came from.
+	FromAlgorithm, ToAlgorithm string
+	// Model names the cost model the plan is priced under.
+	Model string
+	// Migration is the priced transition (cost.MigrationCost breakdown).
+	Migration cost.Migration
+	// PerQueryFrom and PerQueryTo are the recent mix's weighted average
+	// cost per query under each layout; Gain is their difference.
+	PerQueryFrom, PerQueryTo, Gain float64
+	// BreakEven is the amortization horizon: the number of queries of the
+	// recent mix after which migrate+run(To) beats stay(From). Zero when
+	// the plan is refused.
+	BreakEven int64
+	// Window is the horizon bound the plan was checked against.
+	Window int64
+	// Viable reports whether the plan should be executed; Reason says why
+	// not when it should not.
+	Viable bool
+	Reason string
+}
+
+// New prices the transition from -> to over table tw.Table and decides
+// break-even against the recent query mix tw.Queries (zero weights price
+// as 1, the system-wide convention). window bounds the acceptable horizon;
+// <= 0 uses DefaultWindow. Plans that never break even — the target is not
+// cheaper on the mix, or the horizon exceeds the window — are returned
+// with Viable=false and a Reason, never silently emitted.
+func New(tw schema.TableWorkload, from, to partition.Partitioning, m cost.Model, window int64) (*Plan, error) {
+	if tw.Table == nil {
+		return nil, fmt.Errorf("migrate: nil table")
+	}
+	if m == nil {
+		m = cost.NewHDD(cost.DefaultDisk())
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if from.Table != tw.Table || to.Table != tw.Table {
+		return nil, fmt.Errorf("migrate: layouts must partition the workload's table %s", tw.Table.Name)
+	}
+	if err := from.Validate(); err != nil {
+		return nil, fmt.Errorf("migrate: from layout: %w", err)
+	}
+	if err := to.Validate(); err != nil {
+		return nil, fmt.Errorf("migrate: to layout: %w", err)
+	}
+	queries := normalizeWeights(tw.Queries)
+	tw = schema.TableWorkload{Table: tw.Table, Queries: queries}
+
+	p := &Plan{
+		Table:  tw.Table,
+		From:   from.Canonical(),
+		To:     to.Canonical(),
+		Model:  m.Name(),
+		Window: window,
+	}
+	if p.From.Equal(p.To) {
+		// The identity transition: nothing moves, nothing to gain. The
+		// migration cost is exactly zero by construction (no moved
+		// partitions), which the property suite pins.
+		p.Migration = cost.Migration{Model: p.Model}
+		p.Reason = "layouts identical; nothing to migrate"
+		return p, nil
+	}
+	mig, err := cost.MigrationCost(m, tw.Table, p.From.Parts, p.To.Parts)
+	if err != nil {
+		return nil, fmt.Errorf("migrate: %w", err)
+	}
+	p.Migration = mig
+
+	var totalWeight float64
+	for _, q := range queries {
+		totalWeight += q.Weight
+	}
+	if totalWeight > 0 {
+		p.PerQueryFrom = cost.WorkloadCost(m, tw, p.From.Parts) / totalWeight
+		p.PerQueryTo = cost.WorkloadCost(m, tw, p.To.Parts) / totalWeight
+	}
+	p.Gain = p.PerQueryFrom - p.PerQueryTo
+	if !(p.Gain > 0) { // negated compare also refuses a NaN gain
+		p.Reason = "never breaks even: target layout is not cheaper on the recent mix"
+		return p, nil
+	}
+	horizon := math.Ceil(mig.Seconds / p.Gain)
+	if horizon > float64(window) {
+		p.Reason = fmt.Sprintf("break-even horizon %.0f queries exceeds the %d-query window", horizon, window)
+		return p, nil
+	}
+	p.BreakEven = int64(horizon)
+	p.Viable = true
+	return p, nil
+}
+
+// normalizeWeights copies a query batch with zero weights replaced by 1 —
+// the pricing convention shared with schema.Workload.ForTable and the
+// advisor.
+func normalizeWeights(queries []schema.TableQuery) []schema.TableQuery {
+	qs := append([]schema.TableQuery(nil), queries...)
+	for i := range qs {
+		if qs[i].Weight == 0 {
+			qs[i].Weight = 1
+		}
+	}
+	return qs
+}
+
+// String renders the plan verdict on one line per fact, for the CLI.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "migrate %s: model=%s\n", p.Table.Name, p.Model)
+	fmt.Fprintf(&b, "  from %-10s %s\n", p.FromAlgorithm, p.From)
+	fmt.Fprintf(&b, "  to   %-10s %s\n", p.ToAlgorithm, p.To)
+	fmt.Fprintf(&b, "  migration cost %.6e s (read %d B in %d seeks, write %d B in %d seeks)\n",
+		p.Migration.Seconds, p.Migration.BytesRead, p.Migration.SeeksRead,
+		p.Migration.BytesWritten, p.Migration.SeeksWrite)
+	fmt.Fprintf(&b, "  per-query cost %.6e -> %.6e (gain %.3e)\n",
+		p.PerQueryFrom, p.PerQueryTo, p.Gain)
+	if p.Viable {
+		fmt.Fprintf(&b, "  VIABLE: breaks even after %d queries (window %d)\n", p.BreakEven, p.Window)
+	} else {
+		fmt.Fprintf(&b, "  REFUSED: %s\n", p.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package migrate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// randTable builds a table with n random-width columns.
+func randTable(t *testing.T, rng *rand.Rand, n int, rows int64) *schema.Table {
+	t.Helper()
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i] = schema.Column{Name: fmt.Sprintf("c%02d", i), Size: 1 + rng.Intn(32)}
+	}
+	tab, err := schema.NewTable("rnd", rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// randLayout draws a random valid partitioning of the table.
+func randLayout(t *testing.T, rng *rand.Rand, tab *schema.Table) partition.Partitioning {
+	t.Helper()
+	n := tab.NumAttrs()
+	groups := 1 + rng.Intn(n)
+	parts := make([]attrset.Set, groups)
+	for a := 0; a < n; a++ {
+		g := rng.Intn(groups)
+		parts[g] = parts[g].Add(a)
+	}
+	var nonEmpty []attrset.Set
+	for _, p := range parts {
+		if !p.IsEmpty() {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	layout, err := partition.New(tab, nonEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layout
+}
+
+// randWorkload draws a random weighted query mix.
+func randWorkload(rng *rand.Rand, tab *schema.Table, queries int) schema.TableWorkload {
+	tw := schema.TableWorkload{Table: tab}
+	n := tab.NumAttrs()
+	for q := 0; q < queries; q++ {
+		var s attrset.Set
+		for s.IsEmpty() {
+			for a := 0; a < n; a++ {
+				if rng.Intn(3) == 0 {
+					s = s.Add(a)
+				}
+			}
+		}
+		tw.Queries = append(tw.Queries, schema.TableQuery{
+			ID: fmt.Sprintf("q%d", q), Weight: float64(1 + rng.Intn(9)), Attrs: s,
+		})
+	}
+	return tw
+}
+
+// TestPlanIdentityIsExactlyZero: the migration cost of identity -> identity
+// is exactly 0.0 (not "small"), under both models, and the planner refuses
+// the pointless transition.
+func TestPlanIdentityIsExactlyZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []cost.Model{cost.NewHDD(cost.DefaultDisk()), cost.NewMM()}
+	for trial := 0; trial < 30; trial++ {
+		tab := randTable(t, rng, 3+rng.Intn(10), int64(1+rng.Intn(1_000_000)))
+		layout := randLayout(t, rng, tab)
+		tw := randWorkload(rng, tab, 1+rng.Intn(8))
+		for _, m := range models {
+			mig, err := cost.MigrationCost(m, tab, layout.Parts, partition.Clone(layout.Parts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mig.Seconds != 0 || mig.BytesRead != 0 || mig.BytesWritten != 0 ||
+				mig.LinesRead != 0 || mig.LinesWritten != 0 || len(mig.Reads)+len(mig.Writes) != 0 {
+				t.Fatalf("%s: identity migration not free: %+v", m.Name(), mig)
+			}
+			p, err := New(tw, layout, layout, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Viable {
+				t.Fatalf("%s: identity plan emitted as viable", m.Name())
+			}
+			if p.Migration.Seconds != 0 {
+				t.Fatalf("%s: identity plan priced at %g", m.Name(), p.Migration.Seconds)
+			}
+		}
+	}
+}
+
+// TestPlanNeverExceedsWindow: a viable plan's break-even horizon is always
+// within the configured window, and the refusal reasons partition the rest.
+func TestPlanNeverExceedsWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := cost.NewHDD(cost.DefaultDisk())
+	for trial := 0; trial < 60; trial++ {
+		tab := randTable(t, rng, 4+rng.Intn(8), int64(1_000+rng.Intn(5_000_000)))
+		from := randLayout(t, rng, tab)
+		to := randLayout(t, rng, tab)
+		tw := randWorkload(rng, tab, 1+rng.Intn(10))
+		window := int64(1 + rng.Intn(1_000_000))
+		p, err := New(tw, from, to, m, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Viable {
+			if p.BreakEven <= 0 || p.BreakEven > window {
+				t.Fatalf("viable plan with break-even %d outside (0, %d]", p.BreakEven, window)
+			}
+			if !(p.Gain > 0) {
+				t.Fatalf("viable plan with gain %g", p.Gain)
+			}
+		} else {
+			if p.Reason == "" {
+				t.Fatal("refused plan without a reason")
+			}
+			if p.BreakEven != 0 {
+				t.Fatalf("refused plan carries break-even %d", p.BreakEven)
+			}
+		}
+	}
+}
+
+// TestPlanQueryPermutationInvariance: the migration cost has no query
+// dependence at all, and the break-even verdict survives reordering the
+// mix (the PR-2 metamorphic discipline applied to the planner).
+func TestPlanQueryPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	m := cost.NewHDD(cost.DefaultDisk())
+	for trial := 0; trial < 30; trial++ {
+		tab := randTable(t, rng, 4+rng.Intn(8), int64(1_000+rng.Intn(2_000_000)))
+		from := randLayout(t, rng, tab)
+		to := randLayout(t, rng, tab)
+		tw := randWorkload(rng, tab, 2+rng.Intn(10))
+		base, err := New(tw, from, to, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := schema.TableWorkload{Table: tab, Queries: append([]schema.TableQuery(nil), tw.Queries...)}
+		rng.Shuffle(len(perm.Queries), func(i, j int) {
+			perm.Queries[i], perm.Queries[j] = perm.Queries[j], perm.Queries[i]
+		})
+		got, err := New(perm, from, to, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Migration.Seconds != base.Migration.Seconds {
+			t.Fatalf("query permutation changed migration cost %.18g -> %.18g",
+				base.Migration.Seconds, got.Migration.Seconds)
+		}
+		if got.Viable != base.Viable || got.BreakEven != base.BreakEven {
+			t.Fatalf("query permutation changed the verdict: %+v vs %+v", base, got)
+		}
+	}
+}
+
+// TestPlanColumnPermutationInvariance: relabeling the table's columns (and
+// remapping layouts and queries to match) must not move the migration cost
+// by even one bit — the size-ordered summation makes the floating-point
+// sum a function of the row-size multiset alone.
+func TestPlanColumnPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	models := []cost.Model{cost.NewHDD(cost.DefaultDisk()), cost.NewMM()}
+	remap := func(s attrset.Set, perm []int) attrset.Set {
+		var out attrset.Set
+		s.ForEach(func(a int) { out = out.Add(perm[a]) })
+		return out
+	}
+	for trial := 0; trial < 30; trial++ {
+		tab := randTable(t, rng, 4+rng.Intn(10), int64(1_000+rng.Intn(2_000_000)))
+		n := tab.NumAttrs()
+		from := randLayout(t, rng, tab)
+		to := randLayout(t, rng, tab)
+		tw := randWorkload(rng, tab, 2+rng.Intn(8))
+
+		perm := rng.Perm(n)
+		cols := make([]schema.Column, n)
+		for old, c := range tab.Columns {
+			cols[perm[old]] = c
+		}
+		ptab, err := schema.NewTable(tab.Name, tab.Rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remapParts := func(parts []attrset.Set) []attrset.Set {
+			out := make([]attrset.Set, len(parts))
+			for i, p := range parts {
+				out[i] = remap(p, perm)
+			}
+			return out
+		}
+		pfrom, err := partition.New(ptab, remapParts(from.Parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pto, err := partition.New(ptab, remapParts(to.Parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptw := schema.TableWorkload{Table: ptab}
+		for _, q := range tw.Queries {
+			ptw.Queries = append(ptw.Queries, schema.TableQuery{
+				ID: q.ID, Weight: q.Weight, Attrs: remap(q.Attrs, perm),
+			})
+		}
+		for _, m := range models {
+			base, err := New(tw, from, to, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := New(ptw, pfrom, pto, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Migration.Seconds != base.Migration.Seconds {
+				t.Fatalf("%s: column permutation changed migration cost %.18g -> %.18g",
+					m.Name(), base.Migration.Seconds, got.Migration.Seconds)
+			}
+			if got.Migration.BytesRead != base.Migration.BytesRead ||
+				got.Migration.BytesWritten != base.Migration.BytesWritten ||
+				got.Migration.SeeksRead != base.Migration.SeeksRead ||
+				got.Migration.SeeksWrite != base.Migration.SeeksWrite ||
+				got.Migration.LinesRead != base.Migration.LinesRead ||
+				got.Migration.LinesWritten != base.Migration.LinesWritten {
+				t.Fatalf("%s: column permutation changed migration mechanics", m.Name())
+			}
+			if got.Viable != base.Viable || got.BreakEven != base.BreakEven {
+				t.Fatalf("%s: column permutation changed the verdict", m.Name())
+			}
+		}
+	}
+}
+
+// TestPlanRejectsBadInput covers the planner's validation.
+func TestPlanRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := randTable(t, rng, 5, 1000)
+	other := randTable(t, rng, 5, 1000)
+	layout := partition.Row(tab)
+	tw := randWorkload(rng, tab, 3)
+	if _, err := New(schema.TableWorkload{}, layout, layout, nil, 0); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := New(tw, partition.Row(other), layout, nil, 0); err == nil {
+		t.Error("foreign from-layout accepted")
+	}
+	if _, err := New(tw, layout, partition.Row(other), nil, 0); err == nil {
+		t.Error("foreign to-layout accepted")
+	}
+	bad := partition.Partitioning{Table: tab, Parts: []attrset.Set{attrset.Of(0)}}
+	if _, err := New(tw, bad, layout, nil, 0); err == nil {
+		t.Error("invalid from-layout accepted")
+	}
+}

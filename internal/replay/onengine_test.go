@@ -1,0 +1,129 @@
+package replay
+
+import (
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/storage"
+)
+
+// TestOnEngineMatchesLayout: replaying a caller-materialized engine must
+// produce exactly the report a from-scratch Layout replay produces for the
+// same layout, seed, and model (wall clock aside).
+func TestOnEngineMatchesLayout(t *testing.T) {
+	tw := testWorkload(t, 3_000)
+	layout := partition.Must(tw.Table, []attrset.Set{attrset.Of(0, 1), attrset.Of(2), attrset.Of(3, 4)})
+	for _, model := range []string{"hdd", "mm"} {
+		t.Run(model, func(t *testing.T) {
+			cfg := Config{Model: model, Seed: 5}
+			want, err := Layout(tw, layout, "test", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ncfg, m, err := cfg.Normalized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := storage.NewEngine(layout, ncfg.Disk, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			if mm, ok := m.(*cost.MM); ok {
+				if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Load(storage.NewGenerator(ncfg.Seed), tw.Table.Rows); err != nil {
+				t.Fatal(err)
+			}
+			got, err := OnEngine(tw, e, "test", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Exact() {
+				t.Error("OnEngine replay not exact against the model")
+			}
+			if got.MeasuredTotal != want.MeasuredTotal || got.PredictedTotal != want.PredictedTotal {
+				t.Errorf("OnEngine totals %.18g/%.18g != Layout's %.18g/%.18g",
+					got.MeasuredTotal, got.PredictedTotal, want.MeasuredTotal, want.PredictedTotal)
+			}
+			for i := range got.Queries {
+				if got.Queries[i].Stats.Checksum != want.Queries[i].Stats.Checksum {
+					t.Errorf("query %d checksum differs from Layout replay", i)
+				}
+			}
+			if got.RowsReplayed != want.RowsReplayed {
+				t.Errorf("rows replayed %d != %d", got.RowsReplayed, want.RowsReplayed)
+			}
+		})
+	}
+}
+
+// TestOnEngineAfterRepartition: the migration contract — an engine whose
+// layout was swapped in place replays exactly like the target layout.
+func TestOnEngineAfterRepartition(t *testing.T) {
+	tw := testWorkload(t, 2_000)
+	from := partition.Row(tw.Table)
+	to := partition.Column(tw.Table)
+	cfg := Config{Seed: 3}
+	ncfg, _, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := storage.NewEngine(from, ncfg.Disk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(storage.NewGenerator(3), tw.Table.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Repartition(to, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OnEngine(tw, e, "migrated", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact() {
+		t.Error("post-repartition replay diverged from the cost model")
+	}
+	if !got.Layout.Equal(to) {
+		t.Errorf("report layout %s, want %s", got.Layout, to)
+	}
+	fresh, err := Layout(tw, to, "fresh", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeasuredTotal != fresh.MeasuredTotal {
+		t.Errorf("migrated %.18g != fresh %.18g", got.MeasuredTotal, fresh.MeasuredTotal)
+	}
+}
+
+// TestOnEngineValidation covers the mismatch paths.
+func TestOnEngineValidation(t *testing.T) {
+	tw := testWorkload(t, 500)
+	other := testWorkload(t, 500)
+	layout := partition.Row(tw.Table)
+	e, err := storage.NewEngine(layout, cost.DefaultDisk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(storage.NewGenerator(1), tw.Table.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OnEngine(other, e, "x", Config{}); err == nil {
+		t.Error("foreign workload accepted")
+	}
+	if _, err := OnEngine(schema.TableWorkload{}, e, "x", Config{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := OnEngine(tw, e, "x", Config{Model: "quantum"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -73,6 +73,12 @@ type Config struct {
 	Dir string
 }
 
+// Normalized validates and defaults a config, returning the cost model the
+// replay prices against. The migration subsystem shares it so a migrate
+// execution and the replay that verifies it can never disagree about
+// defaults.
+func (c Config) Normalized() (Config, cost.Model, error) { return c.normalized() }
+
 // normalized validates and defaults a config, returning the cost model the
 // replay prices against.
 func (c Config) normalized() (Config, cost.Model, error) {
@@ -271,18 +277,68 @@ func Layout(tw schema.TableWorkload, layout partition.Partitioning, algorithm st
 	if err := e.LoadParallel(storage.NewGenerator(cfg.Seed), sample.Rows, cfg.Workers); err != nil {
 		return nil, fmt.Errorf("replay: load %s: %w", sample.Name, err)
 	}
+	rep, err := replayLoaded(tw, e, algorithm, cfg, model)
+	if err != nil {
+		return nil, err
+	}
+	rep.RowsFull = tw.Table.Rows
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
 
-	// Query-parallel replay. Scan keeps all state in local cursors, so
-	// concurrent scans over one loaded engine are safe; results land at
-	// their query's index and the aggregation below runs in query order,
-	// keeping every reported number independent of the worker count.
-	parts := sampled.Canonical().Parts
+// OnEngine replays a workload over an ALREADY-MATERIALIZED engine — loaded
+// by the caller, possibly repartitioned since — comparing every measurement
+// against the cost model's predictions for the engine's CURRENT layout.
+// The workload must be over the engine's own (possibly sampled) table; the
+// caller keeps ownership of the engine and closes it. The migration
+// subsystem uses this to verify a migrated store with the same zero-
+// tolerance harness a fresh materialization gets.
+func OnEngine(tw schema.TableWorkload, e *storage.Engine, algorithm string, cfg Config) (*TableReplay, error) {
+	cfg, model, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if tw.Table == nil {
+		return nil, fmt.Errorf("replay: nil table")
+	}
+	if e.Table() != tw.Table {
+		return nil, fmt.Errorf("replay: engine stores %s (%d rows), workload is over %s (%d rows)",
+			e.Table().Name, e.Table().Rows, tw.Table.Name, tw.Table.Rows)
+	}
+	if mm, ok := model.(*cost.MM); ok && mm.CacheLineSize > 0 {
+		if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	// Same heavy-job class as Layout: a full workload scan pool.
+	algo.AcquireSearchSlot()
+	defer algo.ReleaseSearchSlot()
+	start := time.Now()
+	rep, err := replayLoaded(tw, e, algorithm, cfg, model)
+	if err != nil {
+		return nil, err
+	}
+	rep.RowsFull = tw.Table.Rows
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// replayLoaded runs the query-parallel scan pool over a loaded engine and
+// assembles the report against the engine's current layout. Scan keeps all
+// state in local cursors, so concurrent scans over one loaded engine are
+// safe; results land at their query's index and the aggregation below runs
+// in query order, keeping every reported number independent of the worker
+// count.
+func replayLoaded(tw schema.TableWorkload, e *storage.Engine, algorithm string, cfg Config, model cost.Model) (*TableReplay, error) {
+	layout := e.Layout()
+	sample := layout.Table
+	parts := layout.Canonical().Parts
 	rep := &TableReplay{
 		Table:        sample.Name,
 		Algorithm:    algorithm,
-		Layout:       sampled,
-		RowsFull:     tw.Table.Rows,
-		RowsReplayed: sample.Rows,
+		Layout:       layout,
+		RowsFull:     sample.Rows,
+		RowsReplayed: e.Rows(),
 		Model:        model.Name(),
 		Backend:      cfg.Backend,
 		Queries:      make([]QueryReplay, len(tw.Queries)),
@@ -337,7 +393,6 @@ func Layout(tw schema.TableWorkload, layout partition.Partitioning, algorithm st
 		rep.ReconJoins += q.Stats.ReconJoins
 		rep.Tuples += q.Stats.Tuples
 	}
-	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
 

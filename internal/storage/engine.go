@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"knives/internal/attrset"
 	"knives/internal/cost"
@@ -40,15 +41,38 @@ type PartScanStats struct {
 // vertical layout, following the paper's common-granularity rule: every
 // partition containing a referenced attribute is read in full, through an
 // I/O buffer shared proportionally to the partitions' row sizes.
+//
+// The physical layout lives in an EPOCH the engine swaps atomically:
+// Repartition builds the next epoch's partition files off to the side and
+// publishes them in one pointer store, so any number of concurrent Scans
+// keep streaming the epoch they started on while the store migrates
+// underneath them. Superseded partition files stay open (retired) until
+// Close, bounding what an in-flight scan can ever observe to a fully
+// materialized layout.
 type Engine struct {
-	table  *schema.Table
-	layout partition.Partitioning
-	disk   cost.Disk
-	gen    *Generator
-
-	parts      []enginePart
-	loadedRows int64
+	table      *schema.Table
+	disk       cost.Disk
+	gen        *Generator
 	cacheLine  int64
+	newBackend func(name string, pageSize int) (Backend, error)
+
+	epoch atomic.Pointer[engineEpoch]
+
+	// mu serializes the structural operations (Repartition, Close) against
+	// each other; Scan never takes it.
+	mu       sync.Mutex
+	retired  []Backend
+	epochSeq int
+	closed   bool
+}
+
+// engineEpoch is one immutable-after-publish physical layout: the partition
+// files and the row count they hold. Scans snapshot the epoch pointer once
+// on entry and never look back at the engine.
+type engineEpoch struct {
+	layout partition.Partitioning
+	parts  []enginePart
+	rows   int64
 }
 
 // DefaultCacheLine is the cache-line granularity Scan counts logical-stream
@@ -64,9 +88,28 @@ type enginePart struct {
 	backend     Backend
 }
 
+// buildPart lays one partition's row format out over the table's columns.
+func buildPart(t *schema.Table, p attrset.Set, blockSize int64) (enginePart, error) {
+	ep := enginePart{attrs: p}
+	off := 0
+	p.ForEach(func(a int) {
+		ep.cols = append(ep.cols, a)
+		ep.offsets = append(ep.offsets, off)
+		off += t.Columns[a].Size
+	})
+	ep.rowSize = off
+	ep.rowsPerPage = int(blockSize) / off
+	if ep.rowsPerPage < 1 {
+		return enginePart{}, fmt.Errorf("storage: partition %v row size %d exceeds block size %d",
+			p, off, blockSize)
+	}
+	return ep, nil
+}
+
 // NewEngine creates an engine for the table with the given layout and disk
-// parameters. newBackend is invoked once per partition; pass nil to use
-// in-memory backends.
+// parameters. newBackend is invoked once per partition file (and again for
+// every partition a later Repartition creates); pass nil to use in-memory
+// backends.
 func NewEngine(layout partition.Partitioning, disk cost.Disk, newBackend func(name string, pageSize int) (Backend, error)) (*Engine, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, err
@@ -80,39 +123,53 @@ func NewEngine(layout partition.Partitioning, disk cost.Disk, newBackend func(na
 		}
 	}
 	t := layout.Table
-	e := &Engine{table: t, layout: layout.Canonical(), disk: disk, cacheLine: DefaultCacheLine}
-	for i, p := range e.layout.Parts {
-		ep := enginePart{attrs: p}
-		off := 0
-		p.ForEach(func(a int) {
-			ep.cols = append(ep.cols, a)
-			ep.offsets = append(ep.offsets, off)
-			off += t.Columns[a].Size
-		})
-		ep.rowSize = off
-		ep.rowsPerPage = int(disk.BlockSize) / off
-		if ep.rowsPerPage < 1 {
-			return nil, fmt.Errorf("storage: partition %v row size %d exceeds block size %d",
-				p, off, disk.BlockSize)
+	e := &Engine{table: t, disk: disk, cacheLine: DefaultCacheLine, newBackend: newBackend}
+	ep := &engineEpoch{layout: layout.Canonical()}
+	for i, p := range ep.layout.Parts {
+		part, err := buildPart(t, p, disk.BlockSize)
+		if err != nil {
+			return nil, err
 		}
 		b, err := newBackend(fmt.Sprintf("%s_p%d", t.Name, i), int(disk.BlockSize))
 		if err != nil {
 			return nil, err
 		}
-		ep.backend = b
-		e.parts = append(e.parts, ep)
+		part.backend = b
+		ep.parts = append(ep.parts, part)
 	}
+	e.epoch.Store(ep)
 	return e, nil
 }
 
-// Close releases all partition backends.
+// Table returns the logical table the engine stores.
+func (e *Engine) Table() *schema.Table { return e.table }
+
+// Layout returns the current epoch's partitioning (canonical order).
+func (e *Engine) Layout() partition.Partitioning { return e.epoch.Load().layout }
+
+// Rows returns the number of rows the current epoch holds.
+func (e *Engine) Rows() int64 { return e.epoch.Load().rows }
+
+// Close releases all partition backends, current and retired.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	var first error
-	for _, p := range e.parts {
+	for _, p := range e.epoch.Load().parts {
 		if err := p.backend.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	for _, b := range e.retired {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.retired = nil
 	return first
 }
 
@@ -138,22 +195,24 @@ func (e *Engine) Load(gen *Generator, rows int64) error {
 // share nothing during materialization — the generator derives every value
 // from (seed, column, row) statelessly and each partition owns its backend —
 // so any worker count produces byte-identical files. workers <= 0 uses one
-// worker per partition.
+// worker per partition. Load must complete before the first Scan (the same
+// happens-before the engine has always required).
 func (e *Engine) LoadParallel(gen *Generator, rows int64, workers int) error {
 	e.gen = gen
-	if workers <= 0 || workers > len(e.parts) {
-		workers = len(e.parts)
+	ep := e.epoch.Load()
+	if workers <= 0 || workers > len(ep.parts) {
+		workers = len(ep.parts)
 	}
 	sem := make(chan struct{}, workers)
-	errs := make([]error, len(e.parts))
+	errs := make([]error, len(ep.parts))
 	var wg sync.WaitGroup
-	for pi := range e.parts {
+	for pi := range ep.parts {
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[pi] = e.loadPart(&e.parts[pi], rows)
+			errs[pi] = e.loadPart(&ep.parts[pi], rows)
 		}(pi)
 	}
 	wg.Wait()
@@ -162,7 +221,7 @@ func (e *Engine) LoadParallel(gen *Generator, rows int64, workers int) error {
 			return err
 		}
 	}
-	e.loadedRows = rows
+	ep.rows = rows
 	return nil
 }
 
@@ -197,10 +256,13 @@ func (e *Engine) loadPart(p *enginePart, rows int64) error {
 // referenced attribute in full, reconstructs tuples, and digests the
 // projected attribute values into a layout-independent checksum.
 //
-// Scan keeps all of its state in local cursors and mutates nothing on the
-// engine, so after Load has returned, any number of Scans may run
-// concurrently over the same engine — the replay worker pool depends on it.
+// Scan snapshots the current epoch once and keeps all of its state in local
+// cursors, so after Load has returned, any number of Scans may run
+// concurrently over the same engine — including concurrently with a
+// Repartition, which publishes a new epoch without disturbing the one an
+// in-flight scan is streaming.
 func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
+	ep := e.epoch.Load()
 	var stats ScanStats
 	query = query.Intersect(e.table.AllAttrs())
 	if query.IsEmpty() {
@@ -210,8 +272,8 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 	// Referenced partitions and the proportional buffer split.
 	var refs []*enginePart
 	var totalRowSize int64
-	for pi := range e.parts {
-		p := &e.parts[pi]
+	for pi := range ep.parts {
+		p := &ep.parts[pi]
 		if p.attrs.Overlaps(query) {
 			refs = append(refs, p)
 			totalRowSize += int64(p.rowSize)
@@ -277,7 +339,7 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 		}
 	}
 
-	for r := int64(0); r < e.loadedRows; r++ {
+	for r := int64(0); r < ep.rows; r++ {
 		for _, c := range cursors {
 			if c.nextPage == 0 || c.inPage == c.p.rowsPerPage {
 				if err := fetch(c); err != nil {
@@ -306,10 +368,7 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 		// full, so the distinct lines touched are exactly the lines of
 		// [0, rows*rowSize) — counting them per row would recompute this
 		// constant in the hot loop.
-		var lines int64
-		if e.loadedRows > 0 {
-			lines = (e.loadedRows*int64(c.p.rowSize)-1)/e.cacheLine + 1
-		}
+		lines := cost.StreamLines(ep.rows, int64(c.p.rowSize), e.cacheLine)
 		ps := PartScanStats{
 			Attrs:      c.p.attrs,
 			RowSize:    c.p.rowSize,

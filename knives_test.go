@@ -114,8 +114,8 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if got := len(knives.Experiments()); got != 25 {
-		t.Errorf("Experiments() has %d entries, want 25", got)
+	if got := len(knives.Experiments()); got != 26 {
+		t.Errorf("Experiments() has %d entries, want 26", got)
 	}
 	// Run the cheapest experiment end to end through the public API.
 	rep, err := knives.RunExperiment("tab4")
@@ -155,5 +155,67 @@ func TestPublicEngine(t *testing.T) {
 	}
 	if math.IsNaN(stats.SimTime) || stats.SimTime <= 0 {
 		t.Errorf("sim time: %v", stats.SimTime)
+	}
+}
+
+func TestPublicMigrate(t *testing.T) {
+	tab, err := knives.NewTable("t", 3000, []knives.Column{
+		{Name: "a", Kind: knives.KindInt, Size: 4},
+		{Name: "b", Kind: knives.KindVarchar, Size: 32},
+		{Name: "c", Kind: knives.KindDecimal, Size: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := knives.TableWorkload{Table: tab, Queries: []knives.TableQuery{
+		{ID: "q1", Weight: 5, Attrs: knives.Attrs(0)},
+		{ID: "q2", Weight: 1, Attrs: knives.Attrs(1, 2)},
+	}}
+	m := knives.NewHDDModel(knives.DefaultDisk())
+	from := knives.RowLayout(tab)
+	to := knives.ColumnLayout(tab)
+
+	breakdown, err := knives.MigrationCost(m, tab, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if breakdown.Seconds <= 0 || breakdown.BytesRead <= 0 {
+		t.Errorf("migration breakdown: %+v", breakdown)
+	}
+	plan, err := knives.MigratePlan(tw, from, to, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Window != knives.MigrationDefaultWindow {
+		t.Errorf("plan window = %d, want default %d", plan.Window, knives.MigrationDefaultWindow)
+	}
+	rep, err := knives.MigrateExecute(tw, plan, knives.MigrationConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Error("façade migration not exact")
+	}
+	// The engine alias carries Repartition too: a loaded store can be
+	// re-laid-out in place through the public surface.
+	e, err := knives.NewEngine(from, knives.DefaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Load(knives.NewGenerator(1), tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Repartition(to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesRead <= 0 || !e.Layout().Equal(to) {
+		t.Errorf("public repartition: %+v, layout %s", stats, e.Layout())
+	}
+	// Drifted workloads are derivable through the façade as well.
+	drifted := knives.DriftWorkload(tw, 0.5, 7)
+	if len(drifted.Queries) != len(tw.Queries) {
+		t.Errorf("drift changed query count: %d", len(drifted.Queries))
 	}
 }

@@ -41,4 +41,9 @@ check internal/cost 83.0
 # extended).
 check internal/storage 88.0
 check internal/replay 86.0
+# The migration engine: the planner's refusals and the executor's exactness
+# verdicts gate what knivesd will do to a store, so a silent hole here
+# could green-light an unverified re-layout (85.2% when the gate was
+# extended).
+check internal/migrate 84.0
 exit $fail
