@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"knives"
 	"knives/internal/algo/bruteforce"
 	"knives/internal/cost"
 	"knives/internal/experiments"
@@ -228,6 +229,14 @@ func BenchmarkExtMigrate(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "Trojan", 3), "trojan-break-even-queries")
 }
 
+func BenchmarkExtDevice(b *testing.B) {
+	rep := runExperiment(b, "ext-device")
+	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-hdd-seconds")
+	b.ReportMetric(cell(b, rep, "HillClimb", 3), "hillclimb-ssd-seconds")
+	b.ReportMetric(cell(b, rep, "Trojan", 4), "trojan-ssd-rank")
+	b.ReportMetric(cell(b, rep, "Column", 4), "column-ssd-rank")
+}
+
 // Kernel benches: the parallel, incremental search kernel (see DESIGN.md).
 // The sequential/parallel pair below is the kernel's headline speedup
 // measurement on the paper's biggest exhaustive search — BruteForce over
@@ -252,3 +261,20 @@ func benchBruteForceLineitem(b *testing.B, workers int) {
 
 func BenchmarkKernelBruteForceLineitemSequential(b *testing.B) { benchBruteForceLineitem(b, 1) }
 func BenchmarkKernelBruteForceLineitemParallel(b *testing.B)   { benchBruteForceLineitem(b, 0) }
+
+// The device layer's search leg: the full advisor portfolio over Lineitem
+// priced on the SSD device. Same kernel, different constants — pinning that
+// the device-parameterized model costs no more to search under than the
+// hard-coded HDD struct it replaced.
+func BenchmarkSSDSearch(b *testing.B) {
+	bench := schema.TPCH(10)
+	tw := bench.Workload.ForTable(bench.Table("lineitem"))
+	m := cost.NewSSD()
+	for i := 0; i < b.N; i++ {
+		advice, err := knives.AdviseTable(tw, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(advice.Cost, "ssd-advised-cost-seconds")
+	}
+}

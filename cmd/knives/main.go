@@ -7,21 +7,21 @@
 //	    List the algorithms and the reproducible experiments.
 //
 //	knives optimize [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
-//	                [-algorithm NAME|all] [-buffer MB] [-model hdd|mm]
+//	                [-algorithm NAME|all] [-model hdd|ssd|mm] [device flags]
 //	    Compute layouts and report costs, candidates, and opt time.
 //
 //	knives advise [-benchmark tpch|ssb] [-sf N]
 //	    Recommend the cheapest layout per table across all heuristics.
 //
 //	knives replay [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
-//	              [-algorithm advisor|NAME|Row|Column] [-model hdd|mm]
-//	              [-buffer MB] [-rows N] [-workers N] [-seed N]
+//	              [-algorithm advisor|NAME|Row|Column] [-model hdd|ssd|mm]
+//	              [device flags] [-rows N] [-workers N] [-seed N]
 //	              [-backend mem|file] [-dir PATH]
 //	    Materialize advised layouts through the storage engine, replay the
 //	    workload, and verify measured I/O equals the cost model exactly.
 //
 //	knives migrate [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
-//	               [-algorithm advisor|NAME] [-model hdd|mm] [-buffer MB]
+//	               [-algorithm advisor|NAME] [-model hdd|ssd|mm] [device flags]
 //	               [-drift F] [-drift-seed N] [-window N]
 //	               [-rows N] [-workers N] [-seed N] [-backend mem|file] [-dir PATH]
 //	    Plan and execute the drift-triggered re-layout of each table: the
@@ -34,6 +34,12 @@
 //
 //	knives experiment ID|all [-reps N]
 //	    Regenerate a paper figure/table (fig1..fig14, tab3..tab7).
+//
+// Every -model flag resolves a device preset (hdd, ssd, mm, plus aliases
+// like disk, flash, ram), and the shared device flags override individual
+// hardware parameters of that preset: -buffer MB, -block KB, -seek-ms,
+// -read-mbps, -write-mbps, -cache-line BYTES, -miss-ns (0 = keep the
+// preset's value).
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"strings"
 
 	"knives"
+	"knives/internal/devflag"
 	"knives/internal/experiments"
 )
 
@@ -157,8 +164,8 @@ func runOptimize(args []string) error {
 	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
 	table := fs.String("table", "all", "table name or all")
 	algoName := fs.String("algorithm", "all", "algorithm name or all")
-	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
-	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
+	modelName := fs.String("model", "hdd", "cost model: hdd, ssd, or mm")
+	devf := devflag.Register(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -167,9 +174,11 @@ func runOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	disk := knives.DefaultDisk()
-	disk.BufferSize = int64(*bufferMB * float64(1<<20))
-	model, err := knives.CostModelByName(*modelName, disk)
+	override, err := devf()
+	if err != nil {
+		return usageError{err: err}
+	}
+	model, err := knives.CostModelByName(*modelName, override)
 	if err != nil {
 		return err
 	}
@@ -245,8 +254,8 @@ func runReplay(args []string) error {
 	table := fs.String("table", "all", "table name or all")
 	algoName := fs.String("algorithm", "advisor",
 		"layout source: an algorithm name, Row, Column, or advisor (portfolio winner)")
-	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
-	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	modelName := fs.String("model", "hdd", "cost model: hdd, ssd, or mm")
+	devf := devflag.Register(fs)
 	rows := fs.Int64("rows", 0, "max rows materialized per table (0 = default)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the numbers")
 	seed := fs.Int64("seed", 1, "data generator seed")
@@ -264,15 +273,17 @@ func runReplay(args []string) error {
 		// Reject before any portfolio search runs, not after.
 		return usageError{err: fmt.Errorf("-rows %d must be non-negative", *rows)}
 	}
-	disk := knives.DefaultDisk()
-	disk.BufferSize = int64(*bufferMB * float64(1<<20))
-	model, err := knives.CostModelByName(*modelName, disk)
+	override, err := devf()
+	if err != nil {
+		return usageError{err: err}
+	}
+	model, err := knives.CostModelByName(*modelName, override)
 	if err != nil {
 		return err
 	}
 	cfg := knives.ReplayConfig{
 		Model:   *modelName,
-		Disk:    disk,
+		Disk:    override,
 		MaxRows: *rows,
 		Workers: *workers,
 		Seed:    *seed,
@@ -338,8 +349,8 @@ func runMigrate(args []string) error {
 	table := fs.String("table", "all", "table name or all")
 	algoName := fs.String("algorithm", "advisor",
 		"layout source for both endpoints: an algorithm name or advisor (portfolio winner)")
-	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
-	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	modelName := fs.String("model", "hdd", "cost model: hdd, ssd, or mm")
+	devf := devflag.Register(fs)
 	drift := fs.Float64("drift", 0.5, "fraction of the workload replaced by perturbed queries")
 	driftSeed := fs.Int64("drift-seed", 42, "seed for the deterministic workload drift")
 	window := fs.Int64("window", 0, "break-even horizon bound in queries (0 = default)")
@@ -362,15 +373,17 @@ func runMigrate(args []string) error {
 	if *drift < 0 || *drift > 1 {
 		return usageError{err: fmt.Errorf("-drift %v outside [0, 1]", *drift)}
 	}
-	disk := knives.DefaultDisk()
-	disk.BufferSize = int64(*bufferMB * float64(1<<20))
-	model, err := knives.CostModelByName(*modelName, disk)
+	override, err := devf()
+	if err != nil {
+		return usageError{err: err}
+	}
+	model, err := knives.CostModelByName(*modelName, override)
 	if err != nil {
 		return err
 	}
 	cfg := knives.MigrationConfig{
 		Model:   *modelName,
-		Disk:    disk,
+		Disk:    override,
 		MaxRows: *rows,
 		Workers: *workers,
 		Seed:    *seed,

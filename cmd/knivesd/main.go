@@ -5,9 +5,17 @@
 //
 // Usage:
 //
-//	knivesd [-addr :7978] [-model hdd|mm] [-buffer MB]
+//	knivesd [-addr :7978] [-model hdd|ssd|mm] [-buffer MB]
+//	        [-block KB] [-seek-ms MS] [-read-mbps MBPS] [-write-mbps MBPS]
+//	        [-cache-line BYTES] [-miss-ns NS]
 //	        [-drift-threshold 0.15] [-drift-window N]
 //	        [-migrate-window N] [-prewarm tpch|ssb] [-sf N]
+//
+// -model resolves a device preset (hdd, ssd, mm, plus aliases like disk,
+// flash, ram) the daemon prices with by default; the device flags override
+// individual hardware parameters of that preset (0 = keep the preset's
+// value). Requests may carry their own "model" spec with the same fields to
+// price on a different device per request.
 //
 // Endpoints:
 //
@@ -39,6 +47,7 @@ import (
 
 	"knives/internal/advisor"
 	"knives/internal/cost"
+	"knives/internal/devflag"
 	"knives/internal/migrate"
 	"knives/internal/schema"
 )
@@ -61,8 +70,8 @@ type config struct {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("knivesd", flag.ContinueOnError)
 	addr := fs.String("addr", ":7978", "listen address")
-	modelName := fs.String("model", "hdd", "cost model: hdd or mm")
-	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB (hdd model)")
+	modelName := fs.String("model", "hdd", "cost model: hdd, ssd, or mm")
+	devf := devflag.Register(fs)
 	driftThreshold := fs.Float64("drift-threshold", advisor.DefaultDriftThreshold,
 		"relative cost divergence past which cached advice is recomputed")
 	driftWindow := fs.Int("drift-window", advisor.DefaultDriftWindow,
@@ -92,9 +101,11 @@ func parseFlags(args []string) (config, error) {
 		driftWindow:    *driftWindow,
 		migrateWindow:  *migrateWindow,
 	}
-	disk := cost.DefaultDisk()
-	disk.BufferSize = int64(*bufferMB * float64(1<<20))
-	model, err := cost.ModelByName(*modelName, disk)
+	override, err := devf()
+	if err != nil {
+		return config{}, err
+	}
+	model, err := cost.ModelByName(*modelName, override)
 	if err != nil {
 		return config{}, err
 	}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"knives/internal/advisor"
-	"knives/internal/cost"
 	"knives/internal/migrate"
 )
 
@@ -18,8 +17,8 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.addr != ":7978" {
 		t.Errorf("addr = %q", cfg.addr)
 	}
-	if _, ok := cfg.model.(*cost.HDD); !ok {
-		t.Errorf("default model is %T, want *cost.HDD", cfg.model)
+	if cfg.model.Name() != "HDD" {
+		t.Errorf("default model is %s, want HDD", cfg.model.Name())
 	}
 	if cfg.driftThreshold != advisor.DefaultDriftThreshold {
 		t.Errorf("drift threshold = %v", cfg.driftThreshold)
@@ -55,8 +54,8 @@ func TestParseFlagsOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cfg.model.(*cost.MM); !ok {
-		t.Errorf("model is %T, want *cost.MM", cfg.model)
+	if cfg.model.Name() != "MM" {
+		t.Errorf("model is %s, want MM", cfg.model.Name())
 	}
 	if cfg.driftThreshold != 0.3 || cfg.driftWindow != 32 {
 		t.Errorf("drift config = (%v, %d)", cfg.driftThreshold, cfg.driftWindow)

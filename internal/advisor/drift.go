@@ -33,8 +33,11 @@ var ErrBadObservation = errors.New("advisor: malformed observed query")
 type Tracker struct {
 	mu sync.Mutex
 
-	table     *schema.Table
-	model     cost.Model
+	table *schema.Table
+	model cost.Model
+	// modelKey is the cache key of model, so recomputed advice lands in
+	// the service cache under the device that priced it.
+	modelKey  string
 	threshold float64
 	window    int // max retained log length; <= 0 keeps everything
 
@@ -69,13 +72,14 @@ const DefaultDriftThreshold = 0.15
 const DefaultDriftWindow = 256
 
 // newTracker seeds a tracker with the workload the advice was computed for.
-func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, threshold float64, window int, fp Fingerprint) *Tracker {
+func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey string, threshold float64, window int, fp Fingerprint) *Tracker {
 	if !(threshold > 0) { // negated compare also catches NaN
 		threshold = DefaultDriftThreshold
 	}
 	t := &Tracker{
 		table:     tw.Table,
 		model:     m,
+		modelKey:  mkey,
 		threshold: threshold,
 		window:    window,
 		log:       append([]schema.TableQuery(nil), tw.Queries...),
@@ -93,6 +97,20 @@ func (t *Tracker) trim() {
 	if t.window > 0 && len(t.log) > t.window {
 		t.log = append([]schema.TableQuery(nil), t.log[len(t.log)-t.window:]...)
 	}
+}
+
+// recomputedAdvice is what a drift-triggered recompute hands back to the
+// service for caching: the fresh advice PAIRED with the log snapshot it was
+// computed from, the fingerprint the tracker covered before the install
+// (whose replay reports the recompute invalidated), and the cache key of
+// the model that priced it — all captured under the install's critical
+// section, so a concurrent re-registration with a different model can never
+// mispair them.
+type recomputedAdvice struct {
+	advice   TableAdvice
+	snapshot schema.TableWorkload
+	prevFP   Fingerprint
+	modelKey string
 }
 
 // DriftReport describes the tracker's state after an observation batch.
@@ -137,7 +155,7 @@ type DriftReport struct {
 // on validated input do not realistically fail (errors require an invalid
 // layout, which validated queries cannot produce), so this trade is taken
 // over the extra locking a staged commit would need.
-func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
+func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
 	// Validate against the CURRENT table inside the lock: the caller may
 	// have built attr bitmasks against a schema snapshot that a concurrent
@@ -148,18 +166,18 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice
 	for _, q := range queries {
 		if q.Attrs.IsEmpty() {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: query %s references no attributes", ErrBadObservation, q.ID)
 		}
 		if !all.ContainsAll(q.Attrs) {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: query %s references %v of table %s (re-advise)",
 				ErrStaleSchema, q.ID, q.Attrs, t.table.Name)
 		}
 		if !(q.Weight >= 0) { // negated compare also rejects NaN
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
 		}
 	}
@@ -172,24 +190,24 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, TableAdvice
 // to a different column index nor slip an out-of-range bitmask through.
 // Unknown names map to ErrStaleSchema — with name-based observation, an
 // unknown column almost always means the schema moved under the client.
-func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
+func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
 	queries := make([]schema.TableQuery, 0, len(named))
 	for i, oq := range named {
 		if len(oq.Attrs) == 0 {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: observed query %d references no columns", ErrBadObservation, i+1)
 		}
 		if !(oq.Weight >= 0) { // negated compare also rejects NaN
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: observed query %d has invalid weight %v", ErrBadObservation, i+1, oq.Weight)
 		}
 		attrs, err := resolveAttrs(t.table, oq.Attrs)
 		if err != nil {
 			t.mu.Unlock()
-			return DriftReport{}, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, fmt.Errorf(
+			return DriftReport{}, nil, fmt.Errorf(
 				"%w: observed query %d: %v (re-advise)", ErrStaleSchema, i+1, err)
 		}
 		weight := oq.Weight
@@ -207,11 +225,12 @@ func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, TableAdvice, s
 
 // observeLocked appends validated queries and runs the drift check. It is
 // entered with t.mu held and releases it before the searches.
-func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, TableAdvice, schema.TableWorkload, Fingerprint, error) {
+func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
 	t.log = append(t.log, queries...)
 	t.observed += int64(len(queries))
 	t.trim()
 	advised := t.advice
+	model := t.model
 	gen := t.gen
 	obsAt := t.observed
 	tw := schema.TableWorkload{
@@ -230,19 +249,19 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 	// an empty poll must not burn a process-wide search slot re-pricing a
 	// log that hasn't changed.
 	if len(queries) == 0 || len(tw.Queries) == 0 {
-		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
+		return rep, nil, nil
 	}
 
 	// The shadow search draws from the same process-wide budget as every
 	// other kernel entry point, so a burst of /observe traffic cannot
 	// oversubscribe the machine.
 	algo.AcquireSearchSlot()
-	shadow, err := o2p.New().Partition(tw, t.model)
+	shadow, err := o2p.New().Partition(tw, model)
 	algo.ReleaseSearchSlot()
 	if err != nil {
-		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, err
+		return rep, nil, err
 	}
-	advisedCost := cost.WorkloadCost(t.model, tw, advised.Layout.Parts)
+	advisedCost := cost.WorkloadCost(model, tw, advised.Layout.Parts)
 	switch {
 	case shadow.Cost > 0:
 		rep.Ratio = (advisedCost - shadow.Cost) / shadow.Cost
@@ -252,13 +271,13 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 		rep.Ratio = math.Inf(1)
 	}
 	if rep.Ratio <= t.threshold {
-		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
+		return rep, nil, nil
 	}
 
 	rep.Drifted = true
-	fresh, err := AdviseTable(tw, t.model)
+	fresh, err := AdviseTable(tw, model)
 	if err != nil {
-		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, err
+		return rep, nil, err
 	}
 	t.mu.Lock()
 	// Install only if (a) no re-registration (setAdvice) landed while the
@@ -273,7 +292,7 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 	// last. The (fresh, snapshot) pair returned below stays valid either
 	// way: the service caches it under the snapshot's own fingerprint.
 	installed := t.gen == gen && obsAt >= t.advObserved
-	var prevFP Fingerprint
+	var rec *recomputedAdvice
 	if installed {
 		t.advice = fresh
 		t.advObserved = obsAt
@@ -285,20 +304,17 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, Table
 		// fingerprint's replay reports — they were computed for the advice
 		// this install just invalidated, and a post-drift /replay must not
 		// serve a stale layout's report from cache.
-		prevFP = t.regFP
+		rec = &recomputedAdvice{advice: fresh, snapshot: tw, prevFP: t.regFP, modelKey: t.modelKey}
 		t.regFP = FingerprintOf(tw)
 		t.recomputes++
 		rep.Recomputed = true
 	}
 	rep.Recomputes = t.recomputes
 	t.mu.Unlock()
-	if !installed {
-		// The search ran but a newer registration or sibling install
-		// superseded its result; report drift without claiming a
-		// recompute, and hand nothing back to cache.
-		return rep, TableAdvice{}, schema.TableWorkload{}, Fingerprint{}, nil
-	}
-	return rep, fresh, tw, prevFP, nil
+	// When the install lost (a newer registration or sibling install
+	// superseded it), report drift without claiming a recompute and hand
+	// nothing back to cache.
+	return rep, rec, nil
 }
 
 // Advice returns the tracker's current advice.
@@ -325,10 +341,12 @@ func (t *Tracker) State() (TableAdvice, schema.TableWorkload) {
 // different schema or row count, and pricing the new workload against the
 // old *schema.Table would at best drift against the wrong geometry and at
 // worst index out of range.
-func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint) {
+func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.table = tw.Table
+	t.model = m
+	t.modelKey = mkey
 	t.log = append([]schema.TableQuery(nil), tw.Queries...)
 	t.advice = advice
 	t.gen++
@@ -349,13 +367,34 @@ func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fing
 // needs: the layout the store is assumed to hold (applied), the current
 // advice the drift recomputes have moved to, the observed mix snapshot the
 // transition is priced against, and both fingerprints.
-func (t *Tracker) MigrationState() (applied TableAdvice, appliedFP Fingerprint, current TableAdvice, currentFP Fingerprint, tw schema.TableWorkload) {
+func (t *Tracker) MigrationState() (st migrationState) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.applied, t.appliedFP, t.advice, t.regFP, schema.TableWorkload{
-		Table:   t.table,
-		Queries: append([]schema.TableQuery(nil), t.log...),
+	return migrationState{
+		applied:   t.applied,
+		appliedFP: t.appliedFP,
+		current:   t.advice,
+		currentFP: t.regFP,
+		model:     t.model,
+		modelKey:  t.modelKey,
+		tw: schema.TableWorkload{
+			Table:   t.table,
+			Queries: append([]schema.TableQuery(nil), t.log...),
+		},
 	}
+}
+
+// migrationState is everything a migration plan needs, snapshotted under
+// one tracker lock: the layout the store is assumed to hold (applied), the
+// current advice the drift recomputes have moved to, the observed mix the
+// transition is priced against, the model that prices it all, and the
+// fingerprints.
+type migrationState struct {
+	applied, current     TableAdvice
+	appliedFP, currentFP Fingerprint
+	model                cost.Model
+	modelKey             string
+	tw                   schema.TableWorkload
 }
 
 // MarkApplied records that the store now physically holds the advice the
@@ -380,9 +419,15 @@ func (t *Tracker) MarkApplied(currentFP Fingerprint) bool {
 // registration workload was wider than the drift window, or after
 // observations accumulated). Re-advising either must preserve the
 // observation state.
-func (t *Tracker) matches(fp Fingerprint) bool {
+// The MODEL key must match too: re-advising the same workload under a
+// different device is a new registration — its advice, drift pricing, and
+// migration plans all move to the new hardware.
+func (t *Tracker) matches(fp Fingerprint, mkey string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.modelKey != mkey {
+		return false
+	}
 	if fp == t.regFP {
 		return true
 	}

@@ -8,7 +8,6 @@ import (
 	"knives/internal/migrate"
 	"knives/internal/partition"
 	"knives/internal/replay"
-	"knives/internal/schema"
 )
 
 // The migration endpoint: a drift-triggered client asks the service to
@@ -70,6 +69,7 @@ func (o MigrateOptions) validate() error {
 type migrateKey struct {
 	from, to Fingerprint
 	mix      Fingerprint
+	model    string
 	window   int64
 	rows     int64
 	seed     int64
@@ -118,7 +118,10 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	if window == 0 {
 		window = s.cfg.MigrateWindow
 	}
-	rcfg, err := s.replayConfig(ReplayOptions{MaxRows: opt.MaxRows, Seed: opt.Seed, Workers: opt.Workers})
+	// The tracker prices the migration under the model that registered it —
+	// a store advised for SSD is planned and verified on the SSD device.
+	st := t.MigrationState()
+	rcfg, err := replayConfigFor(st.model, ReplayOptions{MaxRows: opt.MaxRows, Seed: opt.Seed, Workers: opt.Workers})
 	if err != nil {
 		return nil, false, err
 	}
@@ -126,10 +129,9 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 		rcfg.MaxRows = replay.DefaultMaxRows
 	}
 
-	applied, appliedFP, current, currentFP, tw := t.MigrationState()
 	s.migrations.Add(1)
 	key := migrateKey{
-		from: appliedFP, to: currentFP, mix: FingerprintOf(tw),
+		from: st.appliedFP, to: st.currentFP, mix: FingerprintOf(st.tw), model: st.modelKey,
 		window: window, rows: rcfg.MaxRows, seed: rcfg.Seed,
 	}
 
@@ -145,7 +147,7 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	ran := false
 	e.once.Do(func() {
 		ran = true
-		e.outcome, e.err = s.migrateOnce(table, applied, current, tw, key, rcfg)
+		e.outcome, e.err = s.migrateOnce(table, st, key, rcfg)
 	})
 	if e.err != nil {
 		// Like a failed advice search or replay, a failed migration must
@@ -171,7 +173,7 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	// re-registration moved the advice since this outcome was computed.
 	out := *e.outcome
 	if out.Plan != nil && (out.Report == nil || (out.Plan.Viable && out.Report.Exact())) {
-		out.AppliedUpdated = t.MarkApplied(currentFP)
+		out.AppliedUpdated = t.MarkApplied(st.currentFP)
 	}
 	return &out, !ran, nil
 }
@@ -179,20 +181,21 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 // migrateOnce computes one migration outcome: rebind both layouts onto the
 // tracked table, plan at full scale, and execute-and-verify on a sampled
 // in-memory store when the layouts differ.
-func (s *Service) migrateOnce(table string, applied, current TableAdvice, tw schema.TableWorkload, key migrateKey, rcfg migrate.Config) (*MigrationOutcome, error) {
-	from, err := partition.New(tw.Table, applied.Layout.Parts)
+func (s *Service) migrateOnce(table string, st migrationState, key migrateKey, rcfg migrate.Config) (*MigrationOutcome, error) {
+	tw := st.tw
+	from, err := partition.New(tw.Table, st.applied.Layout.Parts)
 	if err != nil {
 		return nil, fmt.Errorf("advisor: applied layout: %w", err)
 	}
-	to, err := partition.New(tw.Table, current.Layout.Parts)
+	to, err := partition.New(tw.Table, st.current.Layout.Parts)
 	if err != nil {
 		return nil, fmt.Errorf("advisor: advised layout: %w", err)
 	}
-	plan, err := migrate.New(tw, from, to, s.model, key.window)
+	plan, err := migrate.New(tw, from, to, st.model, key.window)
 	if err != nil {
 		return nil, err
 	}
-	plan.FromAlgorithm, plan.ToAlgorithm = applied.Algorithm, current.Algorithm
+	plan.FromAlgorithm, plan.ToAlgorithm = st.applied.Algorithm, st.current.Algorithm
 	out := &MigrationOutcome{Table: table, FromFP: key.from, ToFP: key.to, Plan: plan}
 	if plan.From.Equal(plan.To) {
 		// Nothing to move; the outcome is the refusal itself (and the

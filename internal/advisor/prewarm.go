@@ -11,24 +11,27 @@ import (
 // benchmark before the server takes traffic, so the first clients hit warm
 // entries instead of racing cold searches.
 //
-// When the service prices with the HDD model, Prewarm reuses the experiment
-// suite's machinery: Suite.Prewarm fans the (algorithm x table) searches out
-// over every core with each result computed exactly once, and the advice is
-// assembled from the suite's cache without repeating any search. Other
-// models fall back to advising each table directly — note the fallback
-// routes through AdviseTable and therefore counts its tables as
-// requests/misses in Stats, while the suite path only counts searches.
+// When the service prices with a block-priced device (HDD, SSD), Prewarm
+// reuses the experiment suite's machinery: Suite.Prewarm fans the
+// (algorithm x table) searches out over every core with each result
+// computed exactly once, and the advice is assembled from the suite's cache
+// without repeating any search. (The suite's model relabels the device
+// "HDD", but the block arithmetic reads only the numeric parameters, so the
+// layouts and costs are bit-identical to the service model's.) Other models
+// fall back to advising each table directly — note the fallback routes
+// through AdviseTable and therefore counts its tables as requests/misses in
+// Stats, while the suite path only counts searches.
 func (s *Service) Prewarm(b *schema.Benchmark) error {
 	if b == nil {
 		return nil
 	}
-	hdd, ok := s.model.(*cost.HDD)
-	if !ok {
+	dm, ok := s.model.(*cost.DeviceModel)
+	if !ok || dm.Device().Pricing != cost.PricingBlock {
 		_, _, err := s.AdviseBenchmark(b)
 		return err
 	}
 
-	suite := &experiments.Suite{Bench: b, Disk: hdd.Disk}
+	suite := &experiments.Suite{Bench: b, Disk: dm.Device()}
 	names := PortfolioNames()
 	if err := suite.Prewarm(names...); err != nil {
 		return err
@@ -63,10 +66,10 @@ func (s *Service) Prewarm(b *schema.Benchmark) error {
 // trackers evicted past TrackerCapacity without resetting live ones.
 func (s *Service) seed(tw schema.TableWorkload, advice TableAdvice) {
 	fp := FingerprintOf(tw)
-	e := s.lookup(fp)
+	e := s.lookup(adviceKey{fp: fp, model: s.modelKey})
 	e.once.Do(func() { e.advice = advice })
 	if e.err != nil {
 		return
 	}
-	s.registerTracker(tw, e.advice, fp)
+	s.registerTracker(tw, e.advice, fp, s.model, s.modelKey)
 }

@@ -54,12 +54,14 @@ func (o ReplayOptions) validate() error {
 var ErrBadReplay = fmt.Errorf("advisor: invalid replay request")
 
 // replayKey identifies one cached replay report: the workload fingerprint
-// (PR-2's cache key, which already covers schema, weights, and query order)
-// plus the two options that change the materialized data.
+// (PR-2's cache key, which already covers schema, weights, and query order),
+// the canonical key of the device the replay prices and measures on, plus
+// the two options that change the materialized data.
 type replayKey struct {
-	fp   Fingerprint
-	rows int64
-	seed int64
+	fp    Fingerprint
+	model string
+	rows  int64
+	seed  int64
 }
 
 // replayEntry computes one replay at most once, like the advice cache's
@@ -72,18 +74,22 @@ type replayEntry struct {
 	err    error
 }
 
-// replayConfig translates the service's cost model into a replay config.
-func (s *Service) replayConfig(opt ReplayOptions) (replay.Config, error) {
-	cfg := replay.Config{MaxRows: opt.MaxRows, Seed: opt.Seed, Workers: opt.Workers}
-	switch m := s.model.(type) {
-	case *cost.HDD:
-		cfg.Model, cfg.Disk = "hdd", m.Disk
-	case *cost.MM:
-		cfg.Model = "mm"
-	default:
-		return cfg, fmt.Errorf("advisor: cost model %s has no replay pricing", s.model.Name())
+// replayConfigFor translates a pricing model into a replay config: the
+// model's full device becomes the config's device (replay.Config treats a
+// named Disk with an empty Model as the device itself), so the engine
+// materializes, measures, and prices on exactly the hardware the request
+// resolved.
+func replayConfigFor(m cost.Model, opt ReplayOptions) (replay.Config, error) {
+	dm, ok := m.(*cost.DeviceModel)
+	if !ok {
+		return replay.Config{}, fmt.Errorf("advisor: cost model %s has no replay pricing", m.Name())
 	}
-	return cfg, nil
+	return replay.Config{
+		Disk:    dm.Device(),
+		MaxRows: opt.MaxRows,
+		Seed:    opt.Seed,
+		Workers: opt.Workers,
+	}, nil
 }
 
 // ReplayTable answers one table's advise-materialize-replay-report chain:
@@ -93,10 +99,16 @@ func (s *Service) replayConfig(opt ReplayOptions) (replay.Config, error) {
 // (fingerprint, rows, seed); the bool reports whether this call executed a
 // replay (false = cache hit).
 func (s *Service) ReplayTable(tw schema.TableWorkload, opt ReplayOptions) (*replay.TableReplay, Fingerprint, bool, error) {
+	return s.replayTableAs(tw, opt, s.model, s.modelKey)
+}
+
+// replayTableAs is ReplayTable under an explicit pricing model (a wire
+// request's resolved ModelSpec, or the service default).
+func (s *Service) replayTableAs(tw schema.TableWorkload, opt ReplayOptions, m cost.Model, mkey string) (*replay.TableReplay, Fingerprint, bool, error) {
 	if err := opt.validate(); err != nil {
 		return nil, Fingerprint{}, false, err
 	}
-	cfg, err := s.replayConfig(opt)
+	cfg, err := replayConfigFor(m, opt)
 	if err != nil {
 		return nil, Fingerprint{}, false, err
 	}
@@ -108,7 +120,7 @@ func (s *Service) ReplayTable(tw schema.TableWorkload, opt ReplayOptions) (*repl
 	}
 	tw = normalizeWeights(tw)
 	s.replays.Add(1)
-	key := replayKey{fp: FingerprintOf(tw), rows: cfg.MaxRows, seed: cfg.Seed}
+	key := replayKey{fp: FingerprintOf(tw), model: mkey, rows: cfg.MaxRows, seed: cfg.Seed}
 
 	s.mu.Lock()
 	e, ok := s.replayEntries[key]
@@ -125,7 +137,7 @@ func (s *Service) ReplayTable(tw schema.TableWorkload, opt ReplayOptions) (*repl
 		// The advice may come from the cache, computed for an earlier
 		// request whose *Table pointer differs; rebind the layout onto THIS
 		// workload's table (the fingerprint guarantees identical schemas).
-		advice, _, _, err := s.adviseTable(tw)
+		advice, _, _, err := s.adviseTableAs(tw, m, mkey)
 		if err != nil {
 			e.err = err
 			return

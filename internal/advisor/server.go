@@ -94,6 +94,14 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
+	// The model spec resolves once per request (400 on unknown names or
+	// NaN/Inf/non-positive overrides) and scopes every cache the request
+	// touches.
+	m, mkey, err := s.svc.modelFor(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	b, err := req.Materialize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -104,7 +112,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	tws := b.TableWorkloads()
 	wires := make([]TableAdviceWire, len(tws))
 	err = fanOut(len(tws), func(i int) error {
-		advice, fp, cached, err := s.svc.adviseTable(tws[i])
+		advice, fp, cached, err := s.svc.adviseTableAs(tws[i], m, mkey)
 		if err != nil {
 			return err
 		}
@@ -129,6 +137,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	m, mkey, err := s.svc.modelFor(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	b, err := req.advise().Materialize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -139,7 +152,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	tws := b.TableWorkloads()
 	wires := make([]TableReplayWire, len(tws))
 	err = fanOut(len(tws), func(i int) error {
-		rep, fp, cached, err := s.svc.ReplayTable(tws[i], opt)
+		rep, fp, cached, err := s.svc.replayTableAs(tws[i], opt, m, mkey)
 		if err != nil {
 			return err
 		}

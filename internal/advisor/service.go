@@ -65,13 +65,25 @@ const DefaultTrackerCapacity = 1024
 // by fanning the portfolio out over the parallel search kernel, and watches
 // per-table query streams for drift. All methods are safe for concurrent
 // use.
+// adviceKey identifies one cached advice computation: the workload
+// fingerprint plus the canonical key of the model that priced it. The same
+// workload priced on a different device is a different question — without
+// the model key, an SSD request could be answered with HDD advice.
+type adviceKey struct {
+	fp    Fingerprint
+	model string
+}
+
 type Service struct {
 	cfg   Config
 	model cost.Model
+	// modelKey canonically identifies the configured model for cache
+	// keying; per-request model specs resolve their own keys.
+	modelKey string
 
 	mu             sync.Mutex
-	entries        map[Fingerprint]*entry
-	order          []Fingerprint // insertion order, for FIFO eviction
+	entries        map[adviceKey]*entry
+	order          []adviceKey // insertion order, for FIFO eviction
 	trackers       map[string]*Tracker
 	trackerOrder   []string // registration order, for FIFO eviction
 	replayEntries  map[replayKey]*replayEntry
@@ -129,7 +141,8 @@ func NewService(cfg Config) *Service {
 	return &Service{
 		cfg:            cfg,
 		model:          m,
-		entries:        make(map[Fingerprint]*entry),
+		modelKey:       modelKeyOf(m),
+		entries:        make(map[adviceKey]*entry),
 		trackers:       make(map[string]*Tracker),
 		replayEntries:  make(map[replayKey]*replayEntry),
 		migrateEntries: make(map[migrateKey]*migrateEntry),
@@ -190,16 +203,16 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// lookup returns the cache entry for a fingerprint, creating it if absent.
+// lookup returns the cache entry for an advice key, creating it if absent.
 // Hit/miss attribution is NOT decided here — it belongs to whoever wins
 // the entry's once and actually runs the search.
-func (s *Service) lookup(fp Fingerprint) *entry {
+func (s *Service) lookup(k adviceKey) *entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[fp]
+	e, ok := s.entries[k]
 	if !ok {
 		e = &entry{}
-		s.insertLocked(fp, e)
+		s.insertLocked(k, e)
 	}
 	return e
 }
@@ -216,13 +229,13 @@ func (s *Service) lookup(fp Fingerprint) *entry {
 // order slice alongside the map delete (see dropLocked). Without this, a
 // duplicated fingerprint in order would make eviction delete a FRESH entry
 // when it pops the stale occurrence.
-func (s *Service) insertLocked(fp Fingerprint, e *entry) {
-	if _, live := s.entries[fp]; live {
-		s.entries[fp] = e
+func (s *Service) insertLocked(k adviceKey, e *entry) {
+	if _, live := s.entries[k]; live {
+		s.entries[k] = e
 		return
 	}
-	s.entries[fp] = e
-	s.order = evictOldest(s.entries, append(s.order, fp), s.cfg.CacheCapacity, fp)
+	s.entries[k] = e
+	s.order = evictOldest(s.entries, append(s.order, k), s.cfg.CacheCapacity, k)
 }
 
 // evictOldest trims a FIFO-bounded map back under capacity by deleting the
@@ -246,12 +259,12 @@ func evictOldest[K comparable, V any](m map[K]V, order []K, capacity int, justIn
 	return order
 }
 
-// dropLocked removes a fingerprint from the map and its order slot,
+// dropLocked removes an advice key from the map and its order slot,
 // preserving the insertLocked invariant. Callers hold s.mu.
-func (s *Service) dropLocked(fp Fingerprint) {
-	delete(s.entries, fp)
+func (s *Service) dropLocked(k adviceKey) {
+	delete(s.entries, k)
 	for i, f := range s.order {
-		if f == fp {
+		if f == k {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			return
 		}
@@ -270,6 +283,14 @@ func (s *Service) AdviseTable(tw schema.TableWorkload) (TableAdvice, bool, error
 // under, so the HTTP layer can render it without hashing the workload a
 // second time.
 func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint, bool, error) {
+	return s.adviseTableAs(tw, s.model, s.modelKey)
+}
+
+// adviseTableAs answers one table workload under an explicit pricing model
+// (a wire request's resolved ModelSpec, or the service default). Cache
+// entries are scoped to (fingerprint, model key), so the same workload
+// priced on different devices never shares advice.
+func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey string) (TableAdvice, Fingerprint, bool, error) {
 	if tw.Table == nil {
 		return TableAdvice{}, Fingerprint{}, false, fmt.Errorf("advisor: nil table")
 	}
@@ -285,12 +306,13 @@ func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint
 	tw = normalizeWeights(tw)
 	s.requests.Add(1)
 	fp := FingerprintOf(tw)
-	e := s.lookup(fp)
+	key := adviceKey{fp: fp, model: mkey}
+	e := s.lookup(key)
 	ran := false
 	e.once.Do(func() {
 		ran = true
 		s.searches.Add(1)
-		e.advice, e.err = AdviseTable(tw, s.model)
+		e.advice, e.err = AdviseTable(tw, m)
 	})
 	// Attribution is by who ran the search, not who created the entry: a
 	// concurrent requester can find the entry yet win the once race and do
@@ -300,8 +322,8 @@ func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint
 	if e.err != nil {
 		// Failed computations must not poison the cache key forever.
 		s.mu.Lock()
-		if s.entries[fp] == e {
-			s.dropLocked(fp)
+		if s.entries[key] == e {
+			s.dropLocked(key)
 		}
 		s.mu.Unlock()
 		return TableAdvice{}, fp, false, e.err
@@ -309,12 +331,21 @@ func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint
 	if hit {
 		s.hits.Add(1)
 	}
-	// Register unconditionally: the helper preserves a live tracker's
-	// observation state when the same workload is re-advised, restores
-	// evicted trackers (the documented ErrNotRegistered remedy, which must
-	// work even while the advice cache still answers), and resets on a
-	// genuinely different registration.
-	s.registerTracker(tw, e.advice, fp)
+	// Register (for the daemon's own model): the helper preserves a live
+	// tracker's observation state when the same workload is re-advised,
+	// restores evicted trackers (the documented ErrNotRegistered remedy,
+	// which must work even while the advice cache still answers), and
+	// resets on a genuinely different registration.
+	//
+	// Requests priced on a per-request model are WHAT-IF questions: they
+	// are answered (and cached) under their own device key but must not
+	// touch the tracker — a read-shaped exploratory /advise on SSD would
+	// otherwise wipe the accumulated drift log and rebind the applied
+	// layout of a store the daemon tracks on its configured hardware. A
+	// client that wants tracked SSD tables runs the daemon with -model ssd.
+	if mkey == s.modelKey {
+		s.registerTracker(tw, e.advice, fp, m, mkey)
+	}
 	return e.advice, fp, hit, nil
 }
 
@@ -335,12 +366,12 @@ func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint
 // with every distinct table name for the life of the daemon. Like the
 // cache's order slice, trackerOrder lists exactly the live tracker names,
 // oldest registration first, each once.
-func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint) {
+func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.trackers[tw.Table.Name]
 	if !ok {
-		s.trackers[tw.Table.Name] = newTracker(tw, advice, s.model, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp)
+		s.trackers[tw.Table.Name] = newTracker(tw, advice, m, mkey, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp)
 		s.trackerOrder = evictOldest(s.trackers,
 			append(s.trackerOrder, tw.Table.Name), s.cfg.TrackerCapacity, tw.Table.Name)
 		return
@@ -351,10 +382,10 @@ func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, f
 	// would mutate an orphan while the live tracker kept another
 	// workload's state. Tracker methods take only t.mu and never s.mu, so
 	// holding s.mu across them cannot deadlock.
-	if t.matches(fp) {
+	if t.matches(fp, mkey) {
 		return // an already-covered workload re-advised: keep the state
 	}
-	t.setAdvice(tw, advice, fp)
+	t.setAdvice(tw, advice, fp, m, mkey)
 }
 
 // AdviseBenchmark answers every table of a benchmark, fanning tables out
@@ -401,8 +432,8 @@ func (s *Service) Observe(table string, queries []schema.TableQuery) (DriftRepor
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, fresh, snapshot, prevFP, err := t.Observe(normalizeQueryWeights(queries))
-	return s.afterObserve(rep, fresh, snapshot, prevFP, err)
+	rep, rec, err := t.Observe(normalizeQueryWeights(queries))
+	return s.afterObserve(rep, rec, err)
 }
 
 // ObserveNamed is Observe for queries carrying column names; resolution
@@ -412,8 +443,8 @@ func (s *Service) ObserveNamed(table string, named []ObservedQry) (DriftReport, 
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, fresh, snapshot, prevFP, err := t.ObserveNamed(named)
-	return s.afterObserve(rep, fresh, snapshot, prevFP, err)
+	rep, rec, err := t.ObserveNamed(named)
+	return s.afterObserve(rep, rec, err)
 }
 
 // ErrNotRegistered reports an operation on a table no drift tracker covers
@@ -434,27 +465,28 @@ func (s *Service) tracker(table string) (*Tracker, error) {
 
 // afterObserve books a drift recompute into the stats and the cache, and
 // evicts the replay reports the recompute invalidated.
-func (s *Service) afterObserve(rep DriftReport, fresh TableAdvice, snapshot schema.TableWorkload, prevFP Fingerprint, err error) (DriftReport, error) {
+func (s *Service) afterObserve(rep DriftReport, rec *recomputedAdvice, err error) (DriftReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	if rep.Recomputed {
+	if rep.Recomputed && rec != nil {
 		s.recomputes.Add(1)
 		s.searches.Add(1) // the tracker ran a portfolio search
-		// fresh was computed for exactly this snapshot, so the pairing is
-		// safe to cache even if newer batches have since moved the tracker.
-		e := &entry{advice: fresh}
+		// The advice was computed for exactly rec.snapshot under
+		// rec.modelKey's device, so the pairing is safe to cache even if
+		// newer batches have since moved the tracker.
+		e := &entry{advice: rec.advice}
 		e.once.Do(func() {}) // mark resolved
-		snapFP := FingerprintOf(snapshot)
+		snapFP := FingerprintOf(rec.snapshot)
 		s.mu.Lock()
-		s.insertLocked(snapFP, e)
+		s.insertLocked(adviceKey{fp: snapFP, model: rec.modelKey}, e)
 		// A recompute means the advice this tracker serves MOVED: replay
 		// reports cached under the fingerprint it covered until now (and
 		// under the snapshot's own key, if a client replayed it while an
 		// older advice entry answered it) describe a layout the daemon no
 		// longer advises. Without this eviction, a post-drift /replay
 		// would serve the stale layout's report from cache.
-		s.dropReplaysLocked(prevFP)
+		s.dropReplaysLocked(rec.prevFP)
 		s.dropReplaysLocked(snapFP)
 		s.mu.Unlock()
 	}

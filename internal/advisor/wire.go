@@ -44,6 +44,11 @@ type AdviseRequest struct {
 
 	Tables  []TableSpec `json:"tables,omitempty"`
 	Queries []QuerySpec `json:"queries,omitempty"`
+
+	// Model optionally names the device this request prices on, with
+	// optional hardware overrides; absent means the daemon's configured
+	// model. Advice is cached per (workload, device).
+	Model *ModelSpec `json:"model,omitempty"`
 }
 
 // TableAdviceWire is one table's advice as served over HTTP.
@@ -85,6 +90,11 @@ type ReplayRequest struct {
 	MaxRows int64 `json:"max_rows,omitempty"`
 	Seed    int64 `json:"seed,omitempty"`
 	Workers int   `json:"workers,omitempty"`
+
+	// Model optionally names the device the replay materializes, measures,
+	// and prices on (with optional hardware overrides); absent means the
+	// daemon's configured model.
+	Model *ModelSpec `json:"model,omitempty"`
 }
 
 // advise returns the request's workload as an AdviseRequest.
@@ -94,6 +104,7 @@ func (r ReplayRequest) advise() AdviseRequest {
 		ScaleFactor: r.ScaleFactor,
 		Tables:      r.Tables,
 		Queries:     r.Queries,
+		Model:       r.Model,
 	}
 }
 

@@ -1,82 +1,53 @@
 // Package cost implements the paper's unified I/O cost model (Section 4)
-// and the HYRISE-style main-memory cost model used in its Table 6.
+// and the HYRISE-style main-memory cost model used in its Table 6 — both as
+// instances of one device-parameterized layer (see device.go).
 //
-// Both models estimate the cost of answering a scan/projection query over a
-// vertically partitioned table: the database reads, in full, every column
-// group that contains at least one referenced attribute. The HDD model
-// charges seek and scan time against a shared I/O buffer; the main-memory
-// model charges cache misses.
+// Every model estimates the cost of answering a scan/projection query over
+// a vertically partitioned table: the database reads, in full, every column
+// group that contains at least one referenced attribute. Block-priced
+// devices (HDD, SSD) charge seek and scan time against a shared I/O buffer;
+// cache-priced devices (MM) charge cache misses.
 package cost
 
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"knives/internal/attrset"
 	"knives/internal/schema"
 )
 
-// Disk describes the hardware/software setting the HDD model prices against.
-// The defaults reproduce the paper's testbed as measured with Bonnie++
-// (Section 4, "Common Hardware") plus its default experiment parameters
-// (Section 6.3): 8 KB blocks, 8 MB buffer, 90 MB/s read, 4.84 ms seek.
-type Disk struct {
-	BlockSize      int64   // b, bytes
-	BufferSize     int64   // Buff, bytes
-	ReadBandwidth  float64 // BW, bytes/second
-	WriteBandwidth float64 // bytes/second, used for layout-creation estimates
-	SeekTime       float64 // ts, seconds
-}
+// Disk is the historical name for Device from when the package knew only
+// the paper's two hardware points. It survives as an alias so every layer
+// that stores "the disk the engine simulates" keeps compiling; new code
+// should say Device.
+type Disk = Device
 
-// DefaultDisk returns the paper's default disk characteristics.
-func DefaultDisk() Disk {
-	return Disk{
-		BlockSize:      8 * 1024,
-		BufferSize:     8 * 1024 * 1024,
-		ReadBandwidth:  90.07 * 1e6,
-		WriteBandwidth: 64.37 * 1e6,
-		SeekTime:       4.84e-3,
-	}
-}
-
-// Validate reports whether the disk parameters are usable.
-func (d Disk) Validate() error {
-	switch {
-	case d.BlockSize <= 0:
-		return fmt.Errorf("cost: block size %d must be positive", d.BlockSize)
-	case d.BufferSize <= 0:
-		return fmt.Errorf("cost: buffer size %d must be positive", d.BufferSize)
-	case d.ReadBandwidth <= 0:
-		return fmt.Errorf("cost: read bandwidth %v must be positive", d.ReadBandwidth)
-	case d.SeekTime < 0:
-		return fmt.Errorf("cost: seek time %v must be non-negative", d.SeekTime)
-	}
-	return nil
-}
+// DefaultDisk returns the paper's default disk characteristics — the HDD
+// preset.
+func DefaultDisk() Disk { return HDDDevice() }
 
 // WithBuffer returns a copy of d with a different buffer size.
-func (d Disk) WithBuffer(bytes int64) Disk { d.BufferSize = bytes; return d }
+func (d Device) WithBuffer(bytes int64) Device { d.BufferSize = bytes; return d }
 
 // WithBlockSize returns a copy of d with a different block size.
-func (d Disk) WithBlockSize(bytes int64) Disk { d.BlockSize = bytes; return d }
+func (d Device) WithBlockSize(bytes int64) Device { d.BlockSize = bytes; return d }
 
 // WithReadBandwidth returns a copy of d with a different read bandwidth.
-func (d Disk) WithReadBandwidth(bytesPerSec float64) Disk {
+func (d Device) WithReadBandwidth(bytesPerSec float64) Device {
 	d.ReadBandwidth = bytesPerSec
 	return d
 }
 
 // WithSeekTime returns a copy of d with a different seek time.
-func (d Disk) WithSeekTime(seconds float64) Disk { d.SeekTime = seconds; return d }
+func (d Device) WithSeekTime(seconds float64) Device { d.SeekTime = seconds; return d }
 
 // Model estimates query costs over a partitioned table. Parts must be a
 // complete, disjoint partitioning of the table's attributes; query is the
-// set of attributes the query references. The returned unit is seconds for
-// the HDD model and abstract cache-miss time for the MM model — the paper
-// only ever compares costs under one model at a time.
+// set of attributes the query references. The returned unit is seconds —
+// the paper only ever compares costs under one model at a time.
 type Model interface {
-	// Name identifies the model in reports ("HDD", "MM").
+	// Name identifies the model in reports ("HDD", "SSD", "MM").
 	Name() string
 	// QueryCost returns the cost of one execution of a query referencing
 	// the given attributes.
@@ -97,8 +68,9 @@ func WorkloadCost(m Model, tw schema.TableWorkload, parts []attrset.Set) float64
 	return total
 }
 
-// HDD is the paper's disk I/O cost model. For a query referencing partitions
-// P_Q with row sizes s_i (total S):
+// DeviceModel prices queries on one Device. Block-priced devices follow the
+// paper's disk formulas; for a query referencing partitions P_Q with row
+// sizes s_i (total S):
 //
 //	buff_i       = floor(Buff * s_i / S)        (proportional buffer split)
 //	blocksBuff_i = floor(buff_i / b)            (clamped to >= 1)
@@ -111,37 +83,75 @@ func WorkloadCost(m Model, tw schema.TableWorkload, parts []attrset.Set) float64
 // then degrades to one seek per block instead of dividing by zero. Rows
 // wider than a block (possible only for pathological block sizes) are laid
 // out contiguously: blocks_i = ceil(N * s_i / b).
-type HDD struct {
-	Disk Disk
+//
+// Cache-priced devices charge each referenced partition its sequential
+// stream of cache lines times the miss latency:
+//
+//	cost(Q) = sum over i in P_Q of ceil(N * s_i / L) * miss
+//
+// Both disciplines keep each per-partition term in its own statement and
+// sum in the parts' order, which is what lets the storage engine's measured
+// accounting equal these formulas bit for bit.
+type DeviceModel struct {
+	dev Device
 }
 
-// NewHDD returns an HDD model over the given disk.
-func NewHDD(d Disk) *HDD { return &HDD{Disk: d} }
-
-// ModelByName returns the named cost model ("hdd" or "mm",
-// case-insensitive) — the one mapping every surface that accepts a model
-// name (knives CLI, knivesd flags) resolves through. The disk only applies
-// to the HDD model and is validated there, so a degenerate buffer or block
-// size fails loudly instead of silently pricing garbage.
-func ModelByName(name string, d Disk) (Model, error) {
-	switch strings.ToLower(name) {
-	case "hdd":
-		if err := d.Validate(); err != nil {
-			return nil, err
-		}
-		return NewHDD(d), nil
-	case "mm":
-		return NewMM(), nil
-	default:
-		return nil, fmt.Errorf("cost: unknown cost model %q (hdd or mm)", name)
+// NewDeviceModel returns a model over a validated device spec.
+func NewDeviceModel(dev Device) (*DeviceModel, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
 	}
+	if dev.Name == "" {
+		dev.Name = "custom"
+	}
+	return &DeviceModel{dev: dev}, nil
 }
+
+// NewHDD returns a block-priced model over the given device parameters,
+// labeled HDD — the paper's unified disk I/O model. Unset cache parameters
+// default so the engine's line accounting always has a granularity.
+func NewHDD(d Disk) *DeviceModel {
+	d.Name, d.Pricing = "HDD", PricingBlock
+	if d.CacheLineSize == 0 {
+		d.CacheLineSize = DefaultCacheLineSize
+	}
+	if d.MissLatency == 0 {
+		d.MissLatency = DefaultMissLatency
+	}
+	return &DeviceModel{dev: d}
+}
+
+// NewSSD returns the flash instance of the block discipline: the SSD
+// preset's near-zero seek and high read bandwidth.
+func NewSSD() *DeviceModel { return &DeviceModel{dev: SSDDevice()} }
+
+// NewMM returns the main-memory model with 64-byte cache lines and a
+// 100 ns miss latency, a conventional DRAM figure.
+func NewMM() *DeviceModel { return &DeviceModel{dev: MMDevice()} }
+
+// ModelByName returns the named cost model, case-insensitively — the one
+// mapping every surface that accepts a model name (knives CLI, knivesd
+// flags and wire requests) resolves through. The name picks a device preset
+// (see DeviceByName for the alias table); every non-zero hardware parameter
+// of d overrides the preset's, and the resolved device is validated, so a
+// degenerate buffer or block size fails loudly instead of silently pricing
+// garbage.
+func ModelByName(name string, d Disk) (Model, error) {
+	dev, err := DeviceByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewDeviceModel(dev.WithOverrides(d))
+}
+
+// Device returns the device the model prices.
+func (m *DeviceModel) Device() Device { return m.dev }
 
 // Name implements Model.
-func (*HDD) Name() string { return "HDD" }
+func (m *DeviceModel) Name() string { return m.dev.Name }
 
 // QueryCost implements Model.
-func (m *HDD) QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64 {
+func (m *DeviceModel) QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64 {
 	var totalRowSize int64
 	for _, p := range parts {
 		if p.Overlaps(query) {
@@ -174,8 +184,16 @@ type PartitionCoster interface {
 }
 
 // PartitionCost implements PartitionCoster.
-func (m *HDD) PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float64 {
-	d := m.Disk
+func (m *DeviceModel) PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float64 {
+	d := &m.dev
+	if d.Pricing == PricingCache {
+		line := d.CacheLineSize
+		if line <= 0 {
+			line = DefaultCacheLineSize
+		}
+		bytes := float64(t.Rows) * float64(rowSize)
+		return math.Ceil(bytes/float64(line)) * d.MissLatency
+	}
 	blocks := PartitionBlocks(t.Rows, rowSize, d.BlockSize)
 
 	buff := d.BufferSize * rowSize / totalRowSize
@@ -190,9 +208,9 @@ func (m *HDD) PartitionCost(t *schema.Table, rowSize, totalRowSize int64) float6
 	return seekCost + scanCost
 }
 
-// PartitionSeeks returns the buffer refills the HDD formulas imply for
-// reading one partition of row size rowSize in full, when the query's
-// referenced partitions have combined row size totalRowSize:
+// PartitionSeeks returns the buffer refills the block-pricing formulas
+// imply for reading one partition of row size rowSize in full, when the
+// query's referenced partitions have combined row size totalRowSize:
 // ceil(blocks / blocksBuff) under the proportional buffer split. This is
 // the seek count inside PartitionCost, exported standalone so the replay
 // subsystem predicts integer seeks from the same arithmetic the model
@@ -243,49 +261,6 @@ func ScanBytes(t *schema.Table, parts []attrset.Set, query attrset.Set, blockSiz
 		}
 	}
 	return total
-}
-
-// MM is a main-memory cost model in the spirit of HYRISE: the cost of a
-// query is the number of cache lines (of CacheLineSize bytes) transferred
-// when scanning every referenced column group in full, times the miss
-// latency. Sequential access dominates for scan/projection workloads, so a
-// partition of row size s contributes N*s/L misses; there is no seek
-// component, which is exactly why column grouping cannot beat column layout
-// under this model (paper, Table 6 discussion).
-type MM struct {
-	CacheLineSize int64
-	// MissLatency is the cost of one cache miss, in seconds.
-	MissLatency float64
-}
-
-// NewMM returns a main-memory model with 64-byte cache lines and a
-// 100 ns miss latency, a conventional DRAM figure.
-func NewMM() *MM { return &MM{CacheLineSize: 64, MissLatency: 100e-9} }
-
-// Name implements Model.
-func (*MM) Name() string { return "MM" }
-
-// QueryCost implements Model.
-func (m *MM) QueryCost(t *schema.Table, parts []attrset.Set, query attrset.Set) float64 {
-	var total float64
-	for _, p := range parts {
-		if !p.Overlaps(query) {
-			continue
-		}
-		total += m.PartitionCost(t, t.SetSize(p), 0)
-	}
-	return total
-}
-
-// PartitionCost implements PartitionCoster. The MM model has no buffer
-// coupling, so totalRowSize is ignored.
-func (m *MM) PartitionCost(t *schema.Table, rowSize, _ int64) float64 {
-	line := m.CacheLineSize
-	if line <= 0 {
-		line = 64
-	}
-	bytes := float64(t.Rows) * float64(rowSize)
-	return math.Ceil(bytes/float64(line)) * m.MissLatency
 }
 
 // CreationTime estimates the time to transform a table from row layout into

@@ -247,14 +247,14 @@ func TestMMModelPrefersColumnLayout(t *testing.T) {
 	grouped := []attrset.Set{attrset.Of(0, 1), attrset.Of(2)}
 	g := m.QueryCost(tab, grouped, attrset.Of(0, 1))
 	c := m.QueryCost(tab, col, attrset.Of(0, 1))
-	if math.Abs(g-c) > 2*m.MissLatency {
+	if math.Abs(g-c) > 2*m.Device().MissLatency {
 		t.Errorf("MM grouped %v vs column %v differ beyond rounding", g, c)
 	}
 }
 
 func TestMMZeroLineSizeDefaults(t *testing.T) {
 	tab := testTable(t, 100, 4)
-	m := &MM{MissLatency: 1}
+	m := &DeviceModel{dev: Device{Pricing: PricingCache, MissLatency: 1}}
 	if got := m.QueryCost(tab, []attrset.Set{attrset.Of(0)}, attrset.Of(0)); got != math.Ceil(400.0/64) {
 		t.Errorf("cost with defaulted line size = %v", got)
 	}
@@ -306,28 +306,26 @@ func TestModelByName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := hdd.(*HDD); !ok {
-		t.Errorf("ModelByName(HDD) = %T", hdd)
+	if dm, ok := hdd.(*DeviceModel); !ok || dm.Device().Pricing != PricingBlock || dm.Name() != "HDD" {
+		t.Errorf("ModelByName(HDD) = %T %v", hdd, hdd.Name())
 	}
 	mm, err := ModelByName("mm", DefaultDisk())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := mm.(*MM); !ok {
-		t.Errorf("ModelByName(mm) = %T", mm)
+	if dm, ok := mm.(*DeviceModel); !ok || dm.Device().Pricing != PricingCache || dm.Name() != "MM" {
+		t.Errorf("ModelByName(mm) = %T %v", mm, mm.Name())
 	}
 	if _, err := ModelByName("quantum", DefaultDisk()); err == nil {
 		t.Error("accepted unknown model name")
 	}
-	// The HDD path validates the disk; a degenerate buffer must fail
-	// loudly instead of silently pricing garbage.
+	// Every model validates the resolved device; a degenerate override must
+	// fail loudly instead of silently pricing garbage.
 	bad := DefaultDisk()
-	bad.BufferSize = 0
-	if _, err := ModelByName("hdd", bad); err == nil {
-		t.Error("accepted a zero-buffer disk")
-	}
-	// The MM model ignores the disk entirely.
-	if _, err := ModelByName("mm", bad); err != nil {
-		t.Errorf("MM rejected an (irrelevant) bad disk: %v", err)
+	bad.BufferSize = -1
+	for _, name := range []string{"hdd", "ssd", "mm"} {
+		if _, err := ModelByName(name, bad); err == nil {
+			t.Errorf("%s accepted a negative-buffer override", name)
+		}
 	}
 }

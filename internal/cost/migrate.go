@@ -56,6 +56,10 @@ type PartMove struct {
 // identity migration is exactly zero.
 type Migration struct {
 	Model string
+	// Pricing is the discipline the device was priced with; it decides
+	// which mechanical dimension (seeks/bytes vs cache lines) a measured
+	// repartition must match.
+	Pricing Pricing
 	// Reads and Writes are ordered by decreasing row size (ties by
 	// canonical order) — the summation order of Seconds.
 	Reads, Writes []PartMove
@@ -107,24 +111,25 @@ func orderMoves(t *schema.Table, parts []attrset.Set) []attrset.Set {
 // the total was summed, so the storage engine's measured accounting can be
 // compared bit for bit.
 func MigrationCost(m Model, t *schema.Table, oldParts, newParts []attrset.Set) (Migration, error) {
+	dm, ok := m.(*DeviceModel)
+	if !ok {
+		return Migration{}, fmt.Errorf("cost: model %s has no migration pricing", m.Name())
+	}
 	reads := orderMoves(t, movedParts(oldParts, newParts))
 	writes := orderMoves(t, movedParts(newParts, oldParts))
-	switch m := m.(type) {
-	case *HDD:
-		return hddMigration(m.Disk, t, reads, writes), nil
-	case *MM:
-		return mmMigration(m, t, reads, writes), nil
+	if dm.dev.Pricing == PricingCache {
+		return cacheMigration(dm.dev, t, reads, writes), nil
 	}
-	return Migration{}, fmt.Errorf("cost: model %s has no migration pricing", m.Name())
+	return blockMigration(dm.dev, t, reads, writes), nil
 }
 
-// hddMigration prices a migration on the disk model: every moved source
-// partition is read in full through the proportionally shared buffer, every
-// created partition written in full through the same discipline at the
-// write bandwidth (falling back to the read bandwidth when unset, like
-// CreationTime).
-func hddMigration(d Disk, t *schema.Table, reads, writes []attrset.Set) Migration {
-	mig := Migration{Model: "HDD"}
+// blockMigration prices a migration on a block-priced device: every moved
+// source partition is read in full through the proportionally shared
+// buffer, every created partition written in full through the same
+// discipline at the write bandwidth (falling back to the read bandwidth
+// when unset, like CreationTime).
+func blockMigration(d Device, t *schema.Table, reads, writes []attrset.Set) Migration {
+	mig := Migration{Model: d.Name, Pricing: PricingBlock}
 	var readRowSize, writeRowSize int64
 	for _, p := range reads {
 		readRowSize += t.SetSize(p)
@@ -179,19 +184,20 @@ func StreamLines(rows, rowSize, line int64) int64 {
 	return (rows*rowSize-1)/line + 1
 }
 
-// mmMigration prices a migration on the main-memory model: every moved byte
-// enters the cache once on read and once on write, so each moved partition
-// charges its stream's cache lines times the miss latency on each side.
-func mmMigration(m *MM, t *schema.Table, reads, writes []attrset.Set) Migration {
-	mig := Migration{Model: "MM"}
-	line := m.CacheLineSize
+// cacheMigration prices a migration on a cache-priced device: every moved
+// byte enters the cache once on read and once on write, so each moved
+// partition charges its stream's cache lines times the miss latency on each
+// side.
+func cacheMigration(d Device, t *schema.Table, reads, writes []attrset.Set) Migration {
+	mig := Migration{Model: d.Name, Pricing: PricingCache}
+	line := d.CacheLineSize
 	if line <= 0 {
-		line = 64
+		line = DefaultCacheLineSize
 	}
 	for _, p := range reads {
 		s := t.SetSize(p)
 		lines := StreamLines(t.Rows, s, line)
-		sec := float64(lines) * m.MissLatency
+		sec := float64(lines) * d.MissLatency
 		mig.Reads = append(mig.Reads, PartMove{
 			Attrs: p, RowSize: s, CacheLines: lines, Seconds: sec,
 		})
@@ -201,7 +207,7 @@ func mmMigration(m *MM, t *schema.Table, reads, writes []attrset.Set) Migration 
 	for _, p := range writes {
 		s := t.SetSize(p)
 		lines := StreamLines(t.Rows, s, line)
-		sec := float64(lines) * m.MissLatency
+		sec := float64(lines) * d.MissLatency
 		mig.Writes = append(mig.Writes, PartMove{
 			Attrs: p, RowSize: s, CacheLines: lines, Seconds: sec,
 		})

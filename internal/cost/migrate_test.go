@@ -107,7 +107,7 @@ func TestMigrationCostMM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := func(rowSize int64) int64 { return StreamLines(tab.Rows, rowSize, m.CacheLineSize) }
+	lines := func(rowSize int64) int64 { return StreamLines(tab.Rows, rowSize, m.Device().CacheLineSize) }
 	if mig.LinesRead != lines(132) {
 		t.Errorf("lines read = %d, want %d", mig.LinesRead, lines(132))
 	}
@@ -115,9 +115,9 @@ func TestMigrationCostMM(t *testing.T) {
 		t.Errorf("lines written = %d, want %d", mig.LinesWritten, lines(116)+lines(16))
 	}
 	var want float64
-	want += float64(lines(132)) * m.MissLatency
-	want += float64(lines(116)) * m.MissLatency
-	want += float64(lines(16)) * m.MissLatency
+	want += float64(lines(132)) * m.Device().MissLatency
+	want += float64(lines(116)) * m.Device().MissLatency
+	want += float64(lines(16)) * m.Device().MissLatency
 	if mig.Seconds != want {
 		t.Errorf("MM total %.18g != manual %.18g", mig.Seconds, want)
 	}

@@ -21,7 +21,7 @@ import (
 // cheaper. Matches are assumed uniformly spread (TPC-H-like), so clustered
 // match runs are not credited.
 type Selective struct {
-	hdd HDD // base model; kept unexported so the exhaustive searches do
+	hdd DeviceModel // base model; kept unexported so the exhaustive searches do
 	// not mistake Selective for a PartitionCoster (its cost is not
 	// per-partition decomposable once probing enters the picture).
 	// SelAttr is the attribute index carrying the selection predicate.
@@ -34,7 +34,7 @@ type Selective struct {
 
 // NewSelective returns a selection-aware model over the disk.
 func NewSelective(d Disk, selAttr int, selectivity float64) *Selective {
-	return &Selective{hdd: HDD{Disk: d}, SelAttr: selAttr, Selectivity: selectivity}
+	return &Selective{hdd: *NewHDD(d), SelAttr: selAttr, Selectivity: selectivity}
 }
 
 // Name implements Model.
@@ -71,13 +71,13 @@ func (m *Selective) QueryCost(t *schema.Table, parts []attrset.Set, query attrse
 		return total
 	}
 	matches := math.Ceil(float64(t.Rows) * m.Selectivity)
-	blockTime := float64(m.hdd.Disk.BlockSize) / m.hdd.Disk.ReadBandwidth
+	blockTime := float64(m.hdd.dev.BlockSize) / m.hdd.dev.ReadBandwidth
 	for _, p := range parts {
 		if p == selPart || !p.Overlaps(query) {
 			continue
 		}
 		scan := m.hdd.PartitionCost(t, t.SetSize(p), restRowSize)
-		probe := matches * (m.hdd.Disk.SeekTime + blockTime)
+		probe := matches * (m.hdd.dev.SeekTime + blockTime)
 		total += math.Min(scan, probe)
 	}
 	return total

@@ -1,0 +1,56 @@
+// Package devflag registers the device-override command-line flags shared
+// by every model-accepting command (the knives subcommands and knivesd), so
+// the two binaries can never drift apart on flag names, units, or
+// validation. The flags override individual hardware parameters of the
+// -model preset; zero keeps the preset's value for everything but -buffer,
+// which keeps its historical default of 8 MB (the paper's setting, shared
+// by every preset).
+package devflag
+
+import (
+	"flag"
+	"fmt"
+
+	"knives/internal/cost"
+)
+
+// Register installs the shared device flags on fs and returns a builder
+// that validates them into the override device cost.ModelByName overlays on
+// the named preset.
+func Register(fs *flag.FlagSet) func() (cost.Device, error) {
+	bufferMB := fs.Float64("buffer", 8, "I/O buffer size in MB")
+	blockKB := fs.Float64("block", 0, "block size in KB (0 = device preset)")
+	seekMS := fs.Float64("seek-ms", 0, "seek time in milliseconds (0 = device preset)")
+	readMBps := fs.Float64("read-mbps", 0, "read bandwidth in MB/s (0 = device preset)")
+	writeMBps := fs.Float64("write-mbps", 0, "write bandwidth in MB/s (0 = device preset)")
+	cacheLine := fs.Int64("cache-line", 0, "cache line size in bytes (0 = device preset)")
+	missNS := fs.Float64("miss-ns", 0, "cache miss latency in nanoseconds (0 = device preset)")
+	return func() (cost.Device, error) {
+		var d cost.Device
+		// Negated comparisons also reject NaN; the cost layer re-validates
+		// the resolved device, so nothing degenerate can slip through even
+		// if a new flag forgets a check here.
+		if !(*bufferMB > 0) {
+			return d, fmt.Errorf("-buffer %v must be positive", *bufferMB)
+		}
+		for _, f := range []struct {
+			name  string
+			value float64
+		}{
+			{"-block", *blockKB}, {"-seek-ms", *seekMS}, {"-read-mbps", *readMBps},
+			{"-write-mbps", *writeMBps}, {"-cache-line", float64(*cacheLine)}, {"-miss-ns", *missNS},
+		} {
+			if !(f.value >= 0) {
+				return d, fmt.Errorf("%s %v must be non-negative (0 = device preset)", f.name, f.value)
+			}
+		}
+		d.BufferSize = int64(*bufferMB * float64(1<<20))
+		d.BlockSize = int64(*blockKB * 1024)
+		d.SeekTime = *seekMS * 1e-3
+		d.ReadBandwidth = *readMBps * 1e6
+		d.WriteBandwidth = *writeMBps * 1e6
+		d.CacheLineSize = *cacheLine
+		d.MissLatency = *missNS * 1e-9
+		return d, nil
+	}
+}

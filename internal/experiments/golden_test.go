@@ -46,6 +46,10 @@ func TestGoldenReports(t *testing.T) {
 		// horizons and the measured==predicted migration cost — simulated
 		// seconds again, so golden without masking.
 		{"ext-migrate", nil},
+		// ext-device pins the per-device algorithm ranking and the flips
+		// along the HDD -> SSD -> MM spectrum — estimated costs over
+		// deterministic searches, so golden without masking.
+		{"ext-device", nil},
 	}
 	for _, tc := range cases {
 		tc := tc

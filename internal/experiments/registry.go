@@ -45,6 +45,7 @@ var registry = []Experiment{
 	{"ext-grouping", "Trojan query grouping across replicas (stripped feature restored)", ExtGrouping},
 	{"ext-replay", "Measured replay of advised layouts vs cost-model predictions (fig3 from execution)", ExtReplay},
 	{"ext-migrate", "Online migration after workload drift: break-even points and verified transition cost", ExtMigrate},
+	{"ext-device", "Algorithm ranking across the device spectrum (HDD -> SSD -> MM)", ExtDevice},
 }
 
 // All returns every registered experiment in paper order.

@@ -13,7 +13,7 @@ import (
 )
 
 // The migration acceptance matrix: for EVERY algorithm x {TPC-H, SSB} x
-// {HDD, MM}, the transition from the algorithm's layout for the original
+// {HDD, SSD, MM}, the transition from the algorithm's layout for the original
 // fact-table workload to its layout for a drifted variant is executed on
 // the storage engine, and
 //
@@ -37,10 +37,14 @@ func TestDifferentialMigrationAlgorithmsBenchmarksModels(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			tw := b.Workload.ForTable(b.Table(facts[b.Name]))
 			drifted := workgen.Drift(tw, 0.5, 42)
-			for _, model := range []string{"hdd", "mm"} {
+			for _, model := range []string{"hdd", "ssd", "mm"} {
 				for _, name := range names {
 					t.Run(fmt.Sprintf("%s/%s", model, name), func(t *testing.T) {
-						m, err := cost.ModelByName(model, cost.DefaultDisk())
+						// Cases share nothing; the process-wide search gate
+						// bounds the real concurrency, so parallel subtests
+						// just keep every core busy under -race.
+						t.Parallel()
+						m, err := cost.ModelByName(model, cost.Device{})
 						if err != nil {
 							t.Fatal(err)
 						}

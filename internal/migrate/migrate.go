@@ -48,23 +48,21 @@ type Report struct {
 }
 
 // CostExact reports whether the measured repartition equals the migration
-// cost model's prediction bit for bit: seconds always, plus the model's
-// mechanical dimension (bytes and seeks under HDD, cache lines under MM).
+// cost model's prediction bit for bit: seconds always, plus the pricing
+// discipline's mechanical dimension (bytes and seeks on block devices,
+// cache lines on cache devices).
 func (r *Report) CostExact() bool {
 	if r.MeasuredSeconds != r.PredictedSeconds {
 		return false
 	}
-	switch r.Predicted.Model {
-	case "HDD":
-		return r.Measured.BytesRead == r.Predicted.BytesRead &&
-			r.Measured.BytesWritten == r.Predicted.BytesWritten &&
-			r.Measured.SeeksRead == r.Predicted.SeeksRead &&
-			r.Measured.SeeksWrite == r.Predicted.SeeksWrite
-	case "MM":
+	if r.Predicted.Pricing == cost.PricingCache {
 		return r.Measured.LinesRead == r.Predicted.LinesRead &&
 			r.Measured.LinesWritten == r.Predicted.LinesWritten
 	}
-	return false
+	return r.Measured.BytesRead == r.Predicted.BytesRead &&
+		r.Measured.BytesWritten == r.Predicted.BytesWritten &&
+		r.Measured.SeeksRead == r.Predicted.SeeksRead &&
+		r.Measured.SeeksWrite == r.Predicted.SeeksWrite
 }
 
 // VerifyExact reports whether the migrated store is indistinguishable from
@@ -182,11 +180,6 @@ func Execute(tw schema.TableWorkload, p *Plan, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("migrate: %w", err)
 	}
 	defer e.Close()
-	if mm, ok := model.(*cost.MM); ok && mm.CacheLineSize > 0 {
-		if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
-			return nil, fmt.Errorf("migrate: %w", err)
-		}
-	}
 
 	// Materialize + repartition under one process-wide search slot (the
 	// same heavy-job class as a replay); released before the verification
@@ -239,18 +232,20 @@ func Execute(tw schema.TableWorkload, p *Plan, cfg Config) (*Report, error) {
 // disk's simulated time, already accumulated in that order; for MM it is
 // each moved partition's cache lines times the miss latency.
 func measuredSeconds(m cost.Model, s storage.RepartitionStats) float64 {
-	switch m := m.(type) {
-	case *cost.HDD:
-		return s.SimTime
-	case *cost.MM:
+	dm, ok := m.(*cost.DeviceModel)
+	if !ok {
+		return 0
+	}
+	dev := dm.Device()
+	if dev.Pricing == cost.PricingCache {
 		var total float64
 		for _, p := range s.Reads {
-			total += float64(p.CacheLines) * m.MissLatency
+			total += float64(p.CacheLines) * dev.MissLatency
 		}
 		for _, p := range s.Writes {
-			total += float64(p.CacheLines) * m.MissLatency
+			total += float64(p.CacheLines) * dev.MissLatency
 		}
 		return total
 	}
-	return 0
+	return s.SimTime
 }

@@ -28,3 +28,22 @@ func benchmarkLineitem(b *testing.B, workers int) {
 
 func BenchmarkReplayLineitemSequential(b *testing.B) { benchmarkLineitem(b, 1) }
 func BenchmarkReplayLineitemParallel(b *testing.B)   { benchmarkLineitem(b, 0) }
+
+// The SSD leg of the replay record: the same materialize-and-scan chain on
+// the flash device, pinning that per-device accounting adds no overhead and
+// the exactness contract holds while benchmarked.
+func BenchmarkReplaySSD(b *testing.B) {
+	bench := schema.TPCH(10)
+	tw := bench.Workload.ForTable(bench.Table("lineitem"))
+	for i := 0; i < b.N; i++ {
+		rep, err := Algorithm(tw, "HillClimb", Config{Model: "ssd", MaxRows: 20_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Exact() {
+			b.Fatal("SSD replay not exact")
+		}
+		b.ReportMetric(float64(rep.BytesRead), "bytes-replayed")
+		b.ReportMetric(rep.MeasuredTotal, "ssd-simulated-seconds")
+	}
+}

@@ -9,8 +9,8 @@ import (
 
 // The acceptance matrix, extending the crosscheck guarantee from random toy
 // tables to the layouts the algorithms actually advise: for EVERY algorithm
-// (plus the Row/Column baselines) x {TPC-H, SSB} table x {HDD, MM} cost
-// model, the replayed measured seeks, bytes, and simulated time must equal
+// (plus the Row/Column baselines) x {TPC-H, SSB} table x {HDD, SSD, MM}
+// device, the replayed measured seeks, bytes, and simulated time must equal
 // the cost model's predictions exactly — zero tolerance. Layouts are
 // searched at full scale (the paper's setting) and materialized at a
 // sampled row count.
@@ -34,7 +34,7 @@ func TestDifferentialAlgorithmsBenchmarksModels(t *testing.T) {
 				query int
 			}
 			want := make(map[queryKey]uint64)
-			for _, model := range []string{"hdd", "mm"} {
+			for _, model := range []string{"hdd", "ssd", "mm"} {
 				for _, name := range layouts {
 					t.Run(fmt.Sprintf("%s/%s", model, name), func(t *testing.T) {
 						reps, err := Benchmark(b, name, Config{Model: model, MaxRows: 1_500, Seed: 42})

@@ -32,8 +32,8 @@ func TestOnEngineMatchesLayout(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer e.Close()
-			if mm, ok := m.(*cost.MM); ok {
-				if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+			if dev := m.(*cost.DeviceModel).Device(); dev.Pricing == cost.PricingCache {
+				if err := e.SetCacheLine(dev.CacheLineSize); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -9,10 +9,11 @@
 // engine and the cost model share no pricing code, but they describe the
 // same system (common-granularity reads, proportional buffer sharing,
 // per-partition seek/scan charging), so every replayed number must equal
-// the model's formula bit for bit. The differential test suite pins this
-// for every algorithm x benchmark x cost model; a single last-bit
-// divergence means one of the two implementations no longer simulates the
-// paper's system.
+// the model's formula bit for bit — on ANY device: the engine materializes
+// and accounts with the same resolved cost.Device the model prices with.
+// The differential test suite pins this for every algorithm x benchmark x
+// device (HDD, SSD, MM); a single last-bit divergence means one of the two
+// implementations no longer simulates the paper's system.
 //
 // Tables larger than Config.MaxRows are materialized at a sampled row
 // count. Layouts are still searched on the FULL-scale workload (the
@@ -49,13 +50,16 @@ const (
 
 // Config parameterizes a replay.
 type Config struct {
-	// Model names the cost model the measurements are validated against:
-	// "hdd" or "mm" (case-insensitive). Empty means "hdd".
+	// Model names the device the measurements are validated against:
+	// "hdd", "ssd", or "mm" (case-insensitive; cost.DeviceByName lists the
+	// aliases). Empty means "hdd".
 	Model string
-	// Disk is the simulated disk the engine materializes and scans with
-	// (and, for the HDD model, prices with). Zero value means the paper's
-	// default disk.
-	Disk cost.Disk
+	// Disk optionally overrides the named device's hardware parameters
+	// (every non-zero field applies). After normalization it holds the
+	// RESOLVED device — the one the engine materializes, scans, and
+	// accounts with, and the model prices with, which is what makes
+	// measured == predicted achievable on any device.
+	Disk cost.Device
 	// MaxRows caps the materialized row count per table; 0 uses
 	// DefaultMaxRows, negative is invalid.
 	MaxRows int64
@@ -82,19 +86,31 @@ func (c Config) Normalized() (Config, cost.Model, error) { return c.normalized()
 // normalized validates and defaults a config, returning the cost model the
 // replay prices against.
 func (c Config) normalized() (Config, cost.Model, error) {
-	if c.Model == "" {
-		c.Model = "hdd"
+	// Resolve the device the replay runs on. A NAMED Disk with no Model is
+	// taken as the full device itself (the advisor hands its model's device
+	// over this way, overrides and all); otherwise the Model name resolves
+	// a preset and c.Disk's non-zero fields override its parameters. Either
+	// way the validated result becomes the config's device, so the engine
+	// and the model can never disagree about the hardware.
+	var m cost.Model
+	if c.Model == "" && c.Disk.Name != "" {
+		dm, err := cost.NewDeviceModel(c.Disk)
+		if err != nil {
+			return c, nil, fmt.Errorf("replay: %w", err)
+		}
+		m = dm
+		c.Model = strings.ToLower(dm.Name())
+	} else {
+		if c.Model == "" {
+			c.Model = "hdd"
+		}
+		named, err := cost.ModelByName(c.Model, c.Disk)
+		if err != nil {
+			return c, nil, fmt.Errorf("replay: %w", err)
+		}
+		m = named
 	}
-	if c.Disk == (cost.Disk{}) {
-		c.Disk = cost.DefaultDisk()
-	}
-	if err := c.Disk.Validate(); err != nil {
-		return c, nil, fmt.Errorf("replay: %w", err)
-	}
-	m, err := cost.ModelByName(c.Model, c.Disk)
-	if err != nil {
-		return c, nil, fmt.Errorf("replay: %w", err)
-	}
+	c.Disk = m.(*cost.DeviceModel).Device()
 	switch c.MaxRows {
 	case 0:
 		c.MaxRows = DefaultMaxRows
@@ -269,11 +285,6 @@ func Layout(tw schema.TableWorkload, layout partition.Partitioning, algorithm st
 		return nil, fmt.Errorf("replay: %w", err)
 	}
 	defer e.Close()
-	if mm, ok := model.(*cost.MM); ok && mm.CacheLineSize > 0 {
-		if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
-			return nil, fmt.Errorf("replay: %w", err)
-		}
-	}
 	if err := e.LoadParallel(storage.NewGenerator(cfg.Seed), sample.Rows, cfg.Workers); err != nil {
 		return nil, fmt.Errorf("replay: load %s: %w", sample.Name, err)
 	}
@@ -305,8 +316,11 @@ func OnEngine(tw schema.TableWorkload, e *storage.Engine, algorithm string, cfg 
 		return nil, fmt.Errorf("replay: engine stores %s (%d rows), workload is over %s (%d rows)",
 			e.Table().Name, e.Table().Rows, tw.Table.Name, tw.Table.Rows)
 	}
-	if mm, ok := model.(*cost.MM); ok && mm.CacheLineSize > 0 {
-		if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+	// The caller built the engine, possibly with a different device's line
+	// granularity; re-sync it to the model's so measured cache lines are
+	// counted in the units the model prices them.
+	if line := cfg.Disk.CacheLineSize; line > 0 {
+		if err := e.SetCacheLine(line); err != nil {
 			return nil, fmt.Errorf("replay: %w", err)
 		}
 	}
@@ -396,23 +410,26 @@ func replayLoaded(tw schema.TableWorkload, e *storage.Engine, algorithm string, 
 	return rep, nil
 }
 
-// measuredSeconds prices a measured scan in the model's unit. For HDD this
-// is the virtual disk's simulated time, already accumulated per partition in
-// the model's summation order; for MM it is the measured cache lines of each
+// measuredSeconds prices a measured scan in the model's unit. For
+// block-priced devices (HDD, SSD) this is the virtual disk's simulated
+// time, already accumulated per partition in the model's summation order;
+// for cache-priced devices (MM) it is the measured cache lines of each
 // referenced partition times the miss latency, summed in the same order the
 // model sums partitions.
 func measuredSeconds(m cost.Model, s storage.ScanStats) (float64, error) {
-	switch m := m.(type) {
-	case *cost.HDD:
-		return s.SimTime, nil
-	case *cost.MM:
+	dm, ok := m.(*cost.DeviceModel)
+	if !ok {
+		return 0, fmt.Errorf("replay: cost model %s has no measured pricing", m.Name())
+	}
+	dev := dm.Device()
+	if dev.Pricing == cost.PricingCache {
 		var total float64
 		for _, p := range s.Parts {
-			total += float64(p.CacheLines) * m.MissLatency
+			total += float64(p.CacheLines) * dev.MissLatency
 		}
 		return total, nil
 	}
-	return 0, fmt.Errorf("replay: cost model %s has no measured pricing", m.Name())
+	return s.SimTime, nil
 }
 
 // predictedSeeks computes the buffer refills the HDD formulas imply for a

@@ -36,7 +36,7 @@ func TestConfigValidation(t *testing.T) {
 		cfg  Config
 		want string
 	}{
-		{"unknown model", Config{Model: "ssd"}, "unknown cost model"},
+		{"unknown model", Config{Model: "quantum"}, "unknown device/model"},
 		{"negative rows", Config{MaxRows: -1}, "must be non-negative"},
 		{"unknown backend", Config{Backend: "s3"}, "unknown backend"},
 		{"file without dir", Config{Backend: BackendFile}, "needs Dir"},

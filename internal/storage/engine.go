@@ -75,8 +75,9 @@ type engineEpoch struct {
 	rows   int64
 }
 
-// DefaultCacheLine is the cache-line granularity Scan counts logical-stream
-// transfers at; it matches cost.NewMM's 64-byte lines.
+// DefaultCacheLine is the fallback cache-line granularity Scan counts
+// logical-stream transfers at when the engine's device does not set one; it
+// matches cost.DefaultCacheLineSize.
 const DefaultCacheLine = 64
 
 type enginePart struct {
@@ -123,7 +124,14 @@ func NewEngine(layout partition.Partitioning, disk cost.Disk, newBackend func(na
 		}
 	}
 	t := layout.Table
-	e := &Engine{table: t, disk: disk, cacheLine: DefaultCacheLine, newBackend: newBackend}
+	// The device's own cache-line granularity drives the engine's line
+	// accounting, so a cache-priced device measures with the lines it is
+	// priced in without any caller having to call SetCacheLine.
+	cacheLine := disk.CacheLineSize
+	if cacheLine <= 0 {
+		cacheLine = DefaultCacheLine
+	}
+	e := &Engine{table: t, disk: disk, cacheLine: cacheLine, newBackend: newBackend}
 	ep := &engineEpoch{layout: layout.Canonical()}
 	for i, p := range ep.layout.Parts {
 		part, err := buildPart(t, p, disk.BlockSize)
@@ -174,9 +182,10 @@ func (e *Engine) Close() error {
 }
 
 // SetCacheLine changes the granularity Scan counts cache-line transfers at.
-// The default matches cost.NewMM's 64-byte lines; the replay subsystem sets
-// it from the main-memory model it validates against. Must be called before
-// Scan, not concurrently with it.
+// The engine initializes it from its device's CacheLineSize (64-byte
+// default); replay.OnEngine re-syncs it to the model a caller-built engine
+// is validated against. Must be called before Scan, not concurrently with
+// it.
 func (e *Engine) SetCacheLine(bytes int64) error {
 	if bytes <= 0 {
 		return fmt.Errorf("storage: cache line size %d must be positive", bytes)
@@ -360,7 +369,7 @@ func (e *Engine) Scan(query attrset.Set) (ScanStats, error) {
 
 	// Aggregate per-partition measurements in cursor (canonical layout)
 	// order, charging simulated time with the SAME per-partition grouping
-	// and summation order as cost.HDD.QueryCost — floating-point addition
+	// and summation order as the block-pricing QueryCost — floating-point addition
 	// is not associative, so any other order could differ in the last bit.
 	for _, c := range cursors {
 		// Cache lines of the partition's logical stream entered by the row

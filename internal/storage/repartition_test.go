@@ -336,7 +336,7 @@ func TestRepartitionMMLinesMatchModel(t *testing.T) {
 	to := partition.Must(tab, []attrset.Set{attrset.Of(0, 1), attrset.Of(2, 3, 4)})
 	mm := cost.NewMM()
 	e := loadEngine(t, from, smallDisk(), 600, nil)
-	if err := e.SetCacheLine(mm.CacheLineSize); err != nil {
+	if err := e.SetCacheLine(mm.Device().CacheLineSize); err != nil {
 		t.Fatal(err)
 	}
 	stats, err := e.Repartition(to, 0)

@@ -6,9 +6,12 @@
 //
 //   - Benchmarks: TPCH and SSB build the workloads with the paper's schemas
 //     and per-query attribute access sets.
-//   - Cost models: NewHDDModel prices layouts with the unified disk I/O
-//     model of Section 4 (proportional buffer sharing, seek + scan);
-//     NewMMModel is the main-memory cache-miss model of Table 6.
+//   - Cost models: one device-parameterized layer (Device) with presets —
+//     NewHDDModel prices layouts with the unified disk I/O model of
+//     Section 4 (proportional buffer sharing, seek + scan), NewSSDModel is
+//     the same block discipline with flash constants, NewMMModel is the
+//     main-memory cache-miss model of Table 6, and NewDeviceModel accepts
+//     any custom hardware spec.
 //   - Algorithms: Algorithms returns AutoPart, HillClimb, HYRISE, Navathe,
 //     O2P, Trojan and BruteForce; AlgorithmByName picks one.
 //   - Advisor: Advise runs every algorithm on every table and recommends
@@ -80,10 +83,20 @@ type (
 
 // Cost model types.
 type (
-	// Disk holds the hardware parameters of the unified I/O cost model.
+	// Device is the parameterized hardware spec every cost model prices
+	// against: block geometry, buffer, seek, bandwidths, and cache
+	// parameters, plus the pricing discipline (block or cache).
+	Device = cost.Device
+	// Disk is the historical name for Device.
 	Disk = cost.Disk
 	// CostModel estimates query costs over a partitioned table.
 	CostModel = cost.Model
+)
+
+// Pricing disciplines a Device can follow.
+const (
+	PricingBlock = cost.PricingBlock
+	PricingCache = cost.PricingCache
 )
 
 // Algorithm types.
@@ -150,8 +163,22 @@ func NewHDDModel(d Disk) CostModel { return cost.NewHDD(d) }
 // paper's Table 6.
 func NewMMModel() CostModel { return cost.NewMM() }
 
-// CostModelByName returns the named cost model ("hdd" or "mm",
-// case-insensitive); the disk applies to the HDD model and is validated.
+// NewSSDModel returns the flash cost model: the paper's block discipline
+// with the SSD preset's near-zero seek and high read bandwidth — the point
+// on the hardware spectrum between the paper's two.
+func NewSSDModel() CostModel { return cost.NewSSD() }
+
+// NewDeviceModel returns a cost model over a validated custom device spec.
+func NewDeviceModel(d Device) (CostModel, error) { return cost.NewDeviceModel(d) }
+
+// DeviceByName returns the named device preset ("hdd", "ssd", "mm",
+// case-insensitive, plus aliases like "disk", "flash", "ram"); the
+// unknown-name error lists every valid name.
+func DeviceByName(name string) (Device, error) { return cost.DeviceByName(name) }
+
+// CostModelByName returns the named cost model ("hdd", "ssd", or "mm",
+// case-insensitive, aliases accepted); every non-zero hardware parameter of
+// d overrides the named preset's, and the resolved device is validated.
 func CostModelByName(name string, d Disk) (CostModel, error) {
 	return cost.ModelByName(name, d)
 }

@@ -11,8 +11,8 @@ import (
 // seeks, bytes, and simulated time against the cost model's predictions —
 // which must agree bit for bit.
 type (
-	// ReplayConfig parameterizes a replay (cost model, disk, row cap,
-	// worker pool, seed, backend).
+	// ReplayConfig parameterizes a replay (device/model name with optional
+	// hardware overrides, row cap, worker pool, seed, backend).
 	ReplayConfig = replay.Config
 	// TableReplay is the report of replaying one table's workload.
 	TableReplay = replay.TableReplay

@@ -2,7 +2,8 @@
 # Coverage gate for the kernel packages: the partitioning combinatorics and
 # the cost model are where a silent regression corrupts every number the
 # reproduction claims, so their statement coverage must never drop below
-# the level recorded when this gate was added (95.4% / 83.1%).
+# the level recorded when this gate was added (95.4% / 83.1%; the cost
+# floor was raised to 88% when the device layer landed with its own tests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,7 +35,7 @@ check() {
 }
 
 check internal/partition 95.0
-check internal/cost 83.0
+check internal/cost 88.0
 # The execution-backed validation layer: the storage engine's measurements
 # and the replay subsystem's comparisons are what make measured==predicted a
 # tested claim rather than an assertion (89.3% / 87.8% when the gate was
