@@ -229,6 +229,13 @@ func BenchmarkExtMigrate(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "Trojan", 3), "trojan-break-even-queries")
 }
 
+func BenchmarkExtRecovery(b *testing.B) {
+	rep := runExperiment(b, "ext-recovery")
+	b.ReportMetric(cell(b, rep, "kill@write 17 keep 7", 2), "torn-crash-acked-events")
+	b.ReportMetric(cell(b, rep, "kill@write 17 keep 7", 4), "torn-crash-replayed-records")
+	b.ReportMetric(cell(b, rep, "retry: fail writes 3,11,27", 6), "triple-fault-retries")
+}
+
 func BenchmarkExtDevice(b *testing.B) {
 	rep := runExperiment(b, "ext-device")
 	b.ReportMetric(cell(b, rep, "HillClimb", 1), "hillclimb-hdd-seconds")

@@ -11,7 +11,10 @@
 //	    Compute layouts and report costs, candidates, and opt time.
 //
 //	knives advise [-benchmark tpch|ssb] [-sf N]
-//	    Recommend the cheapest layout per table across all heuristics.
+//	              [-server URL] [-retries N] [-retry-delay D]
+//	    Recommend the cheapest layout per table across all heuristics —
+//	    locally, or via a running knivesd (-server) with retrying requests
+//	    that back off on 429/503 from a daemon under load.
 //
 //	knives replay [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
 //	              [-algorithm advisor|NAME|Row|Column] [-model hdd|ssd|mm]
@@ -43,13 +46,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"knives"
+	"knives/internal/advisor"
 	"knives/internal/devflag"
 	"knives/internal/experiments"
 )
@@ -227,8 +233,17 @@ func runAdvise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
 	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
 	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	server := fs.String("server", "", "ask a running knivesd at this base URL instead of searching locally")
+	retries := fs.Int("retries", 3, "total attempts per request in -server mode (429/503/transport errors retry)")
+	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between -server retries (doubles per attempt)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *server != "" {
+		if *retries < 1 {
+			return usageError{err: fmt.Errorf("-retries must be >= 1 (got %d)", *retries)}
+		}
+		return adviseViaServer(*server, *benchName, *sf, *retries, *retryDelay)
 	}
 	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
@@ -243,6 +258,30 @@ func runAdvise(args []string) error {
 			a.Table.Name, a.Algorithm, a.Cost,
 			a.ImprovementOverRow()*100, a.ImprovementOverColumn()*100)
 		fmt.Printf("           %s\n", a.Layout)
+	}
+	return nil
+}
+
+// adviseViaServer asks a running knivesd for the benchmark's advice instead
+// of searching locally — the daemon's fingerprint cache answers a prewarmed
+// benchmark without a single search, and the retry policy rides out 429
+// shedding and 503 deadlines from a daemon under load.
+func adviseViaServer(baseURL, benchName string, sf float64, retries int, retryDelay time.Duration) error {
+	client := advisor.NewClient(baseURL)
+	client.Retry = advisor.RetryPolicy{MaxAttempts: retries, BaseDelay: retryDelay}
+	resp, err := client.Advise(context.Background(), advisor.AdviseRequest{Benchmark: benchName, ScaleFactor: sf})
+	if err != nil {
+		return err
+	}
+	for _, a := range resp.Advice {
+		from := "searched"
+		if a.Cached {
+			from = "cached"
+		}
+		fmt.Printf("%-10s use %-9s cost=%10.3f  vs row %+.1f%%  vs column %+.1f%%  (%s)\n",
+			a.Table, a.Algorithm, a.Cost,
+			a.ImprovementOverRow*100, a.ImprovementOverColumn*100, from)
+		fmt.Printf("           %v\n", a.Layout)
 	}
 	return nil
 }

@@ -1,10 +1,35 @@
 package main
 
 import (
+	"net/http/httptest"
 	"testing"
 
 	"knives"
+	"knives/internal/advisor"
 )
+
+// advise -server must round-trip against a live daemon handler, and reject
+// nonsense retry flags as usage errors.
+func TestRunAdviseServerMode(t *testing.T) {
+	svc, err := advisor.OpenService(advisor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(advisor.NewServer(svc))
+	defer ts.Close()
+
+	if got := run([]string{"advise", "-server", ts.URL, "-benchmark", "tpch", "-sf", "0.01"}); got != 0 {
+		t.Errorf("advise -server = exit %d, want 0", got)
+	}
+	if got := run([]string{"advise", "-server", ts.URL, "-retries", "0"}); got != 2 {
+		t.Errorf("advise -server -retries 0 = exit %d, want 2", got)
+	}
+	// A dead server is a command failure, not a usage error.
+	ts.Close()
+	if got := run([]string{"advise", "-server", ts.URL, "-retries", "1", "-benchmark", "tpch", "-sf", "0.01"}); got != 1 {
+		t.Errorf("advise against dead server = exit %d, want 1", got)
+	}
+}
 
 func TestPickBenchmark(t *testing.T) {
 	for _, name := range []string{"tpch", "TPC-H", "ssb"} {

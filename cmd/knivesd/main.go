@@ -10,12 +10,30 @@
 //	        [-cache-line BYTES] [-miss-ns NS]
 //	        [-drift-threshold 0.15] [-drift-window N]
 //	        [-migrate-window N] [-prewarm tpch|ssb] [-sf N]
+//	        [-wal-dir DIR] [-snapshot-every N]
+//	        [-request-timeout D] [-max-inflight N] [-max-queue N]
+//	        [-retry-after D] [-drain-timeout D]
 //
 // -model resolves a device preset (hdd, ssd, mm, plus aliases like disk,
 // flash, ram) the daemon prices with by default; the device flags override
 // individual hardware parameters of that preset (0 = keep the preset's
 // value). Requests may carry their own "model" spec with the same fields to
 // price on a different device per request.
+//
+// -wal-dir makes the service state durable: every registration, observed
+// batch, recompute, and applied-layout advance is journaled to a write-ahead
+// log in that directory before it is acknowledged, and a restart replays the
+// journal to exactly the state the previous process acknowledged. Without it
+// the daemon keeps state in memory only, as before. -snapshot-every bounds
+// replay time by compacting the WAL into a snapshot after that many events
+// (negative = only the snapshot written at shutdown).
+//
+// -request-timeout, -max-inflight, and -max-queue bound the POST endpoints:
+// past the in-flight and queue limits the daemon sheds with 429 +
+// Retry-After instead of queueing unboundedly, and a request that exceeds
+// its deadline answers 503. On SIGINT/SIGTERM the daemon stops accepting,
+// drains in-flight requests for up to -drain-timeout, then snapshots and
+// fsyncs the WAL before exiting.
 //
 // Endpoints:
 //
@@ -30,7 +48,8 @@
 //	               applied layout when it proves out (pair-cached)
 //	GET  /advice?table=NAME         -> current tracked advice
 //	GET  /tables                    -> registered tables
-//	GET  /stats                     -> cache, drift, and migration counters
+//	GET  /stats                     -> cache, drift, migration, and shed
+//	                                   counters
 //	GET  /healthz                   -> liveness
 package main
 
@@ -39,6 +58,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +70,8 @@ import (
 	"knives/internal/devflag"
 	"knives/internal/migrate"
 	"knives/internal/schema"
+	"knives/internal/statestore"
+	"knives/internal/vfs"
 )
 
 func main() {
@@ -64,6 +86,13 @@ type config struct {
 	driftWindow    int
 	migrateWindow  int64
 	prewarm        *schema.Benchmark
+	walDir         string
+	snapshotEvery  int
+	requestTimeout time.Duration
+	maxInFlight    int
+	maxQueue       int
+	retryAfter     time.Duration
+	drainTimeout   time.Duration
 }
 
 // parseFlags validates the command line into a config.
@@ -80,6 +109,16 @@ func parseFlags(args []string) (config, error) {
 		"default break-even horizon bound for /migrate plans, in queries of the observed mix")
 	prewarm := fs.String("prewarm", "", "benchmark to prewarm advice for: tpch or ssb (empty = none)")
 	sf := fs.Float64("sf", 10, "scale factor for -prewarm")
+	walDir := fs.String("wal-dir", "", "directory for the durable state journal (empty = in-memory state)")
+	snapshotEvery := fs.Int("snapshot-every", statestore.DefaultSnapshotEvery,
+		"events between automatic WAL snapshots (negative = only at shutdown)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline for POST endpoints (0 = none)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing POST requests (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "requests allowed to wait beyond -max-inflight before 429")
+	retryAfter := fs.Duration("retry-after", time.Second,
+		"Retry-After hint on shed (429) responses, rounded up to whole seconds")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
+		"how long shutdown waits for in-flight requests to finish")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return config{}, err
@@ -95,11 +134,33 @@ func parseFlags(args []string) (config, error) {
 	if *migrateWindow <= 0 || *migrateWindow > advisor.MaxMigrateWindow {
 		return config{}, fmt.Errorf("-migrate-window must be in (0, %d] (got %v)", advisor.MaxMigrateWindow, *migrateWindow)
 	}
+	if *requestTimeout < 0 {
+		return config{}, fmt.Errorf("-request-timeout must be >= 0 (got %v)", *requestTimeout)
+	}
+	if *maxInFlight < 0 || *maxQueue < 0 {
+		return config{}, fmt.Errorf("-max-inflight and -max-queue must be >= 0")
+	}
+	if *maxQueue > 0 && *maxInFlight == 0 {
+		return config{}, fmt.Errorf("-max-queue needs -max-inflight to bound execution first")
+	}
+	if *retryAfter <= 0 {
+		return config{}, fmt.Errorf("-retry-after must be positive (got %v)", *retryAfter)
+	}
+	if *drainTimeout <= 0 {
+		return config{}, fmt.Errorf("-drain-timeout must be positive (got %v)", *drainTimeout)
+	}
 	cfg := config{
 		addr:           *addr,
 		driftThreshold: *driftThreshold,
 		driftWindow:    *driftWindow,
 		migrateWindow:  *migrateWindow,
+		walDir:         *walDir,
+		snapshotEvery:  *snapshotEvery,
+		requestTimeout: *requestTimeout,
+		maxInFlight:    *maxInFlight,
+		maxQueue:       *maxQueue,
+		retryAfter:     *retryAfter,
+		drainTimeout:   *drainTimeout,
 	}
 	override, err := devf()
 	if err != nil {
@@ -120,20 +181,88 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// newService builds the advisor service for a config, prewarming if asked.
+// newService builds the advisor service for a config: durable when -wal-dir
+// is set (recovering whatever a previous process journaled), in-memory
+// otherwise. Prewarm runs after recovery, so recovered tables keep their
+// journaled drift state and only missing tables are searched fresh.
 func newService(cfg config) (*advisor.Service, error) {
-	svc := advisor.NewService(advisor.Config{
+	acfg := advisor.Config{
 		Model:          cfg.model,
 		DriftThreshold: cfg.driftThreshold,
 		DriftWindow:    cfg.driftWindow,
 		MigrateWindow:  cfg.migrateWindow,
-	})
+	}
+	if cfg.walDir != "" {
+		fsys, err := vfs.Dir(cfg.walDir)
+		if err != nil {
+			return nil, fmt.Errorf("wal dir: %w", err)
+		}
+		st, err := statestore.Open(fsys, statestore.Options{
+			// The store's fold must trim observation logs exactly like the
+			// live trackers, so the windows are one flag, not two.
+			DriftWindow:   cfg.driftWindow,
+			SnapshotEvery: cfg.snapshotEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("open state store: %w", err)
+		}
+		acfg.Store = st
+	}
+	svc, err := advisor.OpenService(acfg)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.prewarm != nil {
 		if err := svc.Prewarm(cfg.prewarm); err != nil {
+			svc.Close()
 			return nil, fmt.Errorf("prewarm: %w", err)
 		}
 	}
 	return svc, nil
+}
+
+// serve runs the daemon on ln until ctx is canceled, then drains: stop
+// accepting, let in-flight requests finish (bounded by drainTimeout), and
+// only then close the service — which snapshots and fsyncs the WAL, so a
+// clean shutdown restarts from a snapshot instead of a replay. Returns nil
+// on a clean drain.
+func serve(ctx context.Context, cfg config, svc *advisor.Service, ln net.Listener) error {
+	srv := &http.Server{
+		Handler: advisor.NewServerWith(svc, advisor.ServerConfig{
+			RequestTimeout: cfg.requestTimeout,
+			MaxInFlight:    cfg.maxInFlight,
+			MaxQueue:       cfg.maxQueue,
+			RetryAfter:     cfg.retryAfter,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener died on its own; still seal the store so everything
+		// acknowledged so far recovers from a snapshot.
+		if cerr := svc.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	// Close AFTER the drain: in-flight requests journal right up to their
+	// last write, and the final snapshot must include them. Close even when
+	// the drain timed out — whatever was acknowledged is on disk either way,
+	// the snapshot just compacts it.
+	if err := svc.Close(); err != nil {
+		return errors.Join(drainErr, fmt.Errorf("close state store: %w", err))
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
+	}
+	return nil
 }
 
 // errFlagReported marks a flag-parse failure the flag package has already
@@ -156,28 +285,30 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{
-		Addr:              cfg.addr,
-		Handler:           advisor.NewServer(svc),
-		ReadHeaderTimeout: 10 * time.Second,
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		svc.Close()
+		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
+		return 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "knivesd: listening on %s\n", cfg.addr)
+	fmt.Fprintf(os.Stderr, "knivesd: listening on %s\n", ln.Addr())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, svc, ln) }()
 
+	var serveErr error
 	select {
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
-		return 1
+	case serveErr = <-done:
+		stop()
 	case <-ctx.Done():
+		// Release the signal capture first, so a second SIGTERM during a
+		// stuck drain kills the process instead of being swallowed.
+		stop()
+		serveErr = <-done
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "knivesd: shutdown: %v\n", err)
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "knivesd: %v\n", serveErr)
 		return 1
 	}
 	return 0

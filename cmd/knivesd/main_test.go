@@ -2,11 +2,17 @@ package main
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
+	"runtime"
 	"testing"
+	"time"
 
 	"knives/internal/advisor"
+	"knives/internal/algo"
 	"knives/internal/migrate"
+	"knives/internal/statestore"
+	"knives/internal/vfs"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -66,6 +72,114 @@ func TestParseFlagsOptions(t *testing.T) {
 	}
 	if cfg.prewarm == nil || cfg.prewarm.Name != "SSB" {
 		t.Errorf("prewarm benchmark = %+v", cfg.prewarm)
+	}
+}
+
+func TestParseFlagsRejectsBadHardening(t *testing.T) {
+	for _, args := range [][]string{
+		{"-request-timeout", "-1s"},
+		{"-max-inflight", "-1"},
+		{"-max-queue", "-1"},
+		{"-max-queue", "4"}, // queue without an in-flight bound
+		{"-retry-after", "0"},
+		{"-retry-after", "-1s"},
+		{"-drain-timeout", "0"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted bad input", args)
+		}
+	}
+}
+
+// The shutdown-drain regression: a request in flight when SIGTERM lands
+// must complete with 200, and only afterwards is the WAL sealed with a
+// snapshot a restart recovers from.
+func TestServeDrainsInFlightThenSealsWAL(t *testing.T) {
+	walDir := t.TempDir()
+	cfg, err := parseFlags([]string{
+		"-wal-dir", walDir, "-snapshot-every", "-1",
+		"-drift-window", "16", "-drain-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, cfg, svc, ln) }()
+
+	// Park the request mid-handler by taking every search slot: the advise
+	// is admitted, journal-registered work not yet done, fan-out waiting.
+	slots := runtime.GOMAXPROCS(0)
+	for i := 0; i < slots; i++ {
+		algo.AcquireSearchSlot()
+	}
+	client := advisor.NewClient("http://" + ln.Addr().String())
+	reqDone := make(chan error, 1)
+	go func() {
+		_, err := client.Advise(context.Background(), advisor.AdviseRequest{
+			Tables: []advisor.TableSpec{{Name: "events", Rows: 10_000, Columns: []advisor.ColumnSpec{
+				{Name: "a", Kind: "char", Size: 8}, {Name: "b", Kind: "char", Size: 8}, {Name: "c", Kind: "char", Size: 8},
+			}}},
+			Queries: []advisor.QuerySpec{{Tables: map[string][]string{"events": {"a", "b"}}}},
+		})
+		reqDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Requests < 1 {
+		select {
+		case err := <-reqDone:
+			t.Fatalf("advise returned before reaching the search fan-out: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("advise request never reached the service")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGTERM arrives (the signal context cancels) while the request is in
+	// flight; unpark the search only after shutdown has begun.
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < slots; i++ {
+		algo.ReleaseSearchSlot()
+	}
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight advise failed during drain: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve returned %v after drain", err)
+	}
+
+	// The store was sealed AFTER the drain: the snapshot covers the
+	// request's registration, so a restart replays zero journal records.
+	fsys, err := vfs.Dir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := statestore.Open(fsys, statestore.Options{DriftWindow: 16, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen after drain: %v", err)
+	}
+	defer st.Close()
+	rep := st.Report()
+	if rep.SnapshotSeq == 0 {
+		t.Error("no snapshot written at shutdown")
+	}
+	if rep.Records != 0 {
+		t.Errorf("restart replayed %d journal records, want 0 (snapshot should cover them)", rep.Records)
+	}
+	states := st.Recovered()
+	if len(states) != 1 || states[0].Table.Name != "events" {
+		t.Fatalf("recovered %d tables (%+v), want the drained request's table", len(states), states)
 	}
 }
 

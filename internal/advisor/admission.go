@@ -1,0 +1,83 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrShed reports a request refused at the door: every execution slot is
+// busy and the waiting room is full. The server answers 429 with a
+// Retry-After hint; a well-behaved client backs off and retries — nothing
+// about the request itself was wrong.
+var ErrShed = errors.New("advisor: server overloaded")
+
+// admission is a two-stage bounded gate for the expensive endpoints: up to
+// cap(slots) requests execute, up to cap(queue) more wait for a slot (under
+// their own deadlines), and everyone past that is shed immediately. The
+// queue bound is what makes overload fail FAST: without it, a burst parks
+// unbounded handler goroutines on the slot channel and the daemon turns
+// slow instead of honest.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+	shed  atomic.Int64
+}
+
+// newAdmission sizes the gate; maxInFlight <= 0 disables admission control
+// entirely (returns nil, and a nil *admission admits everything).
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns ErrShed when the queue is full too, or
+// ctx.Err() when the caller's deadline expires while waiting. A nil
+// receiver admits immediately.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return ErrShed
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by a successful acquire.
+func (a *admission) release() {
+	if a != nil {
+		<-a.slots
+	}
+}
+
+// shedCount returns how many requests were refused with ErrShed.
+func (a *admission) shedCount() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}

@@ -12,6 +12,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -137,6 +138,17 @@ func normalizeQueryWeights(queries []schema.TableQuery) []schema.TableQuery {
 // search slot); the winner is picked in portfolio order with a strict
 // comparison, so the result is identical to a sequential run.
 func AdviseTable(tw schema.TableWorkload, m cost.Model) (TableAdvice, error) {
+	return AdviseTableContext(context.Background(), tw, m)
+}
+
+// AdviseTableContext is AdviseTable under a request context: every
+// portfolio member's wait for a search slot honors the deadline, so a
+// request that times out queued behind long searches releases its
+// goroutines immediately instead of leaking them against the gate. A
+// search already running is not interrupted — slots are held briefly
+// relative to any sane deadline, and the result still populates caches
+// for the client's retry.
+func AdviseTableContext(ctx context.Context, tw schema.TableWorkload, m cost.Model) (TableAdvice, error) {
 	if tw.Table == nil {
 		return TableAdvice{}, fmt.Errorf("advisor: nil table")
 	}
@@ -146,7 +158,9 @@ func AdviseTable(tw schema.TableWorkload, m cost.Model) (TableAdvice, error) {
 	algos := portfolio()
 	results := make([]algo.Result, len(algos))
 	err := fanOut(len(algos), func(i int) error {
-		algo.AcquireSearchSlot()
+		if err := algo.AcquireSearchSlotCtx(ctx); err != nil {
+			return fmt.Errorf("advisor: %s on %s: %w", algos[i].Name(), tw.Table.Name, err)
+		}
 		defer algo.ReleaseSearchSlot()
 		res, err := algos[i].Partition(tw, m)
 		if err != nil {

@@ -4,17 +4,44 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 )
 
+// RetryPolicy makes a Client ride out transient failures: transport errors,
+// 429 (shed by the admission gate), and 503 (deadline expired server-side)
+// are retried with exponential backoff; every other status is final. The
+// zero value retries nothing — one attempt, exactly the old behavior.
+//
+// Retries make POST /observe at-least-once: the server journals and applies
+// a batch before answering, so a response lost in transit re-ingests the
+// batch on retry. Observation streams are statistical input to drift
+// tracking, not ledger entries — a duplicated batch nudges window counts,
+// it cannot corrupt state. Advise/replay/migrate are idempotent by cache
+// key, so retries there are free.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included);
+	// values < 1 mean 1.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubling per retry); 0 means
+	// 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 5s. A server Retry-After hint
+	// overrides the computed delay but is still capped here.
+	MaxDelay time.Duration
+}
+
 // Client talks to a knivesd server. The zero HTTPClient uses
-// http.DefaultClient.
+// http.DefaultClient; the zero Retry performs exactly one attempt.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	Retry      RetryPolicy
 }
 
 // NewClient returns a client for the given base URL (e.g.
@@ -28,21 +55,118 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one JSON request and decodes the response into out.
+// httpError is a non-200 response, kept structured so the retry loop can
+// branch on the status code.
+type httpError struct {
+	method, path string
+	status       int
+	msg          string
+	// retryAfter is the server's Retry-After hint in seconds; 0 = none.
+	retryAfter int
+}
+
+func (e *httpError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("advisor client: %s %s: %s (status %d)", e.method, e.path, e.msg, e.status)
+	}
+	return fmt.Sprintf("advisor client: %s %s: status %d", e.method, e.path, e.status)
+}
+
+// retryable reports whether an attempt's failure is worth retrying: any
+// transport error (connection refused mid-restart, reset mid-shutdown), a
+// 429 shed, or a 503 deadline. 4xx request faults and 500s are final — the
+// same payload would fail the same way.
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status == http.StatusTooManyRequests || he.status == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// backoffDelay computes the sleep before retry number `attempt` (1-based):
+// exponential from BaseDelay, capped at MaxDelay, with deterministic
+// attempt-derived jitter (±25%) so a burst of shed clients does not
+// re-stampede in lockstep. A server Retry-After hint replaces the
+// exponential term but still respects the cap.
+func (p RetryPolicy) backoffDelay(attempt, retryAfterSecs int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if retryAfterSecs > 0 {
+		d = time.Duration(retryAfterSecs) * time.Second
+	}
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	// Deterministic jitter: hash the attempt number into [-25%, +25%].
+	// Determinism keeps tests reproducible; across DIFFERENT clients the
+	// spread comes from their differing request timings, which is enough.
+	h := uint64(attempt) * 0x9e3779b97f4a7c15
+	frac := int64(h%512) - 256 // [-256, 255]
+	d += time.Duration(int64(d) * frac / 1024)
+	if d <= 0 {
+		d = base
+	}
+	return d
+}
+
+// do issues one JSON request and decodes the response into out, retrying
+// per the client's RetryPolicy. The caller's ctx bounds all attempts and
+// the sleeps between them.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("advisor client: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		lastErr = c.doOnce(ctx, method, path, payload, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt == attempts || !retryable(lastErr) {
+			return lastErr
+		}
+		retryAfter := 0
+		var he *httpError
+		if errors.As(lastErr, &he) {
+			retryAfter = he.retryAfter
+		}
+		select {
+		case <-time.After(c.Retry.backoffDelay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// doOnce is a single request/response cycle.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("advisor client: %w", err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -51,13 +175,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		he := &httpError{method: method, path: path, status: resp.StatusCode}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("advisor client: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+			he.msg = e.Error
 		}
-		return fmt.Errorf("advisor client: %s %s: status %d", method, path, resp.StatusCode)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			he.retryAfter = secs
+		}
+		return he
 	}
 	if out == nil {
 		return nil
@@ -83,6 +211,7 @@ func (c *Client) Replay(ctx context.Context, req ReplayRequest) (ReplayResponse,
 }
 
 // Observe streams a batch of observed queries for a registered table.
+// With retries enabled delivery is at-least-once; see RetryPolicy.
 func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveResponse, error) {
 	var resp ObserveResponse
 	err := c.do(ctx, http.MethodPost, "/observe", req, &resp)

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"knives/internal/algo/o2p"
 	"knives/internal/cost"
 	"knives/internal/schema"
+	"knives/internal/statestore"
 )
 
 // ErrStaleSchema reports that an observation referenced attributes outside
@@ -58,6 +60,12 @@ type Tracker struct {
 	// is) until a migration verifies and marks the new layout applied.
 	applied   TableAdvice
 	appliedFP Fingerprint
+
+	// jn journals every durable mutation before it applies, under the same
+	// t.mu that orders it; nil when the service's store does not journal.
+	// gen is deliberately NOT journaled: it guards in-flight recompute
+	// installs, and a restart has no in-flight recomputes.
+	jn *journal
 }
 
 // DefaultDriftThreshold is the relative cost divergence that invalidates
@@ -72,7 +80,7 @@ const DefaultDriftThreshold = 0.15
 const DefaultDriftWindow = 256
 
 // newTracker seeds a tracker with the workload the advice was computed for.
-func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey string, threshold float64, window int, fp Fingerprint) *Tracker {
+func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey string, threshold float64, window int, fp Fingerprint, jn *journal) *Tracker {
 	if !(threshold > 0) { // negated compare also catches NaN
 		threshold = DefaultDriftThreshold
 	}
@@ -87,6 +95,7 @@ func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey 
 		regFP:     fp,
 		applied:   advice,
 		appliedFP: fp,
+		jn:        jn,
 	}
 	t.trim()
 	return t
@@ -155,7 +164,7 @@ type DriftReport struct {
 // on validated input do not realistically fail (errors require an invalid
 // layout, which validated queries cannot produce), so this trade is taken
 // over the extra locking a staged commit would need.
-func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
+func (t *Tracker) Observe(ctx context.Context, queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
 	// Validate against the CURRENT table inside the lock: the caller may
 	// have built attr bitmasks against a schema snapshot that a concurrent
@@ -181,7 +190,7 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, *recomputed
 				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
 		}
 	}
-	return t.observeLocked(queries)
+	return t.observeLocked(ctx, queries)
 }
 
 // ObserveNamed is Observe for queries carrying column NAMES: the names are
@@ -190,7 +199,7 @@ func (t *Tracker) Observe(queries []schema.TableQuery) (DriftReport, *recomputed
 // to a different column index nor slip an out-of-range bitmask through.
 // Unknown names map to ErrStaleSchema — with name-based observation, an
 // unknown column almost always means the schema moved under the client.
-func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, *recomputedAdvice, error) {
+func (t *Tracker) ObserveNamed(ctx context.Context, named []ObservedQry) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
 	queries := make([]schema.TableQuery, 0, len(named))
 	for i, oq := range named {
@@ -220,12 +229,27 @@ func (t *Tracker) ObserveNamed(named []ObservedQry) (DriftReport, *recomputedAdv
 			Attrs:  attrs,
 		})
 	}
-	return t.observeLocked(queries)
+	return t.observeLocked(ctx, queries)
 }
 
 // observeLocked appends validated queries and runs the drift check. It is
-// entered with t.mu held and releases it before the searches.
-func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
+// entered with t.mu held and releases it before the searches. The context
+// bounds the searches' slot waits, never the ingestion: by the time the
+// shadow runs, the batch is journaled and logged, and a deadline expiring
+// mid-search reports an error whose retry re-ingests (at-least-once).
+func (t *Tracker) observeLocked(ctx context.Context, queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
+	// Journal the batch before it joins the log (empty batches fold to
+	// nothing and are not journaled). A failed append returns the error
+	// with the log untouched; the client's retry re-sends the batch.
+	// Ingestion is at-least-once either way (see Observe), and the fold
+	// ingests the journaled copy exactly as the lines below do.
+	if t.jn != nil && len(queries) > 0 {
+		ev := statestore.Event{Type: statestore.EvObserve, Table: t.table.Name, Queries: toQueryRecs(queries)}
+		if err := t.jn.append(ev); err != nil {
+			t.mu.Unlock()
+			return DriftReport{}, nil, err
+		}
+	}
 	t.log = append(t.log, queries...)
 	t.observed += int64(len(queries))
 	t.trim()
@@ -254,8 +278,11 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *reco
 
 	// The shadow search draws from the same process-wide budget as every
 	// other kernel entry point, so a burst of /observe traffic cannot
-	// oversubscribe the machine.
-	algo.AcquireSearchSlot()
+	// oversubscribe the machine — and waits under the request's deadline,
+	// so it cannot strand the handler's goroutine on the gate either.
+	if err := algo.AcquireSearchSlotCtx(ctx); err != nil {
+		return rep, nil, err
+	}
 	shadow, err := o2p.New().Partition(tw, model)
 	algo.ReleaseSearchSlot()
 	if err != nil {
@@ -275,7 +302,7 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *reco
 	}
 
 	rep.Drifted = true
-	fresh, err := AdviseTable(tw, model)
+	fresh, err := AdviseTableContext(ctx, tw, model)
 	if err != nil {
 		return rep, nil, err
 	}
@@ -294,6 +321,19 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *reco
 	installed := t.gen == gen && obsAt >= t.advObserved
 	var rec *recomputedAdvice
 	if installed {
+		snapFP := FingerprintOf(tw)
+		// Journal the install before applying it. An install that loses
+		// the race is never journaled, so the fold applies EvRecompute
+		// unconditionally and still matches: journal order is install
+		// order.
+		if t.jn != nil {
+			ev := statestore.Event{Type: statestore.EvRecompute, Table: t.table.Name,
+				Advice: toAdviceRec(fresh), FP: [statestore.FPSize]byte(snapFP), AdvObserved: obsAt}
+			if err := t.jn.append(ev); err != nil {
+				t.mu.Unlock()
+				return rep, nil, err
+			}
+		}
 		t.advice = fresh
 		t.advObserved = obsAt
 		// The tracker now effectively tracks the observed snapshot: re-key
@@ -305,7 +345,7 @@ func (t *Tracker) observeLocked(queries []schema.TableQuery) (DriftReport, *reco
 		// this install just invalidated, and a post-drift /replay must not
 		// serve a stale layout's report from cache.
 		rec = &recomputedAdvice{advice: fresh, snapshot: tw, prevFP: t.regFP, modelKey: t.modelKey}
-		t.regFP = FingerprintOf(tw)
+		t.regFP = snapFP
 		t.recomputes++
 		rep.Recomputed = true
 	}
@@ -341,9 +381,16 @@ func (t *Tracker) State() (TableAdvice, schema.TableWorkload) {
 // different schema or row count, and pricing the new workload against the
 // old *schema.Table would at best drift against the wrong geometry and at
 // worst index out of range.
-func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) {
+// A failed journal append returns before anything mutates: the tracker
+// keeps its previous registration, consistent with the journal.
+func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.jn != nil {
+		if err := t.jn.append(commitEvent(tw, advice, fp, mkey)); err != nil {
+			return err
+		}
+	}
 	t.table = tw.Table
 	t.model = m
 	t.modelKey = mkey
@@ -361,6 +408,7 @@ func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fing
 	t.applied = advice
 	t.appliedFP = fp
 	t.trim()
+	return nil
 }
 
 // MigrationState returns, under one lock, everything a migration plan
@@ -402,15 +450,25 @@ type migrationState struct {
 // verified. The compare-and-set against currentFP makes a stale migration
 // (one planned before a newer drift recompute or re-registration moved the
 // advice) unable to claim application.
-func (t *Tracker) MarkApplied(currentFP Fingerprint) bool {
+// The event is journaled only when the CAS will succeed — the fold
+// replays the same comparison, so a stale fingerprint folds to the same
+// no-op either way, without burning a journal record on it.
+func (t *Tracker) MarkApplied(currentFP Fingerprint) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.regFP != currentFP {
-		return false
+		return false, nil
+	}
+	if t.jn != nil {
+		ev := statestore.Event{Type: statestore.EvApplied, Table: t.table.Name,
+			FP: [statestore.FPSize]byte(currentFP)}
+		if err := t.jn.append(ev); err != nil {
+			return false, err
+		}
 	}
 	t.applied = t.advice
 	t.appliedFP = t.regFP
-	return true
+	return true, nil
 }
 
 // matches reports whether fp identifies a workload the tracker already

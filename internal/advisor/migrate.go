@@ -136,11 +136,10 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	}
 
 	s.mu.Lock()
-	e, ok := s.migrateEntries[key]
+	e, ok := s.migrateEntries.Get(key)
 	if !ok {
 		e = &migrateEntry{}
-		s.migrateEntries[key] = e
-		s.migrateOrder = evictOldest(s.migrateEntries, append(s.migrateOrder, key), s.cfg.MigrateCacheCapacity, key)
+		s.migrateEntries.Insert(key, e)
 	}
 	s.mu.Unlock()
 
@@ -153,14 +152,8 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 		// Like a failed advice search or replay, a failed migration must
 		// not poison its cache key forever.
 		s.mu.Lock()
-		if s.migrateEntries[key] == e {
-			delete(s.migrateEntries, key)
-			for i, k := range s.migrateOrder {
-				if k == key {
-					s.migrateOrder = append(s.migrateOrder[:i], s.migrateOrder[i+1:]...)
-					break
-				}
-			}
+		if cur, ok := s.migrateEntries.Get(key); ok && cur == e {
+			s.migrateEntries.Drop(key)
 		}
 		s.mu.Unlock()
 		return nil, false, e.err
@@ -170,10 +163,16 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	}
 	// Advance the applied layout outside the once so cache hits converge
 	// too: the CAS against currentFP refuses if a newer drift recompute or
-	// re-registration moved the advice since this outcome was computed.
+	// re-registration moved the advice since this outcome was computed. A
+	// journal-append failure surfaces as the request's error — the outcome
+	// stays cached, so the retry re-attempts exactly this advance.
 	out := *e.outcome
 	if out.Plan != nil && (out.Report == nil || (out.Plan.Viable && out.Report.Exact())) {
-		out.AppliedUpdated = t.MarkApplied(st.currentFP)
+		applied, err := t.MarkApplied(st.currentFP)
+		if err != nil {
+			return nil, false, err
+		}
+		out.AppliedUpdated = applied
 	}
 	return &out, !ran, nil
 }

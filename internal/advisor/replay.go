@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -99,12 +100,14 @@ func replayConfigFor(m cost.Model, opt ReplayOptions) (replay.Config, error) {
 // (fingerprint, rows, seed); the bool reports whether this call executed a
 // replay (false = cache hit).
 func (s *Service) ReplayTable(tw schema.TableWorkload, opt ReplayOptions) (*replay.TableReplay, Fingerprint, bool, error) {
-	return s.replayTableAs(tw, opt, s.model, s.modelKey)
+	return s.replayTableAs(context.Background(), tw, opt, s.model, s.modelKey)
 }
 
 // replayTableAs is ReplayTable under an explicit pricing model (a wire
-// request's resolved ModelSpec, or the service default).
-func (s *Service) replayTableAs(tw schema.TableWorkload, opt ReplayOptions, m cost.Model, mkey string) (*replay.TableReplay, Fingerprint, bool, error) {
+// request's resolved ModelSpec, or the service default). The context
+// bounds the embedded advise step's search waits; the materialize-and-scan
+// itself runs to completion once started.
+func (s *Service) replayTableAs(ctx context.Context, tw schema.TableWorkload, opt ReplayOptions, m cost.Model, mkey string) (*replay.TableReplay, Fingerprint, bool, error) {
 	if err := opt.validate(); err != nil {
 		return nil, Fingerprint{}, false, err
 	}
@@ -123,11 +126,10 @@ func (s *Service) replayTableAs(tw schema.TableWorkload, opt ReplayOptions, m co
 	key := replayKey{fp: FingerprintOf(tw), model: mkey, rows: cfg.MaxRows, seed: cfg.Seed}
 
 	s.mu.Lock()
-	e, ok := s.replayEntries[key]
+	e, ok := s.replayEntries.Get(key)
 	if !ok {
 		e = &replayEntry{}
-		s.replayEntries[key] = e
-		s.replayOrder = evictOldest(s.replayEntries, append(s.replayOrder, key), s.cfg.ReplayCacheCapacity, key)
+		s.replayEntries.Insert(key, e)
 	}
 	s.mu.Unlock()
 
@@ -137,7 +139,7 @@ func (s *Service) replayTableAs(tw schema.TableWorkload, opt ReplayOptions, m co
 		// The advice may come from the cache, computed for an earlier
 		// request whose *Table pointer differs; rebind the layout onto THIS
 		// workload's table (the fingerprint guarantees identical schemas).
-		advice, _, _, err := s.adviseTableAs(tw, m, mkey)
+		advice, _, _, err := s.adviseTableAs(ctx, tw, m, mkey)
 		if err != nil {
 			e.err = err
 			return
@@ -153,14 +155,8 @@ func (s *Service) replayTableAs(tw schema.TableWorkload, opt ReplayOptions, m co
 		// Like a failed advice search, a failed replay must not poison its
 		// cache key forever.
 		s.mu.Lock()
-		if s.replayEntries[key] == e {
-			delete(s.replayEntries, key)
-			for i, k := range s.replayOrder {
-				if k == key {
-					s.replayOrder = append(s.replayOrder[:i], s.replayOrder[i+1:]...)
-					break
-				}
-			}
+		if cur, ok := s.replayEntries.Get(key); ok && cur == e {
+			s.replayEntries.Drop(key)
 		}
 		s.mu.Unlock()
 		return nil, key.fp, false, e.err

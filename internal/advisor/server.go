@@ -1,11 +1,14 @@
 package advisor
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Server exposes a Service over HTTP:
@@ -25,22 +28,86 @@ import (
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
+	cfg ServerConfig
+	adm *admission
 }
 
 const maxBodyBytes = 8 << 20
 
-// NewServer wraps a Service in an http.Handler.
+// ServerConfig bounds the work one server accepts. The zero value imposes
+// no limits — exactly the pre-hardening behavior.
+type ServerConfig struct {
+	// RequestTimeout bounds each POST request end to end; 0 means no
+	// deadline. The deadline cancels waits (admission queue, search slots),
+	// not computations already running — see AdviseTableContext.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing POST requests; 0 means
+	// unlimited (admission control off).
+	MaxInFlight int
+	// MaxQueue is how many requests beyond MaxInFlight may wait for a slot
+	// before the server starts shedding with 429. Only meaningful when
+	// MaxInFlight > 0.
+	MaxQueue int
+	// RetryAfter is the hint sent in the Retry-After header on 429; 0 means
+	// one second.
+	RetryAfter time.Duration
+}
+
+// NewServer wraps a Service in an http.Handler with no request limits.
 func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /advise", s.handleAdvise)
-	s.mux.HandleFunc("POST /replay", s.handleReplay)
-	s.mux.HandleFunc("POST /observe", s.handleObserve)
-	s.mux.HandleFunc("POST /migrate", s.handleMigrate)
+	return NewServerWith(svc, ServerConfig{})
+}
+
+// NewServerWith wraps a Service with overload protection: the four POST
+// endpoints (the ones that search, materialize, or journal) run under the
+// config's deadline and admission gate. The GET endpoints stay ungated so
+// liveness and stats remain observable while the server sheds load.
+func NewServerWith(svc *Service, cfg ServerConfig) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), cfg: cfg, adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue)}
+	s.mux.HandleFunc("POST /advise", s.harden(s.handleAdvise))
+	s.mux.HandleFunc("POST /replay", s.harden(s.handleReplay))
+	s.mux.HandleFunc("POST /observe", s.harden(s.handleObserve))
+	s.mux.HandleFunc("POST /migrate", s.harden(s.handleMigrate))
 	s.mux.HandleFunc("GET /advice", s.handleAdvice)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// harden applies the request deadline and the admission gate to one POST
+// handler. Shed requests answer 429 with a Retry-After hint; a deadline
+// that expires while still queued answers 503 (the request did no work and
+// a retry is safe).
+func (s *Server) harden(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if err := s.adm.acquire(r.Context()); err != nil {
+			if errors.Is(err, ErrShed) {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("advisor: request expired waiting for admission: %w", err))
+			return
+		}
+		defer s.adm.release()
+		h(w, r)
+	}
+}
+
+// retryAfterSeconds renders the Retry-After hint in whole seconds, at
+// least 1 (a zero hint would invite an immediate stampede).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // ServeHTTP implements http.Handler.
@@ -59,6 +126,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeServiceError classifies an error from the service layer: a request
+// whose deadline expired (or whose client went away) answers 503 — the
+// server is telling the truth about being too slow under the given budget,
+// and the work-in-progress still lands in the caches for a retry. A failed
+// journal append is 503 too: the mutation was not applied, the WAL
+// self-heals, and a retry is exactly what ErrJournal asks for. Anything
+// else is a 500.
+func writeServiceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || errors.Is(err, ErrJournal) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
 }
 
 // decodeBody parses a bounded JSON request body: exactly one document,
@@ -112,7 +194,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	tws := b.TableWorkloads()
 	wires := make([]TableAdviceWire, len(tws))
 	err = fanOut(len(tws), func(i int) error {
-		advice, fp, cached, err := s.svc.adviseTableAs(tws[i], m, mkey)
+		advice, fp, cached, err := s.svc.adviseTableAs(r.Context(), tws[i], m, mkey)
 		if err != nil {
 			return err
 		}
@@ -120,7 +202,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, AdviseResponse{Advice: wires})
@@ -152,7 +234,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	tws := b.TableWorkloads()
 	wires := make([]TableReplayWire, len(tws))
 	err = fanOut(len(tws), func(i int) error {
-		rep, fp, cached, err := s.svc.replayTableAs(tws[i], opt, m, mkey)
+		rep, fp, cached, err := s.svc.replayTableAs(r.Context(), tws[i], opt, m, mkey)
 		if err != nil {
 			return err
 		}
@@ -164,7 +246,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, ReplayResponse{Reports: wires})
@@ -181,7 +263,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// re-registration and silently rebind names to different columns. All
 	// per-query validation (weights, empty attrs) lives there too, so the
 	// rules have one source of truth.
-	rep, err := s.svc.ObserveNamed(req.Table, req.Queries)
+	rep, err := s.svc.ObserveNamedContext(r.Context(), req.Table, req.Queries)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrBadObservation):
@@ -192,7 +274,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			// The client's to fix (re-advise), not a server fault.
 			writeError(w, http.StatusConflict, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeServiceError(w, err)
 		}
 		return
 	}
@@ -229,7 +311,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrNotRegistered):
 			writeError(w, http.StatusNotFound, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeServiceError(w, err)
 		}
 		return
 	}
@@ -255,7 +337,9 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.svc.Stats())
+	st := s.svc.Stats()
+	st.Shed = s.adm.shedCount()
+	writeJSON(w, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"knives/internal/cost"
 	"knives/internal/migrate"
 	"knives/internal/schema"
+	"knives/internal/statestore"
 )
 
 // Config parameterizes a Service.
@@ -47,6 +49,14 @@ type Config struct {
 	// the replay cache). 0 uses DefaultMigrateCacheCapacity, negative
 	// disables eviction.
 	MigrateCacheCapacity int
+	// Store persists tracker state across restarts. nil (or any store whose
+	// Journaling() is false, like statestore.NewMem()) keeps everything
+	// in-memory only — the pre-durability behavior. A journaling store
+	// (statestore.Open) makes every tracker mutation journal-before-apply
+	// and OpenService rebuild the trackers it recovered. The store's drift
+	// window should match DriftWindow, or recovered logs are re-trimmed to
+	// the smaller of the two.
+	Store statestore.Store
 }
 
 // DefaultCacheCapacity bounds the advice cache in a long-running daemon:
@@ -80,16 +90,20 @@ type Service struct {
 	// modelKey canonically identifies the configured model for cache
 	// keying; per-request model specs resolve their own keys.
 	modelKey string
+	// store persists tracker state; jn is its journal-before-apply hook
+	// (nil when the store does not journal, so the hot path skips event
+	// construction entirely).
+	store statestore.Store
+	jn    *journal
 
+	// The caches and the tracker registry are FIFO-bounded maps; the
+	// caches are rebuildable from searches and deliberately NOT journaled,
+	// the trackers are the durable state.
 	mu             sync.Mutex
-	entries        map[adviceKey]*entry
-	order          []adviceKey // insertion order, for FIFO eviction
-	trackers       map[string]*Tracker
-	trackerOrder   []string // registration order, for FIFO eviction
-	replayEntries  map[replayKey]*replayEntry
-	replayOrder    []replayKey // insertion order, for FIFO eviction
-	migrateEntries map[migrateKey]*migrateEntry
-	migrateOrder   []migrateKey // insertion order, for FIFO eviction
+	entries        *statestore.FIFO[adviceKey, *entry]
+	trackers       *statestore.FIFO[string, *Tracker]
+	replayEntries  *statestore.FIFO[replayKey, *replayEntry]
+	migrateEntries *statestore.FIFO[migrateKey, *migrateEntry]
 
 	requests    atomic.Int64 // table advice requests answered
 	hits        atomic.Int64 // answered from cache without searching
@@ -111,8 +125,25 @@ type entry struct {
 	err    error
 }
 
-// NewService returns an empty advisor service.
+// NewService returns an empty advisor service. It accepts only
+// non-journaling stores (nil, or statestore.NewMem()); a daemon opening a
+// durable store uses OpenService, whose recovery can fail.
 func NewService(cfg Config) *Service {
+	s, err := OpenService(cfg)
+	if err != nil {
+		// Unreachable without a journaling store: recovery is the only
+		// error source, and a non-journaling store recovers nothing.
+		panic(fmt.Sprintf("advisor: NewService with a journaling store: %v (use OpenService)", err))
+	}
+	return s
+}
+
+// OpenService builds an advisor service on its configured state store and
+// rebuilds a drift tracker for every table the store recovered. Tables
+// journaled under a different pricing model than the service now runs are
+// dropped (and their reset journaled): their advice, drift pricing, and
+// migration plans all belong to hardware the daemon no longer models.
+func OpenService(cfg Config) (*Service, error) {
 	m := cfg.Model
 	if m == nil {
 		m = cost.NewHDD(cost.DefaultDisk())
@@ -138,15 +169,57 @@ func NewService(cfg Config) *Service {
 	if cfg.MigrateCacheCapacity == 0 {
 		cfg.MigrateCacheCapacity = DefaultMigrateCacheCapacity
 	}
-	return &Service{
+	st := cfg.Store
+	if st == nil {
+		st = statestore.NewMem()
+	}
+	s := &Service{
 		cfg:            cfg,
 		model:          m,
 		modelKey:       modelKeyOf(m),
-		entries:        make(map[adviceKey]*entry),
-		trackers:       make(map[string]*Tracker),
-		replayEntries:  make(map[replayKey]*replayEntry),
-		migrateEntries: make(map[migrateKey]*migrateEntry),
+		store:          st,
+		jn:             newJournal(st),
+		entries:        statestore.NewFIFO[adviceKey, *entry](cfg.CacheCapacity),
+		trackers:       statestore.NewFIFO[string, *Tracker](cfg.TrackerCapacity),
+		replayEntries:  statestore.NewFIFO[replayKey, *replayEntry](cfg.ReplayCacheCapacity),
+		migrateEntries: statestore.NewFIFO[migrateKey, *migrateEntry](cfg.MigrateCacheCapacity),
 	}
+	for _, ts := range st.Recovered() {
+		if ts.ModelKey != s.modelKey {
+			// Best-effort: a failed reset append leaves the entry in the
+			// journal, where the fold resets it at the table's next
+			// EvAdviseCommit (and this same check drops it again on the
+			// next restart) — it never resurrects into a live tracker.
+			if s.jn != nil {
+				_ = s.jn.append(statestore.Event{Type: statestore.EvReset, Table: ts.Table.Name})
+			}
+			continue
+		}
+		t, err := s.recoverTracker(ts)
+		if err != nil {
+			return nil, err
+		}
+		// A recovered set larger than TrackerCapacity (the daemon restarted
+		// with a smaller bound) trims oldest-first, like live registration.
+		for _, old := range s.trackers.Evictions(ts.Table.Name) {
+			if s.jn != nil {
+				_ = s.jn.append(statestore.Event{Type: statestore.EvReset, Table: old})
+			}
+			s.trackers.Drop(old)
+		}
+		s.trackers.Insert(ts.Table.Name, t)
+	}
+	return s, nil
+}
+
+// Close snapshots the state store (compacting the journal) and closes it.
+// Call it on daemon shutdown, after in-flight requests drained.
+func (s *Service) Close() error {
+	snapErr := s.store.Snapshot()
+	if err := s.store.Close(); err != nil {
+		return err
+	}
+	return snapErr
 }
 
 // Stats is a snapshot of the service counters.
@@ -171,12 +244,15 @@ type Stats struct {
 	Migrations       int64 `json:"migrations"`
 	MigrateHits      int64 `json:"migrate_hits"`
 	CachedMigrations int   `json:"cached_migrations"`
+	// Shed counts requests refused with 429 by the server's admission gate.
+	// The Service itself never sheds; the serving layer fills this in.
+	Shed int64 `json:"shed"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	cached, tracked, cachedReplays, cachedMigrations := len(s.entries), len(s.trackers), len(s.replayEntries), len(s.migrateEntries)
+	cached, tracked, cachedReplays, cachedMigrations := s.entries.Len(), s.trackers.Len(), s.replayEntries.Len(), s.migrateEntries.Len()
 	s.mu.Unlock()
 	// Load hits before requests: a request increments requests first, so
 	// this order can only overcount misses, never report a negative count.
@@ -205,92 +281,53 @@ func (s *Service) Stats() Stats {
 
 // lookup returns the cache entry for an advice key, creating it if absent.
 // Hit/miss attribution is NOT decided here — it belongs to whoever wins
-// the entry's once and actually runs the search.
+// the entry's once and actually runs the search. Evicted entries that a
+// request is currently resolving still complete through their retained
+// *entry pointer; they are simply no longer findable.
 func (s *Service) lookup(k adviceKey) *entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[k]
+	e, ok := s.entries.Get(k)
 	if !ok {
 		e = &entry{}
-		s.insertLocked(k, e)
+		s.entries.Insert(k, e)
 	}
 	return e
-}
-
-// insertLocked stores an entry and evicts the oldest fingerprints past the
-// capacity. Callers hold s.mu. Evicted entries that a request is currently
-// resolving still complete through their retained *entry pointer; they are
-// simply no longer findable.
-//
-// Invariant: s.order lists exactly the map's fingerprints, oldest first,
-// each once. Re-inserting a live fingerprint (a drift recompute refreshing
-// a snapshot a client advised earlier) overwrites the map value in place
-// and keeps the original order slot; removals always pop or splice the
-// order slice alongside the map delete (see dropLocked). Without this, a
-// duplicated fingerprint in order would make eviction delete a FRESH entry
-// when it pops the stale occurrence.
-func (s *Service) insertLocked(k adviceKey, e *entry) {
-	if _, live := s.entries[k]; live {
-		s.entries[k] = e
-		return
-	}
-	s.entries[k] = e
-	s.order = evictOldest(s.entries, append(s.order, k), s.cfg.CacheCapacity, k)
-}
-
-// evictOldest trims a FIFO-bounded map back under capacity by deleting the
-// oldest keys, never the just-inserted one, and returns the updated order
-// slice. The invariant both bounded maps in this file share lives here
-// exactly once: order lists exactly the map's live keys, oldest first,
-// each once (see insertLocked for why a duplicated key would make eviction
-// delete a fresh entry). capacity <= 0 disables eviction.
-func evictOldest[K comparable, V any](m map[K]V, order []K, capacity int, justInserted K) []K {
-	if capacity <= 0 {
-		return order
-	}
-	for len(m) > capacity && len(order) > 1 {
-		oldest := order[0]
-		if oldest == justInserted {
-			break
-		}
-		order = order[1:]
-		delete(m, oldest)
-	}
-	return order
-}
-
-// dropLocked removes an advice key from the map and its order slot,
-// preserving the insertLocked invariant. Callers hold s.mu.
-func (s *Service) dropLocked(k adviceKey) {
-	delete(s.entries, k)
-	for i, f := range s.order {
-		if f == k {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			return
-		}
-	}
 }
 
 // AdviseTable answers one table workload, from cache when the fingerprint
 // has been answered before. The second return reports whether the answer
 // came from cache (no search kernel invocation by this call).
 func (s *Service) AdviseTable(tw schema.TableWorkload) (TableAdvice, bool, error) {
-	advice, _, hit, err := s.adviseTable(tw)
+	return s.AdviseTableContext(context.Background(), tw)
+}
+
+// AdviseTableContext is AdviseTable under a request context: the deadline
+// propagates through the portfolio's search-slot waits.
+func (s *Service) AdviseTableContext(ctx context.Context, tw schema.TableWorkload) (TableAdvice, bool, error) {
+	advice, _, hit, err := s.adviseTableAs(ctx, tw, s.model, s.modelKey)
 	return advice, hit, err
 }
 
 // adviseTable is AdviseTable plus the fingerprint the answer is cached
 // under, so the HTTP layer can render it without hashing the workload a
 // second time.
-func (s *Service) adviseTable(tw schema.TableWorkload) (TableAdvice, Fingerprint, bool, error) {
-	return s.adviseTableAs(tw, s.model, s.modelKey)
+func (s *Service) adviseTable(ctx context.Context, tw schema.TableWorkload) (TableAdvice, Fingerprint, bool, error) {
+	return s.adviseTableAs(ctx, tw, s.model, s.modelKey)
 }
 
 // adviseTableAs answers one table workload under an explicit pricing model
 // (a wire request's resolved ModelSpec, or the service default). Cache
 // entries are scoped to (fingerprint, model key), so the same workload
 // priced on different devices never shares advice.
-func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey string) (TableAdvice, Fingerprint, bool, error) {
+//
+// The context governs the search-slot waits of the requester that WINS the
+// entry's once; a canceled winner's error entry is dropped like any failed
+// computation, so a later request recomputes cleanly. Losers blocked on the
+// once wait for the winner regardless of their own deadlines — the wait is
+// bounded by one search, and the handler's deadline still bounds the whole
+// request.
+func (s *Service) adviseTableAs(ctx context.Context, tw schema.TableWorkload, m cost.Model, mkey string) (TableAdvice, Fingerprint, bool, error) {
 	if tw.Table == nil {
 		return TableAdvice{}, Fingerprint{}, false, fmt.Errorf("advisor: nil table")
 	}
@@ -312,7 +349,7 @@ func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey stri
 	e.once.Do(func() {
 		ran = true
 		s.searches.Add(1)
-		e.advice, e.err = AdviseTable(tw, m)
+		e.advice, e.err = AdviseTableContext(ctx, tw, m)
 	})
 	// Attribution is by who ran the search, not who created the entry: a
 	// concurrent requester can find the entry yet win the once race and do
@@ -322,8 +359,8 @@ func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey stri
 	if e.err != nil {
 		// Failed computations must not poison the cache key forever.
 		s.mu.Lock()
-		if s.entries[key] == e {
-			s.dropLocked(key)
+		if cur, ok := s.entries.Get(key); ok && cur == e {
+			s.entries.Drop(key)
 		}
 		s.mu.Unlock()
 		return TableAdvice{}, fp, false, e.err
@@ -344,7 +381,13 @@ func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey stri
 	// layout of a store the daemon tracks on its configured hardware. A
 	// client that wants tracked SSD tables runs the daemon with -model ssd.
 	if mkey == s.modelKey {
-		s.registerTracker(tw, e.advice, fp, m, mkey)
+		// A journal-append failure surfaces as the request's error: the
+		// registration was not applied (journal-before-apply), the advice
+		// entry stays cached, and the client's retry re-attempts exactly
+		// the registration.
+		if err := s.registerTracker(tw, e.advice, fp, m, mkey); err != nil {
+			return TableAdvice{}, fp, false, err
+		}
 	}
 	return e.advice, fp, hit, nil
 }
@@ -366,15 +409,33 @@ func (s *Service) adviseTableAs(tw schema.TableWorkload, m cost.Model, mkey stri
 // with every distinct table name for the life of the daemon. Like the
 // cache's order slice, trackerOrder lists exactly the live tracker names,
 // oldest registration first, each once.
-func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) {
+// Every durable mutation here journals BEFORE it applies, under the same
+// s.mu that orders it, so the journal's event order is the apply order:
+// evictions append their EvReset and drop one at a time, then the new
+// registration appends its EvAdviseCommit and inserts. A failed append
+// returns with journal and memory still agreeing on everything already
+// applied.
+func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, fp Fingerprint, m cost.Model, mkey string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.trackers[tw.Table.Name]
+	t, ok := s.trackers.Get(tw.Table.Name)
 	if !ok {
-		s.trackers[tw.Table.Name] = newTracker(tw, advice, m, mkey, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp)
-		s.trackerOrder = evictOldest(s.trackers,
-			append(s.trackerOrder, tw.Table.Name), s.cfg.TrackerCapacity, tw.Table.Name)
-		return
+		for _, old := range s.trackers.Evictions(tw.Table.Name) {
+			if s.jn != nil {
+				if err := s.jn.append(statestore.Event{Type: statestore.EvReset, Table: old}); err != nil {
+					return err
+				}
+			}
+			s.trackers.Drop(old)
+		}
+		if s.jn != nil {
+			if err := s.jn.append(commitEvent(tw, advice, fp, mkey)); err != nil {
+				return err
+			}
+		}
+		s.trackers.Insert(tw.Table.Name,
+			newTracker(tw, advice, m, mkey, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp, s.jn))
+		return nil
 	}
 	// The fingerprint check and reset happen under s.mu so they always
 	// apply to the LIVE tracker: with the lock released in between, an
@@ -383,9 +444,9 @@ func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, f
 	// workload's state. Tracker methods take only t.mu and never s.mu, so
 	// holding s.mu across them cannot deadlock.
 	if t.matches(fp, mkey) {
-		return // an already-covered workload re-advised: keep the state
+		return nil // an already-covered workload re-advised: keep the state
 	}
-	t.setAdvice(tw, advice, fp, m, mkey)
+	return t.setAdvice(tw, advice, fp, m, mkey)
 }
 
 // AdviseBenchmark answers every table of a benchmark, fanning tables out
@@ -428,22 +489,33 @@ func (s *Service) AdviseBenchmark(b *schema.Benchmark) ([]TableAdvice, []bool, e
 // is recomputed from the observed log, the tracker updated, and the fresh
 // advice cached under the observed workload's fingerprint.
 func (s *Service) Observe(table string, queries []schema.TableQuery) (DriftReport, error) {
+	return s.ObserveContext(context.Background(), table, queries)
+}
+
+// ObserveContext is Observe under a request context: the deadline covers
+// the shadow search's slot wait and a drift recompute's portfolio fan-out.
+func (s *Service) ObserveContext(ctx context.Context, table string, queries []schema.TableQuery) (DriftReport, error) {
 	t, err := s.tracker(table)
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, rec, err := t.Observe(normalizeQueryWeights(queries))
+	rep, rec, err := t.Observe(ctx, normalizeQueryWeights(queries))
 	return s.afterObserve(rep, rec, err)
 }
 
 // ObserveNamed is Observe for queries carrying column names; resolution
 // happens inside the tracker lock, against the table's current schema.
 func (s *Service) ObserveNamed(table string, named []ObservedQry) (DriftReport, error) {
+	return s.ObserveNamedContext(context.Background(), table, named)
+}
+
+// ObserveNamedContext is ObserveNamed under a request context.
+func (s *Service) ObserveNamedContext(ctx context.Context, table string, named []ObservedQry) (DriftReport, error) {
 	t, err := s.tracker(table)
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, rec, err := t.ObserveNamed(named)
+	rep, rec, err := t.ObserveNamed(ctx, named)
 	return s.afterObserve(rep, rec, err)
 }
 
@@ -455,7 +527,7 @@ var ErrNotRegistered = errors.New("advisor: table is not registered")
 // tracker looks up the drift tracker of a registered table.
 func (s *Service) tracker(table string) (*Tracker, error) {
 	s.mu.Lock()
-	t, ok := s.trackers[table]
+	t, ok := s.trackers.Get(table)
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (advise on it first)", ErrNotRegistered, table)
@@ -479,33 +551,19 @@ func (s *Service) afterObserve(rep DriftReport, rec *recomputedAdvice, err error
 		e.once.Do(func() {}) // mark resolved
 		snapFP := FingerprintOf(rec.snapshot)
 		s.mu.Lock()
-		s.insertLocked(adviceKey{fp: snapFP, model: rec.modelKey}, e)
+		s.entries.Insert(adviceKey{fp: snapFP, model: rec.modelKey}, e)
 		// A recompute means the advice this tracker serves MOVED: replay
 		// reports cached under the fingerprint it covered until now (and
 		// under the snapshot's own key, if a client replayed it while an
 		// older advice entry answered it) describe a layout the daemon no
 		// longer advises. Without this eviction, a post-drift /replay
 		// would serve the stale layout's report from cache.
-		s.dropReplaysLocked(rec.prevFP)
-		s.dropReplaysLocked(snapFP)
+		s.replayEntries.DropFunc(func(k replayKey) bool {
+			return k.fp == rec.prevFP || k.fp == snapFP
+		})
 		s.mu.Unlock()
 	}
 	return rep, nil
-}
-
-// dropReplaysLocked evicts every cached replay report keyed by the given
-// workload fingerprint (any rows/seed combination), preserving the
-// order-slice invariant. Callers hold s.mu.
-func (s *Service) dropReplaysLocked(fp Fingerprint) {
-	kept := s.replayOrder[:0]
-	for _, k := range s.replayOrder {
-		if k.fp == fp {
-			delete(s.replayEntries, k)
-			continue
-		}
-		kept = append(kept, k)
-	}
-	s.replayOrder = kept
 }
 
 // CurrentAdvice returns the tracked advice for a registered table.
@@ -531,11 +589,8 @@ func (s *Service) CurrentState(table string) (TableAdvice, Fingerprint, error) {
 // TrackedTables returns the names of tables with drift trackers, sorted.
 func (s *Service) TrackedTables() []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.trackers))
-	for n := range s.trackers {
-		names = append(names, n)
-	}
+	names := s.trackers.Keys()
+	s.mu.Unlock()
 	sort.Strings(names)
 	return names
 }

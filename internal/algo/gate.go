@@ -1,6 +1,9 @@
 package algo
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+)
 
 // SearchGate bounds how many partitioning searches run at once across the
 // whole process, however many experiment suites, advisor services, and
@@ -19,3 +22,17 @@ func AcquireSearchSlot() { searchGate <- struct{}{} }
 
 // ReleaseSearchSlot returns a slot taken by AcquireSearchSlot.
 func ReleaseSearchSlot() { <-searchGate }
+
+// AcquireSearchSlotCtx is AcquireSearchSlot with cancellation: it returns
+// ctx.Err() instead of a slot when the context ends first. A caller whose
+// request deadline expires while queued behind long searches unblocks
+// immediately and holds nothing — the goroutine cannot leak on the gate.
+// On success, pair with exactly one ReleaseSearchSlot.
+func AcquireSearchSlotCtx(ctx context.Context) error {
+	select {
+	case searchGate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

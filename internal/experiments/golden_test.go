@@ -50,6 +50,11 @@ func TestGoldenReports(t *testing.T) {
 		// along the HDD -> SSD -> MM spectrum — estimated costs over
 		// deterministic searches, so golden without masking.
 		{"ext-device", nil},
+		// ext-recovery pins crash-recovery equivalence: acked counts,
+		// snapshot sequences, replayed records, torn-byte lengths, and
+		// verdicts all come from deterministic fault schedules over a fixed
+		// event stream, so golden without masking.
+		{"ext-recovery", nil},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -46,6 +46,7 @@ var registry = []Experiment{
 	{"ext-replay", "Measured replay of advised layouts vs cost-model predictions (fig3 from execution)", ExtReplay},
 	{"ext-migrate", "Online migration after workload drift: break-even points and verified transition cost", ExtMigrate},
 	{"ext-device", "Algorithm ranking across the device spectrum (HDD -> SSD -> MM)", ExtDevice},
+	{"ext-recovery", "Crash-recovery equivalence of the durable state store (kill@write and retry schedules)", ExtRecovery},
 }
 
 // All returns every registered experiment in paper order.

@@ -1,0 +1,378 @@
+// Package faultinject wraps a vfs.FS with a deterministic fault schedule,
+// so crash-recovery and degradation paths can be exercised with real torn
+// files and real error returns instead of mocks: the bytes a torn write
+// leaves behind land in the underlying filesystem, and reopening the
+// directory afterwards sees exactly what a power cut would have left.
+//
+// Faults fire on the Nth operation of a class (counted across all files of
+// the injected FS, in issue order). A Crash fault additionally latches the
+// injector: every later operation fails with ErrCrashed, simulating a
+// process that is dead from that point on — the test then reopens the
+// directory through a clean FS, exactly like a restart.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"knives/internal/vfs"
+)
+
+// Op classifies the file operations faults can target.
+type Op uint8
+
+const (
+	// OpWrite covers File.Write and File.WriteAt.
+	OpWrite Op = iota
+	// OpRead covers File.ReadAt and FS.ReadFile.
+	OpRead
+	// OpSync covers File.Sync and FS.SyncDir.
+	OpSync
+	// OpCreate covers FS.Create and FS.Open.
+	OpCreate
+	// OpRename covers FS.Rename.
+	OpRename
+	// OpTruncate covers File.Truncate.
+	OpTruncate
+)
+
+// String names an op for error messages.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind is what happens when a fault fires.
+type Kind uint8
+
+const (
+	// KindFail returns an error without performing the operation.
+	KindFail Kind = iota
+	// KindTorn applies only Keep bytes of a write, then fails — the torn
+	// tail a power cut leaves mid-write.
+	KindTorn
+	// KindShort returns only Keep bytes of a read plus
+	// io.ErrUnexpectedEOF.
+	KindShort
+	// KindCrash behaves like KindTorn for the faulted write, then latches
+	// the injector: every subsequent operation fails with ErrCrashed.
+	KindCrash
+	// KindPanic panics with a *CrashPoint — the crash-point hook for code
+	// paths that must be panic-safe under a dying process.
+	KindPanic
+)
+
+// ErrInjected is the default error injected faults return.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrCrashed reports an operation issued after a KindCrash fault fired:
+// the simulated process is dead.
+var ErrCrashed = errors.New("faultinject: crashed")
+
+// CrashPoint is the panic value of a KindPanic fault.
+type CrashPoint struct {
+	Op Op
+	N  int64
+}
+
+func (c *CrashPoint) String() string {
+	return fmt.Sprintf("faultinject: crash point at %s %d", c.Op, c.N)
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	// Op is the operation class the fault targets.
+	Op Op
+	// N fires the fault on the Nth operation of that class, 1-based,
+	// counted across every file of the FS in issue order.
+	N int64
+	// Kind is the failure mode.
+	Kind Kind
+	// Keep is how many bytes a torn write applies (or a short read
+	// returns) before failing.
+	Keep int
+	// Err overrides the returned error (nil = ErrInjected; crashes always
+	// latch ErrCrashed for subsequent ops).
+	Err error
+}
+
+// FailNthWrite schedules the Nth write to fail with nothing written.
+func FailNthWrite(n int64) Fault { return Fault{Op: OpWrite, N: n, Kind: KindFail} }
+
+// TornNthWrite schedules the Nth write to apply only keep bytes and fail.
+func TornNthWrite(n int64, keep int) Fault {
+	return Fault{Op: OpWrite, N: n, Kind: KindTorn, Keep: keep}
+}
+
+// CrashAtWrite schedules the Nth write to apply keep bytes, fail, and kill
+// every operation after it.
+func CrashAtWrite(n int64, keep int) Fault {
+	return Fault{Op: OpWrite, N: n, Kind: KindCrash, Keep: keep}
+}
+
+// FailNthSync schedules the Nth fsync to fail.
+func FailNthSync(n int64) Fault { return Fault{Op: OpSync, N: n, Kind: KindFail} }
+
+// ShortNthRead schedules the Nth read to return only keep bytes.
+func ShortNthRead(n int64, keep int) Fault {
+	return Fault{Op: OpRead, N: n, Kind: KindShort, Keep: keep}
+}
+
+// PanicAtWrite schedules the Nth write to panic with a *CrashPoint.
+func PanicAtWrite(n int64) Fault { return Fault{Op: OpWrite, N: n, Kind: KindPanic} }
+
+// Injector is a vfs.FS that injects the scheduled faults into the FS it
+// wraps. Safe for concurrent use; operation counting is globally ordered
+// by the injector's mutex.
+type Injector struct {
+	fs vfs.FS
+
+	mu       sync.Mutex
+	counts   map[Op]int64
+	faults   []Fault
+	fired    []bool
+	crashed  bool
+	injected int64
+}
+
+// New wraps fs with a fault schedule.
+func New(fs vfs.FS, faults ...Fault) *Injector {
+	return &Injector{
+		fs:     fs,
+		counts: make(map[Op]int64),
+		faults: append([]Fault(nil), faults...),
+		fired:  make([]bool, len(faults)),
+	}
+}
+
+// Crashed reports whether a KindCrash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Injected returns how many faults have fired.
+func (in *Injector) Injected() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Count returns how many operations of a class have been issued.
+func (in *Injector) Count(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// step books one operation and returns the fault to apply, if any. The
+// second return is the op's sequence number.
+func (in *Injector) step(op Op) (*Fault, int64, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, in.counts[op], ErrCrashed
+	}
+	in.counts[op]++
+	n := in.counts[op]
+	for i := range in.faults {
+		f := &in.faults[i]
+		if in.fired[i] || f.Op != op || f.N != n {
+			continue
+		}
+		in.fired[i] = true
+		in.injected++
+		if f.Kind == KindCrash {
+			in.crashed = true
+		}
+		if f.Kind == KindPanic {
+			panic(&CrashPoint{Op: op, N: n})
+		}
+		return f, n, nil
+	}
+	return nil, n, nil
+}
+
+// faultErr is the error a fired fault returns.
+func faultErr(f *Fault) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Kind == KindCrash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+func (in *Injector) Create(name string) (vfs.File, error) {
+	if f, _, err := in.step(OpCreate); err != nil {
+		return nil, err
+	} else if f != nil {
+		return nil, faultErr(f)
+	}
+	file, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: file}, nil
+}
+
+func (in *Injector) Open(name string) (vfs.File, error) {
+	if f, _, err := in.step(OpCreate); err != nil {
+		return nil, err
+	} else if f != nil {
+		return nil, faultErr(f)
+	}
+	file, err := in.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: file}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	f, _, err := in.step(OpRead)
+	if err != nil {
+		return nil, err
+	}
+	b, rerr := in.fs.ReadFile(name)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if f != nil {
+		if f.Kind == KindShort && f.Keep < len(b) {
+			return b[:f.Keep], io.ErrUnexpectedEOF
+		}
+		return nil, faultErr(f)
+	}
+	return b, nil
+}
+
+func (in *Injector) Rename(oldname, newname string) error {
+	if f, _, err := in.step(OpRename); err != nil {
+		return err
+	} else if f != nil {
+		return faultErr(f)
+	}
+	return in.fs.Rename(oldname, newname)
+}
+
+func (in *Injector) Remove(name string) error {
+	// Removes share the rename class: both are directory mutations.
+	if f, _, err := in.step(OpRename); err != nil {
+		return err
+	} else if f != nil {
+		return faultErr(f)
+	}
+	return in.fs.Remove(name)
+}
+
+func (in *Injector) List() ([]string, error) { return in.fs.List() }
+
+func (in *Injector) SyncDir() error {
+	if f, _, err := in.step(OpSync); err != nil {
+		return err
+	} else if f != nil {
+		return faultErr(f)
+	}
+	return in.fs.SyncDir()
+}
+
+// injFile injects faults into one file's operations.
+type injFile struct {
+	in *Injector
+	f  vfs.File
+}
+
+// write runs one possibly-faulted write through op-specific apply.
+func (jf *injFile) write(p []byte, apply func([]byte) (int, error)) (int, error) {
+	f, _, err := jf.in.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if f == nil {
+		return apply(p)
+	}
+	switch f.Kind {
+	case KindTorn, KindCrash:
+		keep := f.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			// The torn prefix really lands on the underlying file: a
+			// recovery test that reopens the directory must see it.
+			if n, werr := apply(p[:keep]); werr != nil {
+				return n, werr
+			}
+		}
+		return keep, faultErr(f)
+	default:
+		return 0, faultErr(f)
+	}
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	return jf.write(p, jf.f.Write)
+}
+
+func (jf *injFile) WriteAt(p []byte, off int64) (int, error) {
+	return jf.write(p, func(b []byte) (int, error) { return jf.f.WriteAt(b, off) })
+}
+
+func (jf *injFile) ReadAt(p []byte, off int64) (int, error) {
+	f, _, err := jf.in.step(OpRead)
+	if err != nil {
+		return 0, err
+	}
+	if f != nil {
+		if f.Kind == KindShort && f.Keep < len(p) {
+			n, _ := jf.f.ReadAt(p[:f.Keep], off)
+			return n, io.ErrUnexpectedEOF
+		}
+		return 0, faultErr(f)
+	}
+	return jf.f.ReadAt(p, off)
+}
+
+func (jf *injFile) Sync() error {
+	if f, _, err := jf.in.step(OpSync); err != nil {
+		return err
+	} else if f != nil {
+		return faultErr(f)
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	if f, _, err := jf.in.step(OpTruncate); err != nil {
+		return err
+	} else if f != nil {
+		return faultErr(f)
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injFile) Size() (int64, error) { return jf.f.Size() }
+
+func (jf *injFile) Close() error {
+	// Closing stays possible after a crash so tests can release handles;
+	// the data written after the crash point never existed anyway.
+	return jf.f.Close()
+}

@@ -1,0 +1,356 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"knives/internal/vfs"
+)
+
+func newInj(t *testing.T, faults ...Fault) (*Injector, vfs.FS) {
+	t.Helper()
+	dir := t.TempDir()
+	base, err := vfs.Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(base, faults...)
+	// A clean view of the same directory, for asserting what really landed.
+	clean, err := vfs.Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj, clean
+}
+
+func TestFailNthWrite(t *testing.T) {
+	inj, clean := newInj(t, FailNthWrite(2))
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	f.Close()
+	b, err := clean.ReadFile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "onethree" {
+		t.Fatalf("file = %q, want the failed write absent", b)
+	}
+	if inj.Injected() != 1 || inj.Count(OpWrite) != 3 {
+		t.Fatalf("injected=%d writes=%d", inj.Injected(), inj.Count(OpWrite))
+	}
+}
+
+func TestTornWriteLeavesPrefixOnDisk(t *testing.T) {
+	inj, clean := newInj(t, TornNthWrite(1, 4))
+	f, _ := inj.Create("x")
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("write = %d,%v, want 4,ErrInjected", n, err)
+	}
+	f.Close()
+	b, _ := clean.ReadFile("x")
+	if string(b) != "abcd" {
+		t.Fatalf("file = %q, want the torn prefix %q", b, "abcd")
+	}
+}
+
+func TestCrashLatchesEverything(t *testing.T) {
+	inj, clean := newInj(t, CrashAtWrite(2, 1))
+	f, _ := inj.Create("x")
+	f.Write([]byte("ok"))
+	if _, err := f.Write([]byte("zz")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write: %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not latched")
+	}
+	// Every operation class is dead now.
+	if _, err := f.Write([]byte("post")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash truncate: %v", err)
+	}
+	if _, err := inj.Create("y"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash create: %v", err)
+	}
+	if _, err := inj.Open("x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open: %v", err)
+	}
+	if _, err := inj.ReadFile("x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash readfile: %v", err)
+	}
+	if err := inj.Rename("x", "y"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash rename: %v", err)
+	}
+	if err := inj.Remove("x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash remove: %v", err)
+	}
+	if err := inj.SyncDir(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash syncdir: %v", err)
+	}
+	// Closing is still allowed — a dead process's descriptors close too.
+	if err := f.Close(); err != nil {
+		t.Errorf("post-crash close: %v", err)
+	}
+	// What survives on disk is the pre-crash writes plus the torn byte.
+	b, _ := clean.ReadFile("x")
+	if string(b) != "okz" {
+		t.Fatalf("file = %q, want %q", b, "okz")
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	inj, _ := newInj(t, ShortNthRead(2, 3))
+	f, _ := inj.Create("x")
+	f.Write([]byte("abcdefgh"))
+	f.Close()
+	if b, err := inj.ReadFile("x"); err != nil || string(b) != "abcdefgh" {
+		t.Fatalf("read 1 = %q,%v", b, err)
+	}
+	b, err := inj.ReadFile("x")
+	if !errors.Is(err, io.ErrUnexpectedEOF) || string(b) != "abc" {
+		t.Fatalf("read 2 = %q,%v, want short abc", b, err)
+	}
+}
+
+func TestShortReadAt(t *testing.T) {
+	inj, _ := newInj(t, ShortNthRead(1, 2))
+	f, _ := inj.Create("x")
+	f.Write([]byte("abcdefgh"))
+	buf := make([]byte, 5)
+	n, err := f.ReadAt(buf, 0)
+	if !errors.Is(err, io.ErrUnexpectedEOF) || n != 2 {
+		t.Fatalf("ReadAt = %d,%v, want 2,ErrUnexpectedEOF", n, err)
+	}
+	f.Close()
+}
+
+func TestFailNthSyncCoversFileAndDir(t *testing.T) {
+	inj, _ := newInj(t, FailNthSync(2))
+	f, _ := inj.Create("x")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := inj.SyncDir(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 (dir): %v, want ErrInjected — file and dir syncs share the class", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	f.Close()
+}
+
+func TestPanicCrashPoint(t *testing.T) {
+	inj, _ := newInj(t, PanicAtWrite(1))
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer func() {
+		cp, ok := recover().(*CrashPoint)
+		if !ok {
+			t.Fatalf("panic value not a *CrashPoint")
+		}
+		if cp.Op != OpWrite || cp.N != 1 {
+			t.Fatalf("crash point = %s %d", cp.Op, cp.N)
+		}
+		if cp.String() == "" {
+			t.Fatal("empty crash point string")
+		}
+	}()
+	f.Write([]byte("boom"))
+	t.Fatal("write did not panic")
+}
+
+func TestCustomErrAndOpStrings(t *testing.T) {
+	custom := errors.New("disk on fire")
+	inj, _ := newInj(t, Fault{Op: OpRename, N: 1, Kind: KindFail, Err: custom})
+	f, _ := inj.Create("x")
+	f.Write([]byte("v"))
+	f.Close()
+	if err := inj.Rename("x", "y"); !errors.Is(err, custom) {
+		t.Fatalf("rename err = %v, want the custom error", err)
+	}
+	for op, want := range map[Op]string{
+		OpWrite: "write", OpRead: "read", OpSync: "sync",
+		OpCreate: "create", OpRename: "rename", OpTruncate: "truncate",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", uint8(op), op.String())
+		}
+	}
+}
+
+func TestUnfaultedPassthrough(t *testing.T) {
+	inj, _ := newInj(t)
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HE"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := f.Size(); err != nil || sz != 4 {
+		t.Fatalf("size = %d,%v", sz, err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HEll" {
+		t.Fatalf("read back %q", buf)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	names, err := inj.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("list = %v,%v", names, err)
+	}
+	if err := inj.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Injected() != 0 {
+		t.Fatalf("injected = %d with an empty schedule", inj.Injected())
+	}
+}
+
+// Every op class the injector fronts must honor a scheduled fault: the WAL
+// exercises writes and syncs constantly, but snapshot rotation also leans on
+// create, rename, remove, directory sync, and truncate, and a class that
+// silently passes faults through would make those chaos schedules vacuous.
+func TestFaultsCoverEveryOpClass(t *testing.T) {
+	t.Run("create", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpCreate, N: 1, Kind: KindFail})
+		if _, err := inj.Create("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Create = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("open", func(t *testing.T) {
+		inj, clean := newInj(t, Fault{Op: OpCreate, N: 2, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := inj.Open("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Open = %v, want ErrInjected", err)
+		}
+		// The file itself is fine: only the faulted handle failed.
+		if _, err := clean.Open("x"); err != nil {
+			t.Fatalf("clean open: %v", err)
+		}
+	})
+	t.Run("rename", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpRename, N: 1, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := inj.Rename("x", "y"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Rename = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("remove", func(t *testing.T) {
+		// Removes share the rename class.
+		inj, _ := newInj(t, Fault{Op: OpRename, N: 1, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := inj.Remove("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Remove = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("syncdir", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpSync, N: 1, Kind: KindFail})
+		if err := inj.SyncDir(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("SyncDir = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpTruncate, N: 1, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Truncate(0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Truncate = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("readat-fail", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpRead, N: 1, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("ReadAt = %v, want ErrInjected", err)
+		}
+	})
+	t.Run("readfile-fail", func(t *testing.T) {
+		inj, _ := newInj(t, Fault{Op: OpRead, N: 1, Kind: KindFail})
+		f, err := inj.Create("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := inj.ReadFile("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("ReadFile = %v, want ErrInjected", err)
+		}
+	})
+}
+
+// A custom Err override replaces ErrInjected; op names render for messages.
+func TestFaultErrOverrideAndOpNames(t *testing.T) {
+	boom := errors.New("boom")
+	inj, _ := newInj(t, Fault{Op: OpWrite, N: 1, Kind: KindFail, Err: boom})
+	f, err := inj.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); !errors.Is(err, boom) {
+		t.Fatalf("Write = %v, want override error", err)
+	}
+	for op, want := range map[Op]string{
+		OpWrite: "write", OpRead: "read", OpSync: "sync",
+		OpCreate: "create", OpRename: "rename", OpTruncate: "truncate",
+		Op(99): "op(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}

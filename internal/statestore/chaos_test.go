@@ -1,0 +1,159 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"knives/internal/faultinject"
+)
+
+// runToCrash drives the event stream into a store whose filesystem dies on
+// the injected schedule. It returns the acknowledged prefix and, when an
+// append failed mid-flight, that in-doubt event.
+func runToCrash(t *testing.T, dir string, opt Options, evs []Event, faults ...faultinject.Fault) (acked []Event, inDoubt *Event) {
+	t.Helper()
+	inj := faultinject.New(mustDir(t, dir), faults...)
+	d, err := Open(inj, opt)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	for i := range evs {
+		if err := d.Append(evs[i]); err != nil {
+			return evs[:i], &evs[i]
+		}
+	}
+	return evs, nil
+}
+
+// assertCrashRecovery reopens the directory through a clean filesystem (the
+// restart) and asserts the recovered state is bit-equal to the oracle fold
+// of the acknowledged events — or, when an append died mid-flight, of the
+// acknowledged events plus the in-doubt one. That one event is genuinely
+// indeterminate: its record may or may not have reached the disk before
+// the crash, exactly like a power cut during any database commit. Nothing
+// else may differ.
+func assertCrashRecovery(t *testing.T, label, dir string, opt Options, acked []Event, inDoubt *Event) {
+	t.Helper()
+	d, err := Open(mustDir(t, dir), opt)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer d.Close()
+	got := MarshalStates(d.Recovered())
+	if bytes.Equal(got, MarshalStates(Oracle(acked, opt.DriftWindow))) {
+		return
+	}
+	if inDoubt != nil {
+		withDoubt := append(append([]Event{}, acked...), *inDoubt)
+		if bytes.Equal(got, MarshalStates(Oracle(withDoubt, opt.DriftWindow))) {
+			return
+		}
+	}
+	t.Errorf("%s: recovered state matches neither oracle (acked %d, in-doubt %v)",
+		label, len(acked), inDoubt != nil)
+}
+
+// TestChaosCrashAtWrite kills the store at a sweep of write counts and torn
+// offsets — mid-record, mid-header, clean boundaries — restarts it, and
+// requires bit-equal recovery every time.
+func TestChaosCrashAtWrite(t *testing.T) {
+	evs := testEvents(150)
+	opt := Options{DriftWindow: 16, SnapshotEvery: 20}
+	crashPoints := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 120, 144, 170}
+	keeps := []int{0, 1, 5, 11, 24, 1 << 20}
+	for _, n := range crashPoints {
+		for _, keep := range keeps {
+			dir := t.TempDir()
+			acked, inDoubt := runToCrash(t, dir, opt, evs, faultinject.CrashAtWrite(n, keep))
+			assertCrashRecovery(t, fmt.Sprintf("crash@write%d keep%d", n, keep), dir, opt, acked, inDoubt)
+		}
+	}
+}
+
+// TestChaosCrashAtMetadataOps kills the store on sync, rename, and create
+// operations — the crash windows inside snapshot rotation and compaction.
+func TestChaosCrashAtMetadataOps(t *testing.T) {
+	evs := testEvents(150)
+	opt := Options{DriftWindow: 16, SnapshotEvery: 20}
+	schedules := []faultinject.Fault{}
+	for _, n := range []int64{1, 2, 3, 5, 9, 17, 33, 65, 129} {
+		schedules = append(schedules,
+			faultinject.Fault{Op: faultinject.OpSync, N: n, Kind: faultinject.KindCrash},
+			faultinject.Fault{Op: faultinject.OpCreate, N: n, Kind: faultinject.KindCrash},
+		)
+	}
+	for _, n := range []int64{1, 2, 3, 5, 9} {
+		schedules = append(schedules,
+			faultinject.Fault{Op: faultinject.OpRename, N: n, Kind: faultinject.KindCrash},
+		)
+	}
+	for _, f := range schedules {
+		dir := t.TempDir()
+		acked, inDoubt := runToCrash(t, dir, opt, evs, f)
+		assertCrashRecovery(t, f.Op.String(), dir, opt, acked, inDoubt)
+	}
+}
+
+// TestChaosCrashThenContinue crashes, recovers, appends more, crashes
+// again — the double-restart path, including a crash before the first
+// snapshot and one after several.
+func TestChaosCrashThenContinue(t *testing.T) {
+	evs := testEvents(200)
+	opt := Options{DriftWindow: 16, SnapshotEvery: 15}
+	dir := t.TempDir()
+
+	acked1, _ := runToCrash(t, dir, opt, evs[:80], faultinject.CrashAtWrite(37, 9))
+	d, err := Open(mustDir(t, dir), opt)
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	// The first recovery is the new oracle baseline; whatever the in-doubt
+	// event's fate was, it is now settled state.
+	settled := append([]Event{}, acked1...)
+	if int(d.Report().Records)+int(d.Report().SnapshotSeq) > len(acked1) {
+		settled = append(settled, evs[len(acked1)])
+	}
+	for _, ev := range evs[80:] {
+		if err := d.Append(ev); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		settled = append(settled, ev)
+	}
+	d.Close()
+	assertCrashRecovery(t, "second restart", dir, opt, settled, nil)
+}
+
+// TestChaosPanicSafety drives appends against a panicking crash point and
+// requires the panic to surface as *CrashPoint (no torn internal state
+// corrupting a recover()ing caller) and the directory to stay recoverable.
+func TestChaosPanicSafety(t *testing.T) {
+	evs := testEvents(30)
+	opt := Options{DriftWindow: 16, SnapshotEvery: -1}
+	dir := t.TempDir()
+	inj := faultinject.New(mustDir(t, dir), faultinject.PanicAtWrite(9))
+	d, err := Open(inj, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []Event
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("panic crash point never fired")
+			} else if _, ok := r.(*faultinject.CrashPoint); !ok {
+				t.Fatalf("panic value = %v, want *CrashPoint", r)
+			}
+		}()
+		for i := range evs {
+			if err := d.Append(evs[i]); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			acked = append(acked, evs[i])
+		}
+	}()
+	// The panicking append is the in-doubt one (its write never ran, but
+	// the contract only promises acked-or-acked+1).
+	assertCrashRecovery(t, "after panic", dir, opt, acked, &evs[len(acked)])
+}

@@ -1,0 +1,402 @@
+package statestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"knives/internal/vfs"
+)
+
+// DefaultSnapshotEvery is how many appended events trigger an automatic
+// snapshot + WAL truncation when Options does not say.
+const DefaultSnapshotEvery = 1024
+
+// Options parameterize a durable store.
+type Options struct {
+	// DriftWindow trims observation logs in the fold; it must match the
+	// service's drift window or recovered logs will differ from live ones.
+	// 0 uses the advisor's default (256); negative keeps everything.
+	DriftWindow int
+	// SnapshotEvery triggers an automatic snapshot after that many
+	// appends (0 = DefaultSnapshotEvery, negative = only explicit
+	// Snapshot calls).
+	SnapshotEvery int
+	// SyncEvery fsyncs the WAL after every Nth append. 0 or 1 fsyncs
+	// every append — the only setting under which an acknowledged event
+	// is guaranteed to survive a crash; larger values trade the last
+	// SyncEvery-1 events for throughput.
+	SyncEvery int
+}
+
+// snapshot file names.
+const (
+	snapName    = "snapshot.db"
+	snapTmpName = "snapshot.tmp"
+)
+
+// RecoveryReport describes what Open found and replayed.
+type RecoveryReport struct {
+	// SnapshotSeq is the last WAL sequence the loaded snapshot covered
+	// (0 = no snapshot).
+	SnapshotSeq uint64
+	// Segments is how many WAL segment files were scanned.
+	Segments int
+	// Records is how many journal records were replayed into state.
+	Records int64
+	// SkippedOld counts records at or below the snapshot sequence
+	// (legal overlap from a crash between snapshot and truncation).
+	SkippedOld int64
+	// SkippedUnknown counts decoded events naming tables the fold does
+	// not know — the journal image of the eviction race, where the live
+	// mutation landed on an orphaned tracker too.
+	SkippedUnknown int64
+	// TornBytes is the length of the torn tail truncated from the last
+	// segment (0 = the WAL ended cleanly).
+	TornBytes int64
+	// Tables is how many tables were recovered.
+	Tables int
+}
+
+// Durable is the WAL-backed store: Append journals events with CRC-framed
+// records before the service applies them, Snapshot compacts the journal,
+// and Open replays snapshot + WAL back into the state the daemon died
+// with. All methods are safe for concurrent use; appends are serialized,
+// so journal order is apply order.
+type Durable struct {
+	fs  vfs.FS
+	opt Options
+
+	mu        sync.Mutex
+	st        *state
+	recovered []TableState
+	report    RecoveryReport
+
+	seg        vfs.File // active segment (nil after a failed rotation)
+	segName    string
+	segEnd     int64 // length of the valid record prefix
+	lastSeq    uint64
+	snapSeq    uint64
+	sinceSnap  int
+	unsynced   int
+	needRepair bool // a failed append may have left torn bytes
+	closed     bool
+
+	snapshots    int64
+	snapshotErrs int64
+}
+
+// Open replays the directory's snapshot and WAL segments and returns a
+// store ready to append. Torn tails on the last segment are truncated;
+// any other damage is a typed error (ErrCorrupt / ErrCorruptSnapshot).
+func Open(fsys vfs.FS, opt Options) (*Durable, error) {
+	if opt.DriftWindow == 0 {
+		opt.DriftWindow = 256
+	}
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = DefaultSnapshotEvery
+	}
+	d := &Durable{fs: fsys, opt: opt, st: newState(opt.DriftWindow)}
+
+	names, err := fsys.List()
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	haveSnap := false
+	for _, name := range names {
+		if base, ok := parseSegmentName(name); ok {
+			segs = append(segs, base)
+		}
+		if name == snapName {
+			haveSnap = true
+		}
+		if name == snapTmpName {
+			// A snapshot that never completed; the rename never happened,
+			// so it covers nothing. Clean it up, best effort.
+			_ = fsys.Remove(name)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	if haveSnap {
+		b, err := fsys.ReadFile(snapName)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := decodeSnapshot(b)
+		if err != nil {
+			return nil, err
+		}
+		// A restart may shrink the drift window; re-trim so recovered
+		// logs obey the window the trackers will run under.
+		for i := range snap.tables {
+			snap.tables[i].Log = trimLog(snap.tables[i].Log, opt.DriftWindow)
+		}
+		d.st.seed(snap.tables, snap.nextOrder)
+		d.snapSeq = snap.lastSeq
+		d.report.SnapshotSeq = snap.lastSeq
+	}
+	d.lastSeq = d.snapSeq
+
+	expected := d.snapSeq + 1
+	skippedBefore := d.st.skipped
+	for i, base := range segs {
+		name := segmentName(base)
+		data, err := fsys.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		scan := scanSegment(data)
+		last := i == len(segs)-1
+		if scan.torn && !last {
+			return nil, fmt.Errorf("%w: segment %s has %d trailing bytes but is not the last segment",
+				ErrCorrupt, name, int64(len(data))-scan.validLen)
+		}
+		for _, rec := range scan.records {
+			switch {
+			case rec.seq < expected:
+				d.report.SkippedOld++
+				continue
+			case rec.seq > expected:
+				return nil, fmt.Errorf("%w: segment %s skips from seq %d to %d",
+					ErrCorrupt, name, expected-1, rec.seq)
+			}
+			ev, err := decodeEvent(rec.payload)
+			if err != nil {
+				return nil, fmt.Errorf("seq %d: %w", rec.seq, err)
+			}
+			d.st.apply(ev)
+			d.report.Records++
+			d.lastSeq = rec.seq
+			expected++
+		}
+		d.report.Segments++
+		if last {
+			d.report.TornBytes = int64(len(data)) - scan.validLen
+			// Reopen the tail segment for appending, repairing the torn
+			// tail so the next record starts at a clean boundary.
+			f, err := fsys.Open(name)
+			if err != nil {
+				return nil, err
+			}
+			if scan.torn {
+				if err := f.Truncate(scan.validLen); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			d.seg, d.segName, d.segEnd = f, name, scan.validLen
+		}
+	}
+	d.report.SkippedUnknown = d.st.skipped - skippedBefore
+	d.recovered = d.st.export()
+	d.report.Tables = len(d.recovered)
+	return d, nil
+}
+
+func (d *Durable) Journaling() bool { return true }
+
+// Recovered returns the state replayed at open (read-only).
+func (d *Durable) Recovered() []TableState { return d.recovered }
+
+// Report returns what Open found.
+func (d *Durable) Report() RecoveryReport { return d.report }
+
+// LastSeq returns the last durably appended sequence number.
+func (d *Durable) LastSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSeq
+}
+
+// Snapshots returns (taken, failed) automatic+explicit snapshot counts.
+func (d *Durable) Snapshots() (int64, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshots, d.snapshotErrs
+}
+
+// Export returns the current folded state — what a crash right now would
+// recover to, given every acknowledged append.
+func (d *Durable) Export() []TableState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.export()
+}
+
+// ensureSegmentLocked makes the active segment appendable: recreates it
+// after a failed rotation, truncates torn bytes a failed append left.
+func (d *Durable) ensureSegmentLocked() error {
+	if d.seg == nil {
+		name := segmentName(d.lastSeq + 1)
+		f, err := d.fs.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := d.fs.SyncDir(); err != nil {
+			f.Close()
+			return err
+		}
+		d.seg, d.segName, d.segEnd = f, name, 0
+		d.needRepair = false
+		return nil
+	}
+	if d.needRepair {
+		if err := d.seg.Truncate(d.segEnd); err != nil {
+			return err
+		}
+		d.needRepair = false
+	}
+	return nil
+}
+
+// Append journals one event: framed, written in a single call, fsynced
+// (per SyncEvery), then folded into the store's state. On any failure the
+// event is NOT applied and the WAL is repaired before the next attempt —
+// so a caller that journals before mutating can simply retry.
+func (d *Durable) Append(ev Event) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.ensureSegmentLocked(); err != nil {
+		return err
+	}
+	seq := d.lastSeq + 1
+	frame := appendRecord(nil, seq, ev.encode())
+	if _, err := d.seg.Write(frame); err != nil {
+		// The write may have torn: repair to the last valid boundary
+		// before anything else lands.
+		d.needRepair = true
+		return fmt.Errorf("statestore: append seq %d: %w", seq, err)
+	}
+	d.unsynced++
+	if d.opt.SyncEvery <= 1 || d.unsynced >= d.opt.SyncEvery {
+		if err := d.seg.Sync(); err != nil {
+			// Not durable: discard the record (truncate on next attempt)
+			// and report failure; the caller retries.
+			d.needRepair = true
+			return fmt.Errorf("statestore: sync seq %d: %w", seq, err)
+		}
+		d.unsynced = 0
+	}
+	d.segEnd += int64(len(frame))
+	d.lastSeq = seq
+	d.st.apply(ev)
+	d.sinceSnap++
+	if d.opt.SnapshotEvery > 0 && d.sinceSnap >= d.opt.SnapshotEvery {
+		// The record is durable; a failed automatic snapshot must not
+		// fail the append. It is retried at the next cadence.
+		if err := d.snapshotLocked(); err != nil {
+			d.snapshotErrs++
+		}
+		d.sinceSnap = 0
+	}
+	return nil
+}
+
+// Snapshot persists the current folded state and truncates the WAL.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.snapshotLocked(); err != nil {
+		d.snapshotErrs++
+		return err
+	}
+	d.sinceSnap = 0
+	return nil
+}
+
+// snapshotLocked: rotate the WAL, write the snapshot atomically, drop the
+// segments it covers. Every crash window leaves a recoverable directory:
+// before the rename the old snapshot + all segments replay; after it the
+// new snapshot skips old records by sequence.
+func (d *Durable) snapshotLocked() error {
+	data := encodeSnapshot(snapshotData{
+		lastSeq:   d.lastSeq,
+		window:    int64(d.opt.DriftWindow),
+		nextOrder: d.st.nextOrder,
+		tables:    d.st.export(),
+	})
+	// Rotate so the active segment holds only post-snapshot records and
+	// older segments become droppable. An empty active segment already is
+	// the rotation.
+	if d.seg != nil && d.segEnd > 0 {
+		syncErr := d.seg.Sync()
+		closeErr := d.seg.Close()
+		d.seg = nil
+		if syncErr != nil {
+			return syncErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
+	if err := d.ensureSegmentLocked(); err != nil {
+		return err
+	}
+
+	tmp, err := d.fs.Create(snapTmpName)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := d.fs.Rename(snapTmpName, snapName); err != nil {
+		return err
+	}
+	if err := d.fs.SyncDir(); err != nil {
+		return err
+	}
+	d.snapSeq = d.lastSeq
+	d.snapshots++
+
+	// The snapshot is live; every non-active segment's records are at or
+	// below snapSeq. Removal is cleanup, not correctness — a failure here
+	// is retried by the next snapshot.
+	names, err := d.fs.List()
+	if err != nil {
+		return nil
+	}
+	for _, name := range names {
+		if _, ok := parseSegmentName(name); ok && name != d.segName {
+			_ = d.fs.Remove(name)
+		}
+	}
+	_ = d.fs.SyncDir()
+	return nil
+}
+
+// Close fsyncs and releases the WAL. The store is unusable afterwards.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.seg == nil {
+		return nil
+	}
+	syncErr := d.seg.Sync()
+	closeErr := d.seg.Close()
+	d.seg = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,491 @@
+package statestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"knives/internal/faultinject"
+	"knives/internal/vfs"
+)
+
+func mustDir(t *testing.T, dir string) vfs.FS {
+	t.Helper()
+	fsys, err := vfs.Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsys
+}
+
+func mustOpen(t *testing.T, fsys vfs.FS, opt Options) *Durable {
+	t.Helper()
+	d, err := Open(fsys, opt)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return d
+}
+
+// reopenEqual reopens the directory fresh and asserts the recovered state
+// is bit-equal to the oracle fold of the given event stream.
+func reopenEqual(t *testing.T, dir string, opt Options, acked []Event) *Durable {
+	t.Helper()
+	d := mustOpen(t, mustDir(t, dir), opt)
+	got := MarshalStates(d.Recovered())
+	want := MarshalStates(Oracle(acked, opt.DriftWindow))
+	if !bytes.Equal(got, want) {
+		d.Close()
+		t.Fatalf("recovered state diverges from oracle (%d acked events):\n got %d bytes\nwant %d bytes",
+			len(acked), len(got), len(want))
+	}
+	return d
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{DriftWindow: 16, SnapshotEvery: 25}
+	d := mustOpen(t, mustDir(t, dir), opt)
+	evs := testEvents(120)
+	for i, ev := range evs {
+		if err := d.Append(ev); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := d.LastSeq(); got != 120 {
+		t.Fatalf("lastSeq = %d, want 120", got)
+	}
+	if snaps, fails := d.Snapshots(); snaps < 4 || fails != 0 {
+		t.Fatalf("snapshots = %d (failed %d), want >= 4 automatic, 0 failed", snaps, fails)
+	}
+	// The live fold already equals the oracle — Export is the crash image.
+	if !bytes.Equal(MarshalStates(d.Export()), MarshalStates(Oracle(evs, 16))) {
+		t.Fatalf("live fold diverges from oracle")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2 := reopenEqual(t, dir, opt, evs)
+	defer d2.Close()
+	rep := d2.Report()
+	if rep.SnapshotSeq == 0 {
+		t.Errorf("no snapshot was loaded: %+v", rep)
+	}
+	if rep.SnapshotSeq+uint64(rep.Records) != 120 {
+		t.Errorf("snapshot %d + replayed %d != 120", rep.SnapshotSeq, rep.Records)
+	}
+	// Appending must continue the sequence, not restart it.
+	if err := d2.Append(evs[0]); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if got := d2.LastSeq(); got != 121 {
+		t.Errorf("lastSeq after reopen append = %d, want 121", got)
+	}
+}
+
+func TestDurableSnapshotCompactsSegments(t *testing.T) {
+	dir := t.TempDir()
+	fsys := mustDir(t, dir)
+	opt := Options{DriftWindow: 16, SnapshotEvery: -1}
+	d := mustOpen(t, fsys, opt)
+	evs := testEvents(40)
+	for _, ev := range evs[:30] {
+		if err := d.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	for _, ev := range evs[30:] {
+		if err := d.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fsys.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs int
+	var haveSnap bool
+	for _, n := range names {
+		if _, ok := parseSegmentName(n); ok {
+			segs++
+		}
+		if n == snapName {
+			haveSnap = true
+		}
+	}
+	if segs != 1 || !haveSnap {
+		t.Fatalf("after snapshot: %v (want exactly 1 segment + %s)", names, snapName)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopenEqual(t, dir, opt, evs).Close()
+}
+
+func TestDurableWindowShrinkOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, mustDir(t, dir), Options{DriftWindow: 64, SnapshotEvery: 20})
+	evs := testEvents(100)
+	for _, ev := range evs {
+		if err := d.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	// Restarting with a smaller window must re-trim: the recovered logs
+	// are what a daemon running window 8 all along would hold.
+	reopenEqual(t, dir, Options{DriftWindow: 8, SnapshotEvery: 20}, evs).Close()
+}
+
+func TestDurableCorruptionIsTyped(t *testing.T) {
+	newStore := func(t *testing.T) (string, vfs.FS, []Event) {
+		dir := t.TempDir()
+		fsys := mustDir(t, dir)
+		d := mustOpen(t, fsys, Options{DriftWindow: 16, SnapshotEvery: 10})
+		evs := testEvents(35)
+		for _, ev := range evs {
+			if err := d.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Close()
+		return dir, fsys, evs
+	}
+
+	t.Run("snapshot damage", func(t *testing.T) {
+		_, fsys, _ := newStore(t)
+		b, err := fsys.ReadFile(snapName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x10
+		f, err := fsys.Create(snapName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(b)
+		f.Close()
+		if _, err := Open(fsys, Options{DriftWindow: 16}); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+		}
+	})
+
+	t.Run("sequence gap", func(t *testing.T) {
+		fsys := mustDir(t, t.TempDir())
+		evs := testEvents(4)
+		var buf []byte
+		buf = appendRecord(buf, 1, evs[0].encode())
+		buf = appendRecord(buf, 3, evs[1].encode()) // seq 2 missing
+		f, _ := fsys.Create(segmentName(1))
+		f.Write(buf)
+		f.Close()
+		if _, err := Open(fsys, Options{DriftWindow: 16}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("torn non-last segment", func(t *testing.T) {
+		fsys := mustDir(t, t.TempDir())
+		evs := testEvents(4)
+		f, _ := fsys.Create(segmentName(1))
+		f.Write(append(buildSegment(1, evs[:2]), 0xDE, 0xAD))
+		f.Close()
+		f, _ = fsys.Create(segmentName(3))
+		f.Write(buildSegment(3, evs[2:]))
+		f.Close()
+		if _, err := Open(fsys, Options{DriftWindow: 16}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("undecodable CRC-valid payload", func(t *testing.T) {
+		fsys := mustDir(t, t.TempDir())
+		f, _ := fsys.Create(segmentName(1))
+		f.Write(appendRecord(nil, 1, []byte{99, 1, 2, 3}))
+		f.Close()
+		if _, err := Open(fsys, Options{DriftWindow: 16}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestDurableTornTailRecovers(t *testing.T) {
+	evs := testEvents(30)
+	full := buildSegment(1, evs)
+	boundary := len(buildSegment(1, evs[:20]))
+	// Cut mid-record 21 and also mid-header.
+	for _, cut := range []int{boundary + 1, boundary + recHeaderSize - 2, len(full) - 1} {
+		dir := t.TempDir()
+		fsys := mustDir(t, dir)
+		f, _ := fsys.Create(segmentName(1))
+		f.Write(full[:cut])
+		f.Close()
+
+		opt := Options{DriftWindow: 16, SnapshotEvery: -1}
+		d := mustOpen(t, fsys, opt)
+		rep := d.Report()
+		if rep.TornBytes == 0 {
+			t.Fatalf("cut %d: no torn bytes reported", cut)
+		}
+		wantEvents := evs[:rep.Records]
+		if !bytes.Equal(MarshalStates(d.Recovered()), MarshalStates(Oracle(wantEvents, 16))) {
+			t.Fatalf("cut %d: recovered state diverges", cut)
+		}
+		// The tail was repaired: appending must produce a clean store that
+		// reopens to the full prefix + the new event.
+		extra := testEvents(1)[0]
+		if err := d.Append(extra); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		d.Close()
+		reopenEqual(t, dir, opt, append(append([]Event{}, wantEvents...), extra)).Close()
+	}
+}
+
+func TestDurableStaleTmpSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	fsys := mustDir(t, dir)
+	f, _ := fsys.Create(snapTmpName)
+	f.Write([]byte("half-written garbage"))
+	f.Close()
+	d := mustOpen(t, fsys, Options{DriftWindow: 16})
+	d.Close()
+	names, _ := fsys.List()
+	for _, n := range names {
+		if n == snapTmpName {
+			t.Fatalf("stale %s survived open: %v", snapTmpName, names)
+		}
+	}
+}
+
+// TestDurableFailedAppendRetries: a failed or torn append must leave the
+// store self-healing — the caller retries, and the WAL ends up exactly as
+// if the fault never happened. This is the property that lets a retrying
+// client see zero failed requests under injected write faults.
+func TestDurableFailedAppendRetries(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults []faultinject.Fault
+	}{
+		{"fail-nth-write", []faultinject.Fault{faultinject.FailNthWrite(5)}},
+		{"torn-write", []faultinject.Fault{faultinject.TornNthWrite(5, 7)}},
+		{"fail-nth-sync", []faultinject.Fault{faultinject.FailNthSync(6)}},
+		{"double-fault", []faultinject.Fault{faultinject.FailNthWrite(4), faultinject.TornNthWrite(6, 3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultinject.New(mustDir(t, dir), tc.faults...)
+			opt := Options{DriftWindow: 16, SnapshotEvery: -1}
+			d := mustOpen(t, inj, opt)
+			evs := testEvents(12)
+			retries := 0
+			for i, ev := range evs {
+				for attempt := 0; ; attempt++ {
+					err := d.Append(ev)
+					if err == nil {
+						break
+					}
+					retries++
+					if attempt > 3 {
+						t.Fatalf("append %d still failing after retries: %v", i, err)
+					}
+				}
+			}
+			if retries == 0 {
+				t.Fatalf("no fault fired (schedule dead)")
+			}
+			if got := d.LastSeq(); got != uint64(len(evs)) {
+				t.Fatalf("lastSeq = %d, want %d (retries must not burn seqs)", got, len(evs))
+			}
+			d.Close()
+			reopenEqual(t, dir, opt, evs).Close()
+		})
+	}
+}
+
+// TestDurableObserveDuringSnapshot hammers Append from several goroutines
+// while snapshots run concurrently — the -race leg for the store, plus a
+// per-table equivalence check (cross-table interleaving is scheduler
+// chosen, but each table's own event order is fixed).
+func TestDurableObserveDuringSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{DriftWindow: 8, SnapshotEvery: 16}
+	d := mustOpen(t, mustDir(t, dir), opt)
+	const workers, perWorker = 4, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			table := fmt.Sprintf("t%d", w)
+			if err := d.Append(Event{Type: EvAdviseCommit, Table: table,
+				Schema: testSchema(table), Advice: testAdvice(w), FP: testFP(w)}); err != nil {
+				t.Errorf("worker %d: commit: %v", w, err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if err := d.Append(Event{Type: EvObserve, Table: table,
+					Queries: []QueryRec{{ID: "q", Weight: 1, Attrs: uint64(i)}}}); err != nil {
+					t.Errorf("worker %d: observe %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if err := d.Snapshot(); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, mustDir(t, dir), opt)
+	defer d2.Close()
+	rec := d2.Recovered()
+	if len(rec) != workers {
+		t.Fatalf("recovered %d tables, want %d", len(rec), workers)
+	}
+	for _, ts := range rec {
+		if ts.Observed != perWorker {
+			t.Errorf("%s: observed = %d, want %d", ts.Table.Name, ts.Observed, perWorker)
+		}
+		if len(ts.Log) != opt.DriftWindow {
+			t.Errorf("%s: log = %d, want window %d", ts.Table.Name, len(ts.Log), opt.DriftWindow)
+		}
+		// The window must hold the LAST batches, in order.
+		for i, q := range ts.Log {
+			if want := uint64(perWorker - opt.DriftWindow + i); q.Attrs != want {
+				t.Errorf("%s: log[%d].Attrs = %d, want %d", ts.Table.Name, i, q.Attrs, want)
+				break
+			}
+		}
+	}
+}
+
+func TestDurableClosed(t *testing.T) {
+	d := mustOpen(t, mustDir(t, t.TempDir()), Options{DriftWindow: 16})
+	if err := d.Append(testEvents(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(testEvents(1)[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+	if err := d.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Errorf("snapshot after close: %v, want ErrClosed", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemStoreIsInert(t *testing.T) {
+	m := NewMem()
+	if m.Journaling() {
+		t.Fatal("Mem claims to journal")
+	}
+	if err := m.Append(testEvents(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Recovered(); got != nil {
+		t.Fatalf("Mem recovered %d tables", len(got))
+	}
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Observes racing an explicit snapshot must neither tear the fold nor the
+// journal: per-table state depends only on that table's own subsequence, so
+// whatever interleaving the scheduler picks, the live fold, a serialized
+// oracle, and a clean restart must all agree bit-for-bit. Run under -race
+// this is the locking proof for the observe-during-snapshot window.
+func TestDurableConcurrentObserveDuringSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{DriftWindow: 8, SnapshotEvery: -1}
+	d := mustOpen(t, mustDir(t, dir), opt)
+
+	tables := []string{"t0", "t1", "t2"}
+	serial := make([]Event, 0, 3+3*40)
+	for i, name := range tables {
+		ev := Event{Type: EvAdviseCommit, Table: name,
+			Schema: TableRec{Name: name, Rows: 1000, Columns: []ColumnRec{{Name: "a", Size: 4}}},
+			FP:     [FPSize]byte{byte(i)}}
+		if err := d.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, ev)
+	}
+	perTable := make([][]Event, len(tables))
+	for ti, name := range tables {
+		for k := 0; k < 40; k++ {
+			perTable[ti] = append(perTable[ti], Event{Type: EvObserve, Table: name,
+				Queries: []QueryRec{{ID: fmt.Sprintf("%s-q%d", name, k), Weight: 1, Attrs: uint64(1 + k%7)}}})
+		}
+		serial = append(serial, perTable[ti]...)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(tables)+1)
+	for ti := range tables {
+		wg.Add(1)
+		go func(evs []Event) {
+			defer wg.Done()
+			for _, ev := range evs {
+				if err := d.Append(ev); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(perTable[ti])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := d.Snapshot(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	want := MarshalStates(Oracle(serial, opt.DriftWindow))
+	if !bytes.Equal(MarshalStates(d.Export()), want) {
+		t.Fatal("live fold diverges from the serialized oracle")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustOpen(t, mustDir(t, dir), opt)
+	defer d2.Close()
+	if !bytes.Equal(MarshalStates(d2.Recovered()), want) {
+		t.Fatal("restart diverges from the serialized oracle")
+	}
+}

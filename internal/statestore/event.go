@@ -1,0 +1,353 @@
+package statestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EventType enumerates the journaled state mutations.
+type EventType uint8
+
+const (
+	// EvAdviseCommit registers a table (or re-registers it with a new
+	// workload/model): the tracker's advice, applied layout, and
+	// observation log all reset to the committed registration.
+	EvAdviseCommit EventType = 1
+	// EvObserve appends a validated observation batch to a table's log.
+	EvObserve EventType = 2
+	// EvRecompute installs drift-recomputed advice: the tracked advice
+	// moves, the registration fingerprint re-keys to the observed
+	// snapshot, and the recompute counter advances. The applied layout is
+	// untouched — drift changes what the service advises, not what the
+	// store physically holds.
+	EvRecompute EventType = 3
+	// EvApplied marks the tracked advice as physically applied (a
+	// verified migration): compare-and-set against the registration
+	// fingerprint, exactly like the tracker's MarkApplied.
+	EvApplied EventType = 4
+	// EvReset removes a table's tracker state (capacity eviction).
+	EvReset EventType = 5
+)
+
+// String names an event type.
+func (t EventType) String() string {
+	switch t {
+	case EvAdviseCommit:
+		return "advise-commit"
+	case EvObserve:
+		return "observe"
+	case EvRecompute:
+		return "recompute"
+	case EvApplied:
+		return "layout-applied"
+	case EvReset:
+		return "tracker-reset"
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// FPSize is the byte width of a workload fingerprint (sha256).
+const FPSize = 32
+
+// ColumnRec is one column of a journaled table schema.
+type ColumnRec struct {
+	Name string
+	Kind uint8
+	Size int64
+}
+
+// TableRec is a journaled table schema: everything needed to rebuild the
+// schema.Table a tracker prices against.
+type TableRec struct {
+	Name    string
+	Rows    int64
+	Columns []ColumnRec
+}
+
+// QueryRec is one journaled query: weight and attribute bitmask (IDs ride
+// along so a rebuilt log is bit-equal to the live one).
+type QueryRec struct {
+	ID     string
+	Weight float64
+	Attrs  uint64
+}
+
+// AlgoCost is one algorithm's cost in an advice record, kept as a sorted
+// slice so encoding is deterministic.
+type AlgoCost struct {
+	Name string
+	Cost float64
+}
+
+// AdviceRec is a journaled layout recommendation.
+type AdviceRec struct {
+	Algorithm    string
+	Parts        []uint64 // layout partitions as attribute bitmasks
+	Cost         float64
+	RowCost      float64
+	ColumnCost   float64
+	PerAlgorithm []AlgoCost // sorted by name
+}
+
+// Event is one journaled state mutation. Which fields are meaningful
+// depends on Type; the encoder writes only those.
+type Event struct {
+	Type  EventType
+	Table string
+
+	// EvAdviseCommit:
+	Schema   TableRec
+	ModelKey string
+	// EvAdviseCommit (registration workload) and EvObserve (batch):
+	Queries []QueryRec
+	// EvAdviseCommit and EvRecompute:
+	Advice AdviceRec
+	// EvAdviseCommit (registration fingerprint), EvRecompute (the
+	// observed snapshot's fingerprint the tracker re-keys to), EvApplied
+	// (the CAS expectation).
+	FP [FPSize]byte
+	// EvRecompute: the tracker's observed count at install time.
+	AdvObserved int64
+}
+
+// Decode limits: a CRC-valid frame with an absurd count must fail typed,
+// not allocate unbounded memory.
+const (
+	maxStrLen  = 1 << 16
+	maxQueries = 1 << 20
+	maxColumns = 1 << 10
+	maxParts   = 1 << 10
+	maxAlgos   = 1 << 10
+)
+
+// enc is a little-endian append-only encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is a bounds-checked little-endian decoder; the first failure latches.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+1 > len(d.b) {
+		d.fail("truncated byte at %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated u64 at %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStrLen {
+		d.fail("string of %d bytes exceeds limit", n)
+		return ""
+	}
+	if d.off+int(n) > len(d.b) {
+		d.fail("truncated string at %d", d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count reads a length prefix with a limit.
+func (d *dec) count(limit uint64, what string) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > limit {
+		d.fail("%d %s exceeds limit %d", n, what, limit)
+		return 0
+	}
+	return int(n)
+}
+
+func encodeQueries(e *enc, qs []QueryRec) {
+	e.u64(uint64(len(qs)))
+	for _, q := range qs {
+		e.str(q.ID)
+		e.f64(q.Weight)
+		e.u64(q.Attrs)
+	}
+}
+
+func decodeQueries(d *dec) []QueryRec {
+	n := d.count(maxQueries, "queries")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	qs := make([]QueryRec, 0, min(n, 4096))
+	for i := 0; i < n && d.err == nil; i++ {
+		qs = append(qs, QueryRec{ID: d.str(), Weight: d.f64(), Attrs: d.u64()})
+	}
+	return qs
+}
+
+func encodeTable(e *enc, t TableRec) {
+	e.str(t.Name)
+	e.i64(t.Rows)
+	e.u64(uint64(len(t.Columns)))
+	for _, c := range t.Columns {
+		e.str(c.Name)
+		e.u8(c.Kind)
+		e.i64(c.Size)
+	}
+}
+
+func decodeTable(d *dec) TableRec {
+	t := TableRec{Name: d.str(), Rows: d.i64()}
+	n := d.count(maxColumns, "columns")
+	for i := 0; i < n && d.err == nil; i++ {
+		t.Columns = append(t.Columns, ColumnRec{Name: d.str(), Kind: d.u8(), Size: d.i64()})
+	}
+	return t
+}
+
+func encodeAdvice(e *enc, a AdviceRec) {
+	e.str(a.Algorithm)
+	e.u64(uint64(len(a.Parts)))
+	for _, p := range a.Parts {
+		e.u64(p)
+	}
+	e.f64(a.Cost)
+	e.f64(a.RowCost)
+	e.f64(a.ColumnCost)
+	e.u64(uint64(len(a.PerAlgorithm)))
+	for _, ac := range a.PerAlgorithm {
+		e.str(ac.Name)
+		e.f64(ac.Cost)
+	}
+}
+
+func decodeAdvice(d *dec) AdviceRec {
+	a := AdviceRec{Algorithm: d.str()}
+	n := d.count(maxParts, "parts")
+	for i := 0; i < n && d.err == nil; i++ {
+		a.Parts = append(a.Parts, d.u64())
+	}
+	a.Cost, a.RowCost, a.ColumnCost = d.f64(), d.f64(), d.f64()
+	n = d.count(maxAlgos, "algorithms")
+	for i := 0; i < n && d.err == nil; i++ {
+		a.PerAlgorithm = append(a.PerAlgorithm, AlgoCost{Name: d.str(), Cost: d.f64()})
+	}
+	return a
+}
+
+// encode renders an event payload (type byte first, self-contained).
+func (ev Event) encode() []byte {
+	e := &enc{b: make([]byte, 0, 128)}
+	e.u8(uint8(ev.Type))
+	e.str(ev.Table)
+	switch ev.Type {
+	case EvAdviseCommit:
+		encodeTable(e, ev.Schema)
+		e.str(ev.ModelKey)
+		encodeQueries(e, ev.Queries)
+		encodeAdvice(e, ev.Advice)
+		e.b = append(e.b, ev.FP[:]...)
+	case EvObserve:
+		encodeQueries(e, ev.Queries)
+	case EvRecompute:
+		encodeAdvice(e, ev.Advice)
+		e.b = append(e.b, ev.FP[:]...)
+		e.i64(ev.AdvObserved)
+	case EvApplied:
+		e.b = append(e.b, ev.FP[:]...)
+	case EvReset:
+		// Table name only.
+	}
+	return e.b
+}
+
+// decodeEvent parses an event payload. Trailing garbage after a valid
+// event body is corruption: a CRC-matched frame must decode exactly.
+func decodeEvent(payload []byte) (Event, error) {
+	d := &dec{b: payload}
+	ev := Event{Type: EventType(d.u8()), Table: d.str()}
+	switch ev.Type {
+	case EvAdviseCommit:
+		ev.Schema = decodeTable(d)
+		ev.ModelKey = d.str()
+		ev.Queries = decodeQueries(d)
+		ev.Advice = decodeAdvice(d)
+		d.fp(&ev.FP)
+	case EvObserve:
+		ev.Queries = decodeQueries(d)
+	case EvRecompute:
+		ev.Advice = decodeAdvice(d)
+		d.fp(&ev.FP)
+		ev.AdvObserved = d.i64()
+	case EvApplied:
+		d.fp(&ev.FP)
+	case EvReset:
+	default:
+		d.fail("unknown event type %d", uint8(ev.Type))
+	}
+	if d.err != nil {
+		return Event{}, d.err
+	}
+	if d.off != len(payload) {
+		return Event{}, fmt.Errorf("%w: %d trailing bytes after %s event",
+			ErrCorrupt, len(payload)-d.off, ev.Type)
+	}
+	return ev, nil
+}
+
+// fp reads a fingerprint.
+func (d *dec) fp(out *[FPSize]byte) {
+	if d.err != nil {
+		return
+	}
+	if d.off+FPSize > len(d.b) {
+		d.fail("truncated fingerprint at %d", d.off)
+		return
+	}
+	copy(out[:], d.b[d.off:])
+	d.off += FPSize
+}

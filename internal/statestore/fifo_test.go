@@ -1,0 +1,80 @@
+package statestore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFIFOEvictsOldestFirst(t *testing.T) {
+	f := NewFIFO[string, int](3)
+	for i, k := range []string{"a", "b", "c"} {
+		if ev := f.Insert(k, i); ev != nil {
+			t.Fatalf("insert %s evicted %v under capacity", k, ev)
+		}
+	}
+	if ev := f.Insert("d", 3); !reflect.DeepEqual(ev, []string{"a"}) {
+		t.Fatalf("evicted %v, want [a]", ev)
+	}
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("evicted key still live")
+	}
+	if v, ok := f.Get("d"); !ok || v != 3 {
+		t.Fatalf("Get(d) = %d,%v", v, ok)
+	}
+	if got := f.Keys(); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestFIFOReinsertKeepsOrderSlot(t *testing.T) {
+	f := NewFIFO[string, int](3)
+	f.Insert("a", 0)
+	f.Insert("b", 1)
+	f.Insert("a", 99) // refresh, not re-append
+	f.Insert("c", 2)
+	if ev := f.Insert("d", 3); !reflect.DeepEqual(ev, []string{"a"}) {
+		t.Fatalf("evicted %v, want [a] — the refreshed key kept its old slot", ev)
+	}
+	if v, _ := f.Get("b"); v != 1 {
+		t.Fatalf("b = %d", v)
+	}
+}
+
+func TestFIFONeverEvictsJustInserted(t *testing.T) {
+	f := NewFIFO[string, int](1)
+	f.Insert("a", 0)
+	if ev := f.Insert("b", 1); !reflect.DeepEqual(ev, []string{"a"}) {
+		t.Fatalf("evicted %v", ev)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if _, ok := f.Get("b"); !ok {
+		t.Fatal("just-inserted key was evicted")
+	}
+}
+
+func TestFIFODropAndDropFunc(t *testing.T) {
+	f := NewFIFO[int, string](0) // unbounded
+	for i := 0; i < 6; i++ {
+		f.Insert(i, "v")
+	}
+	f.Drop(2)
+	f.Drop(42) // absent: no-op
+	f.DropFunc(func(k int) bool { return k%2 == 1 })
+	if got := f.Keys(); !reflect.DeepEqual(got, []int{0, 4}) {
+		t.Fatalf("keys = %v, want [0 4]", got)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	// The invariant survived: a new insert + evictions behave.
+	f2 := NewFIFO[int, string](2)
+	f2.Insert(1, "a")
+	f2.Insert(2, "b")
+	f2.Drop(1)
+	f2.Insert(3, "c")
+	if ev := f2.Insert(4, "d"); !reflect.DeepEqual(ev, []int{2}) {
+		t.Fatalf("evicted %v, want [2]", ev)
+	}
+}

@@ -1,0 +1,153 @@
+package statestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFoldAdviseCommitRegistersAndResets(t *testing.T) {
+	st := newState(16)
+	st.apply(Event{Type: EvAdviseCommit, Table: "t", Schema: testSchema("t"),
+		ModelKey: "hdd", Queries: []QueryRec{{ID: "q1", Weight: 2, Attrs: 3}},
+		Advice: testAdvice(1), FP: testFP(1)})
+	st.apply(Event{Type: EvObserve, Table: "t", Queries: []QueryRec{{ID: "q2", Weight: 1, Attrs: 5}}})
+	st.apply(Event{Type: EvRecompute, Table: "t", Advice: testAdvice(2), FP: testFP(2), AdvObserved: 1})
+
+	out := st.export()
+	if len(out) != 1 {
+		t.Fatalf("tables = %d, want 1", len(out))
+	}
+	ts := out[0]
+	if ts.Observed != 1 || ts.Recomputes != 1 || ts.AdvObserved != 1 {
+		t.Errorf("counters = %d/%d/%d, want 1/1/1", ts.Observed, ts.Recomputes, ts.AdvObserved)
+	}
+	if ts.RegFP != testFP(2) || ts.AppliedFP != testFP(1) {
+		t.Errorf("fingerprints did not track the recompute")
+	}
+	if len(ts.Log) != 2 {
+		t.Errorf("log = %d entries, want 2", len(ts.Log))
+	}
+
+	// Re-registration wipes everything back to the new commit.
+	st.apply(Event{Type: EvAdviseCommit, Table: "t", Schema: testSchema("t"),
+		ModelKey: "ssd", Queries: []QueryRec{{ID: "q9", Weight: 1, Attrs: 1}},
+		Advice: testAdvice(3), FP: testFP(3)})
+	ts = st.export()[0]
+	if ts.Observed != 0 || ts.Recomputes != 0 || ts.AdvObserved != 0 {
+		t.Errorf("re-registration kept counters %d/%d/%d", ts.Observed, ts.Recomputes, ts.AdvObserved)
+	}
+	if ts.ModelKey != "ssd" || len(ts.Log) != 1 || ts.RegFP != testFP(3) || ts.AppliedFP != testFP(3) {
+		t.Errorf("re-registration did not reset to the new commit: %+v", ts)
+	}
+	if ts.Order != 0 {
+		t.Errorf("re-registration moved the order slot to %d", ts.Order)
+	}
+}
+
+func TestFoldResetThenReRegisterGetsNewOrder(t *testing.T) {
+	st := newState(16)
+	commit := func(name string, tag int) {
+		st.apply(Event{Type: EvAdviseCommit, Table: name, Schema: testSchema(name),
+			ModelKey: "hdd", Advice: testAdvice(tag), FP: testFP(tag)})
+	}
+	commit("a", 1)
+	commit("b", 2)
+	st.apply(Event{Type: EvReset, Table: "a"})
+	commit("a", 3)
+	out := st.export()
+	if len(out) != 2 {
+		t.Fatalf("tables = %d, want 2", len(out))
+	}
+	// "b" kept slot 1; re-registered "a" got a fresh, later slot — the
+	// FIFO eviction order the service preserves.
+	if out[0].Table.Name != "b" || out[1].Table.Name != "a" {
+		t.Errorf("order = [%s %s], want [b a]", out[0].Table.Name, out[1].Table.Name)
+	}
+	if out[1].Order <= out[0].Order {
+		t.Errorf("re-registered table order %d not after survivor %d", out[1].Order, out[0].Order)
+	}
+}
+
+func TestFoldObserveTrimsToWindow(t *testing.T) {
+	st := newState(3)
+	st.apply(Event{Type: EvAdviseCommit, Table: "t", Schema: testSchema("t"),
+		Queries: []QueryRec{{ID: "q0", Weight: 1}}, Advice: testAdvice(0), FP: testFP(0)})
+	for i := 1; i <= 5; i++ {
+		st.apply(Event{Type: EvObserve, Table: "t",
+			Queries: []QueryRec{{ID: "q" + string(rune('0'+i)), Weight: 1}}})
+	}
+	ts := st.export()[0]
+	if len(ts.Log) != 3 {
+		t.Fatalf("log = %d entries, want window 3", len(ts.Log))
+	}
+	if ts.Log[0].ID != "q3" || ts.Log[2].ID != "q5" {
+		t.Errorf("log kept %s..%s, want the newest window q3..q5", ts.Log[0].ID, ts.Log[2].ID)
+	}
+	if ts.Observed != 5 {
+		t.Errorf("observed = %d, want 5 (trim must not reduce the counter)", ts.Observed)
+	}
+}
+
+func TestFoldUnknownTableSkips(t *testing.T) {
+	st := newState(16)
+	st.apply(Event{Type: EvObserve, Table: "ghost", Queries: []QueryRec{{ID: "q", Weight: 1}}})
+	st.apply(Event{Type: EvRecompute, Table: "ghost", Advice: testAdvice(1), FP: testFP(1)})
+	st.apply(Event{Type: EvApplied, Table: "ghost", FP: testFP(1)})
+	if len(st.tables) != 0 {
+		t.Fatalf("unknown-table events created state")
+	}
+	if st.skipped != 3 {
+		t.Errorf("skipped = %d, want 3", st.skipped)
+	}
+}
+
+func TestFoldAppliedCAS(t *testing.T) {
+	st := newState(16)
+	st.apply(Event{Type: EvAdviseCommit, Table: "t", Schema: testSchema("t"),
+		Advice: testAdvice(1), FP: testFP(1)})
+	st.apply(Event{Type: EvRecompute, Table: "t", Advice: testAdvice(2), FP: testFP(2), AdvObserved: 0})
+
+	// Stale fingerprint: the CAS must not move the applied layout.
+	st.apply(Event{Type: EvApplied, Table: "t", FP: testFP(1)})
+	ts := st.export()[0]
+	if ts.AppliedFP != testFP(1) || ts.Applied.Cost == ts.Advice.Cost {
+		t.Fatalf("stale EvApplied moved the applied layout")
+	}
+	// Live fingerprint: applied catches up to the advice.
+	st.apply(Event{Type: EvApplied, Table: "t", FP: testFP(2)})
+	ts = st.export()[0]
+	if ts.AppliedFP != testFP(2) || ts.Applied.Cost != ts.Advice.Cost {
+		t.Fatalf("live EvApplied did not install the advice")
+	}
+}
+
+func TestOracleDeterministicAndSensitive(t *testing.T) {
+	evs := testEvents(200)
+	a := MarshalStates(Oracle(evs, 32))
+	b := MarshalStates(Oracle(evs, 32))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same stream folded to different bytes")
+	}
+	extra := Event{Type: EvAdviseCommit, Table: "fresh", Schema: testSchema("fresh"),
+		Advice: testAdvice(999), FP: testFP(999)}
+	if bytes.Equal(a, MarshalStates(Oracle(append(append([]Event{}, evs...), extra), 32))) {
+		t.Fatalf("appending a registration did not change the fold")
+	}
+	if bytes.Equal(a, MarshalStates(Oracle(evs, 8))) {
+		t.Fatalf("changing the window did not change the fold")
+	}
+}
+
+func TestExportDeepCopies(t *testing.T) {
+	st := newState(16)
+	st.apply(Event{Type: EvAdviseCommit, Table: "t", Schema: testSchema("t"),
+		Queries: []QueryRec{{ID: "q", Weight: 1}}, Advice: testAdvice(1), FP: testFP(1)})
+	out := st.export()
+	out[0].Log[0].ID = "mutated"
+	out[0].Advice.Parts[0] = 0xFFFF
+	out[0].Table.Columns[0].Name = "mutated"
+	again := st.export()[0]
+	if again.Log[0].ID == "mutated" || again.Advice.Parts[0] == 0xFFFF || again.Table.Columns[0].Name == "mutated" {
+		t.Fatalf("export aliases internal state")
+	}
+}

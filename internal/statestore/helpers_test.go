@@ -1,0 +1,93 @@
+package statestore
+
+import "math/rand"
+
+// testSchema is a small deterministic schema for one table name.
+func testSchema(name string) TableRec {
+	return TableRec{Name: name, Rows: 6_000_000, Columns: []ColumnRec{
+		{Name: "a", Kind: 1, Size: 4},
+		{Name: "b", Kind: 2, Size: 8},
+		{Name: "c", Kind: 3, Size: 16},
+	}}
+}
+
+// testAdvice is a full advice record, varied by tag so streams differ.
+func testAdvice(tag int) AdviceRec {
+	return AdviceRec{
+		Algorithm:  "autopart",
+		Parts:      []uint64{uint64(1 + tag%7), uint64(8 + tag%5)},
+		Cost:       100 + float64(tag),
+		RowCost:    400 + float64(tag),
+		ColumnCost: 90 + float64(tag),
+		PerAlgorithm: []AlgoCost{
+			{Name: "navathe", Cost: 120 + float64(tag)},
+			{Name: "o2p", Cost: 110 + float64(tag)},
+		},
+	}
+}
+
+func testFP(tag int) (fp [FPSize]byte) {
+	fp[0], fp[1], fp[31] = byte(tag), byte(tag>>8), 0xAB
+	return
+}
+
+func testQueries(rng *rand.Rand, n int) []QueryRec {
+	qs := make([]QueryRec, n)
+	for i := range qs {
+		qs[i] = QueryRec{
+			ID:     "q" + string(rune('a'+rng.Intn(26))),
+			Weight: 1 + float64(rng.Intn(8)),
+			Attrs:  uint64(rng.Int63()),
+		}
+	}
+	return qs
+}
+
+// testEvents generates a deterministic, plausible event stream: a few
+// tables being registered, observed, drift-recomputed, applied, evicted,
+// and re-registered — the daemon's life, compressed.
+func testEvents(n int) []Event {
+	rng := rand.New(rand.NewSource(1))
+	names := []string{"lineitem", "orders", "customer"}
+	regFP := map[string][FPSize]byte{}
+	evs := make([]Event, 0, n)
+	for i := 0; len(evs) < n; i++ {
+		name := names[rng.Intn(len(names))]
+		_, registered := regFP[name]
+		roll := rng.Intn(20)
+		switch {
+		case !registered || roll == 0:
+			fp := testFP(i)
+			evs = append(evs, Event{
+				Type: EvAdviseCommit, Table: name, Schema: testSchema(name),
+				ModelKey: "hdd:v1", Queries: testQueries(rng, 1+rng.Intn(4)),
+				Advice: testAdvice(i), FP: fp,
+			})
+			regFP[name] = fp
+		case roll == 1:
+			fp := testFP(i)
+			evs = append(evs, Event{
+				Type: EvRecompute, Table: name, Advice: testAdvice(i),
+				FP: fp, AdvObserved: int64(rng.Intn(500)),
+			})
+			regFP[name] = fp
+		case roll == 2:
+			// Half the time CAS against the live fingerprint (succeeds),
+			// half against a stale one (no-op) — both paths matter.
+			fp := regFP[name]
+			if rng.Intn(2) == 0 {
+				fp = testFP(i)
+			}
+			evs = append(evs, Event{Type: EvApplied, Table: name, FP: fp})
+		case roll == 3:
+			evs = append(evs, Event{Type: EvReset, Table: name})
+			delete(regFP, name)
+		default:
+			evs = append(evs, Event{
+				Type: EvObserve, Table: name,
+				Queries: testQueries(rng, 1+rng.Intn(6)),
+			})
+		}
+	}
+	return evs
+}

@@ -1,0 +1,17 @@
+package statestore
+
+// Mem is the in-memory reference store: the advisor's state lives only in
+// its own maps and trackers, nothing is journaled, and a restart starts
+// empty — exactly the daemon's behavior before durability existed. The
+// service checks Journaling() and skips event construction entirely, so
+// the hot path is byte-identical to the pre-statestore code.
+type Mem struct{}
+
+// NewMem returns the in-memory reference store.
+func NewMem() *Mem { return &Mem{} }
+
+func (*Mem) Journaling() bool         { return false }
+func (*Mem) Append(Event) error       { return nil }
+func (*Mem) Recovered() []TableState  { return nil }
+func (*Mem) Snapshot() error          { return nil }
+func (*Mem) Close() error             { return nil }

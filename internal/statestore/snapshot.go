@@ -1,0 +1,74 @@
+package statestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot file format (snapshot.db):
+//
+//	magic "KNSNAP01"  — 8 bytes, versioned
+//	u64 lastSeq       — every WAL record with seq <= lastSeq is covered
+//	i64 window        — the drift window the logs were trimmed under
+//	i64 nextOrder     — registration-order counter
+//	u64 ntables, then each TableState
+//	u32 crc           — CRC-32C over everything above
+//
+// Snapshots are written to snapshot.tmp, fsynced, renamed over snapshot.db,
+// and the directory fsynced — so the live name either holds the previous
+// complete snapshot or the new complete one, never a partial.
+
+const snapMagic = "KNSNAP01"
+
+// snapshotData is a decoded snapshot.
+type snapshotData struct {
+	lastSeq   uint64
+	window    int64
+	nextOrder int64
+	tables    []TableState
+}
+
+func encodeSnapshot(s snapshotData) []byte {
+	e := &enc{b: make([]byte, 0, 1024)}
+	e.b = append(e.b, snapMagic...)
+	e.u64(s.lastSeq)
+	e.i64(s.window)
+	e.i64(s.nextOrder)
+	e.u64(uint64(len(s.tables)))
+	for _, ts := range s.tables {
+		encodeState(e, ts)
+	}
+	crc := crc32.Checksum(e.b, crcTable)
+	e.b = binary.LittleEndian.AppendUint32(e.b, crc)
+	return e.b
+}
+
+func decodeSnapshot(b []byte) (snapshotData, error) {
+	var s snapshotData
+	if len(b) < len(snapMagic)+4 {
+		return s, fmt.Errorf("%w: %d bytes is too short", ErrCorruptSnapshot, len(b))
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return s, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return s, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	d := &dec{b: body, off: len(snapMagic)}
+	s.lastSeq = d.u64()
+	s.window = d.i64()
+	s.nextOrder = d.i64()
+	n := d.count(1<<20, "tables")
+	for i := 0; i < n && d.err == nil; i++ {
+		s.tables = append(s.tables, decodeState(d))
+	}
+	if d.err != nil {
+		return snapshotData{}, fmt.Errorf("%w: %v", ErrCorruptSnapshot, d.err)
+	}
+	if d.off != len(body) {
+		return snapshotData{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptSnapshot, len(body)-d.off)
+	}
+	return s, nil
+}

@@ -2,8 +2,8 @@ package storage
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"knives/internal/vfs"
 )
 
 // Backend stores the pages of one partition file. Pages are fixed-size
@@ -51,17 +51,29 @@ func (m *memBackend) ReadPage(idx int64, dst []byte) error {
 func (m *memBackend) Pages() int64 { return int64(len(m.pages)) }
 func (m *memBackend) Close() error { return nil }
 
-// fileBackend stores pages in a real file; used by integration tests to
-// exercise the OS I/O path.
+// fileBackend stores pages in one file of a vfs.FS; used by integration
+// tests to exercise the real I/O path and by fault-injection tests to
+// exercise the failing one.
 type fileBackend struct {
-	f        *os.File
+	f        vfs.File
 	pageSize int
 	n        int64
 }
 
 // NewFileBackend creates a page store backed by a file in dir.
 func NewFileBackend(dir, name string, pageSize int) (Backend, error) {
-	f, err := os.Create(filepath.Join(dir, name+".part"))
+	fsys, err := vfs.Dir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create partition file: %w", err)
+	}
+	return NewFileBackendFS(fsys, name, pageSize)
+}
+
+// NewFileBackendFS creates a page store backed by a file of fsys — the
+// injection point for degraded-disk tests: wrap the FS in a faultinject
+// schedule and the engine's loads and scans hit real error returns.
+func NewFileBackendFS(fsys vfs.FS, name string, pageSize int) (Backend, error) {
+	f, err := fsys.Create(name + ".part")
 	if err != nil {
 		return nil, fmt.Errorf("storage: create partition file: %w", err)
 	}

@@ -2,13 +2,18 @@ package storage
 
 import (
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"knives/internal/attrset"
 	"knives/internal/cost"
+	"knives/internal/faultinject"
 	"knives/internal/partition"
 	"knives/internal/schema"
+	"knives/internal/vfs"
 )
 
 // failingBackend injects failures at configurable points to verify that
@@ -153,7 +158,76 @@ func TestFileBackendBounds(t *testing.T) {
 }
 
 func TestFileBackendCreateFailure(t *testing.T) {
-	if _, err := NewFileBackend("/nonexistent-dir-xyz", "x", 64); err == nil {
+	// A directory whose parent is a regular file cannot be created.
+	plain := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(plain, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileBackend(filepath.Join(plain, "sub"), "x", 64); err == nil {
 		t.Error("accepted uncreatable directory")
+	}
+}
+
+// injectedEngine builds an engine whose partition files live behind a
+// fault-injecting filesystem: unlike failingBackend above, the scheduled
+// errors come back through the whole real I/O path.
+func injectedEngine(t *testing.T, faults ...faultinject.Fault) (*Engine, *schema.Table, *faultinject.Injector) {
+	t.Helper()
+	tab := schema.MustTable("t", 3_000, []schema.Column{
+		{Name: "a", Kind: schema.KindInt, Size: 4},
+		{Name: "b", Kind: schema.KindVarchar, Size: 24},
+	})
+	fsys, err := vfs.Dir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(fsys, faults...)
+	e, err := NewEngine(partition.Column(tab), smallDisk(), func(name string, pageSize int) (Backend, error) {
+		return NewFileBackendFS(inj, name, pageSize)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tab, inj
+}
+
+func TestFileBackendInjectedWriteFault(t *testing.T) {
+	e, tab, inj := injectedEngine(t, faultinject.FailNthWrite(3))
+	defer e.Close()
+	if err := e.Load(NewGenerator(1), tab.Rows); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Load error = %v, want injected fault", err)
+	}
+	if inj.Injected() != 1 {
+		t.Errorf("injected = %d, want 1", inj.Injected())
+	}
+}
+
+func TestFileBackendInjectedShortRead(t *testing.T) {
+	e, tab, _ := injectedEngine(t, faultinject.ShortNthRead(2, 7))
+	defer e.Close()
+	if err := e.Load(NewGenerator(1), tab.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Scan(attrset.Of(0)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("Scan error = %v, want short-read failure", err)
+	}
+}
+
+func TestFileBackendInjectedCrashLatches(t *testing.T) {
+	fsys, err := vfs.Dir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(fsys, faultinject.CrashAtWrite(1, 0))
+	b, err := NewFileBackendFS(inj, "x", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePage(make([]byte, 64)); err == nil {
+		t.Fatal("crash-scheduled write succeeded")
+	}
+	// The simulated process is dead: every later operation must fail too.
+	if err := b.WritePage(make([]byte, 64)); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Errorf("post-crash write error = %v, want ErrCrashed", err)
 	}
 }

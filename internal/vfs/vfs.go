@@ -1,0 +1,211 @@
+// Package vfs abstracts the handful of file operations the durable layers
+// (the statestore WAL and the storage engine's file backend) perform, so a
+// fault-injecting implementation can stand in for the real filesystem in
+// crash and degradation tests without either layer knowing the difference.
+//
+// The interface is deliberately narrow: names are flat (no subdirectories)
+// and relative to the implementation's root, matching how both consumers
+// lay out their files — one directory per store, a handful of files in it.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one open file. Offsets are explicit (WriteAt/ReadAt) so
+// implementations carry no hidden cursor state; Write appends at the end of
+// everything written so far through this handle.
+type File interface {
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes (used to repair torn tails).
+	Truncate(size int64) error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS is a flat directory of files.
+type FS interface {
+	// Create truncate-creates a file for writing (and reading back).
+	Create(name string) (File, error)
+	// Open opens an existing file for reading and appending.
+	Open(name string) (File, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// durable.
+	SyncDir() error
+}
+
+// Dir returns the real filesystem rooted at dir, creating it if needed.
+func Dir(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vfs: %w", err)
+	}
+	return &osFS{dir: dir}, nil
+}
+
+// osFS implements FS on the operating system's filesystem.
+type osFS struct {
+	dir string
+}
+
+// clean rejects names that would escape the root directory.
+func (fs *osFS) clean(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return "", fmt.Errorf("vfs: invalid file name %q", name)
+	}
+	return filepath.Join(fs.dir, name), nil
+}
+
+func (fs *osFS) Create(name string) (File, error) {
+	path, err := fs.clean(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: create %s: %w", name, err)
+	}
+	return &osFile{f: f}, nil
+}
+
+func (fs *osFS) Open(name string) (File, error) {
+	path, err := fs.clean(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: open %s: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("vfs: open %s: %w", name, err)
+	}
+	return &osFile{f: f, end: st.Size()}, nil
+}
+
+func (fs *osFS) ReadFile(name string) ([]byte, error) {
+	path, err := fs.clean(name)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: read %s: %w", name, err)
+	}
+	return b, nil
+}
+
+func (fs *osFS) Rename(oldname, newname string) error {
+	po, err := fs.clean(oldname)
+	if err != nil {
+		return err
+	}
+	pn, err := fs.clean(newname)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(po, pn); err != nil {
+		return fmt.Errorf("vfs: rename %s -> %s: %w", oldname, newname, err)
+	}
+	return nil
+}
+
+func (fs *osFS) Remove(name string) error {
+	path, err := fs.clean(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("vfs: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+func (fs *osFS) List() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: list: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *osFS) SyncDir() error {
+	d, err := os.Open(fs.dir)
+	if err != nil {
+		return fmt.Errorf("vfs: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vfs: sync dir: %w", err)
+	}
+	return nil
+}
+
+// osFile implements File on an *os.File, tracking the append end.
+type osFile struct {
+	f   *os.File
+	end int64
+}
+
+func (o *osFile) Write(p []byte) (int, error) {
+	n, err := o.f.WriteAt(p, o.end)
+	o.end += int64(n)
+	return n, err
+}
+
+func (o *osFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := o.f.WriteAt(p, off)
+	if e := off + int64(n); e > o.end {
+		o.end = e
+	}
+	return n, err
+}
+
+func (o *osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o *osFile) Sync() error                             { return o.f.Sync() }
+
+func (o *osFile) Truncate(size int64) error {
+	if err := o.f.Truncate(size); err != nil {
+		return err
+	}
+	if size < o.end {
+		o.end = size
+	}
+	return nil
+}
+
+func (o *osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (o *osFile) Close() error { return o.f.Close() }

@@ -1,0 +1,161 @@
+package vfs
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCreateWriteReadBack(t *testing.T) {
+	fs, err := Dir(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write appends; WriteAt patches without moving the append end unless
+	// it extends the file.
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := f.Size(); err != nil || sz != 12 {
+		t.Fatalf("size = %d,%v, want 12", sz, err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "HELLO world!" {
+		t.Fatalf("file = %q", b)
+	}
+}
+
+func TestOpenAppendsAtEnd(t *testing.T) {
+	fs, _ := Dir(t.TempDir())
+	f, _ := fs.Create("x")
+	f.Write([]byte("abc"))
+	f.Close()
+	f, err := fs.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	b, _ := fs.ReadFile("x")
+	if string(b) != "abcdef" {
+		t.Fatalf("file = %q, want append at the existing end", b)
+	}
+}
+
+func TestTruncateMovesAppendEnd(t *testing.T) {
+	fs, _ := Dir(t.TempDir())
+	f, _ := fs.Create("x")
+	f.Write([]byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	b, _ := fs.ReadFile("x")
+	if string(b) != "0123XY" {
+		t.Fatalf("file = %q, want writes to continue at the truncation point", b)
+	}
+}
+
+func TestRenameListRemove(t *testing.T) {
+	fs, _ := Dir(t.TempDir())
+	for _, n := range []string{"b", "a"} {
+		f, _ := fs.Create(n)
+		f.Write([]byte(n))
+		f.Close()
+	}
+	names, err := fs.List()
+	if err != nil || !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("list = %v,%v, want sorted [a b]", names, err)
+	}
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := fs.ReadFile("b")
+	if string(b) != "a" {
+		t.Fatalf("rename did not replace: %q", b)
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.List(); len(names) != 0 {
+		t.Fatalf("list after remove = %v", names)
+	}
+	if err := fs.Remove("ghost"); err == nil {
+		t.Fatal("removing a missing file succeeded")
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	fs, _ := Dir(t.TempDir())
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if _, err := fs.Create(bad); err == nil {
+			t.Errorf("Create(%q) succeeded", bad)
+		}
+		if _, err := fs.Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded", bad)
+		}
+		if _, err := fs.ReadFile(bad); err == nil {
+			t.Errorf("ReadFile(%q) succeeded", bad)
+		}
+		if err := fs.Remove(bad); err == nil {
+			t.Errorf("Remove(%q) succeeded", bad)
+		}
+		if err := fs.Rename(bad, "ok"); err == nil {
+			t.Errorf("Rename(%q, ok) succeeded", bad)
+		}
+		if err := fs.Rename("ok", bad); err == nil {
+			t.Errorf("Rename(ok, %q) succeeded", bad)
+		}
+	}
+}
+
+func TestListSkipsDirectories(t *testing.T) {
+	root := t.TempDir()
+	fs, _ := Dir(root)
+	if _, err := Dir(filepath.Join(root, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("file")
+	f.Close()
+	names, err := fs.List()
+	if err != nil || !reflect.DeepEqual(names, []string{"file"}) {
+		t.Fatalf("list = %v,%v, want [file]", names, err)
+	}
+}
