@@ -16,6 +16,14 @@
 //	    locally, or via a running knivesd (-server) with retrying requests
 //	    that back off on 429/503 from a daemon under load.
 //
+//	knives observe -server URL [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
+//	               [-rounds N] [-batch N] [-retries N] [-retry-delay D]
+//	    Stream the benchmark's workload to a running knivesd as BATCHED
+//	    observations — many tables x many queries per POST /observe — and
+//	    report each table's drift verdict plus the achieved observations/sec.
+//	    Advise the benchmark on the daemon first (knives advise -server ...,
+//	    or run knivesd with -prewarm) so the tables are registered.
+//
 //	knives replay [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
 //	              [-algorithm advisor|NAME|Row|Column] [-model hdd|ssd|mm]
 //	              [device flags] [-rows N] [-workers N] [-seed N]
@@ -51,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -83,6 +92,8 @@ func run(args []string) int {
 		err = runOptimize(args[1:])
 	case "advise":
 		err = runAdvise(args[1:])
+	case "observe":
+		err = runObserve(args[1:])
 	case "replay":
 		err = runReplay(args[1:])
 	case "migrate":
@@ -145,6 +156,7 @@ commands:
   list                      list algorithms and experiments
   optimize [flags]          compute layouts for one or all tables
   advise [flags]            recommend the best layout per table
+  observe [flags]           stream batched observations to a running knivesd
   replay [flags]            execute advised layouts and verify the cost model
   migrate [flags]           plan + execute a drift-triggered re-layout and verify it
   experiment <id|all>       regenerate a paper figure or table
@@ -283,6 +295,113 @@ func adviseViaServer(baseURL, benchName string, sf float64, retries int, retryDe
 			a.ImprovementOverRow*100, a.ImprovementOverColumn*100, from)
 		fmt.Printf("           %v\n", a.Layout)
 	}
+	return nil
+}
+
+// runObserve streams a benchmark's workload to a running knivesd as batched
+// observations: queries accumulate in an ObserveBuffer and ship as one
+// multi-table POST /observe per -batch queries, exercising the daemon's
+// sharded group-committing ingest stage instead of one request per query.
+func runObserve(args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ContinueOnError)
+	server := fs.String("server", "", "base URL of a running knivesd (required)")
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	table := fs.String("table", "all", "table name or all")
+	rounds := fs.Int("rounds", 1, "times the workload is streamed")
+	batch := fs.Int("batch", advisor.DefaultObserveFlushAt, "queries per batched /observe request")
+	retries := fs.Int("retries", 3, "total attempts per request (429/503/transport errors retry)")
+	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between retries (doubles per attempt)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return usageError{err: fmt.Errorf("observe needs -server URL (a running knivesd; advise the benchmark there first)")}
+	}
+	if *rounds < 1 {
+		return usageError{err: fmt.Errorf("-rounds must be >= 1 (got %d)", *rounds)}
+	}
+	if *batch < 1 {
+		return usageError{err: fmt.Errorf("-batch must be >= 1 (got %d)", *batch)}
+	}
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	client := advisor.NewClient(*server)
+	client.Retry = advisor.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryDelay}
+	buf := &advisor.ObserveBuffer{Client: client, FlushAt: *batch}
+
+	ctx := context.Background()
+	last := make(map[string]advisor.TableObserveVerdict)
+	collect := func(vs []advisor.TableObserveVerdict) error {
+		for _, v := range vs {
+			if v.Error != "" {
+				return fmt.Errorf("observe %s: %s (status %d)", v.Table, v.Error, v.Status)
+			}
+			last[v.Table] = v
+		}
+		return nil
+	}
+	matched := false
+	total := 0
+	start := time.Now()
+	for r := 0; r < *rounds; r++ {
+		for _, tw := range bench.TableWorkloads() {
+			if *table != "all" && tw.Table.Name != *table {
+				continue
+			}
+			matched = true
+			for _, q := range tw.Queries {
+				vs, err := buf.Add(ctx, tw.Table.Name, advisor.ObservedQry{
+					Attrs:  tw.Table.AttrNames(q.Attrs),
+					Weight: q.Weight,
+				})
+				if err != nil {
+					return err
+				}
+				total++
+				if err := collect(vs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
+	}
+	vs, err := buf.Flush(ctx)
+	if err != nil {
+		return err
+	}
+	if err := collect(vs); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	names := make([]string, 0, len(last))
+	for n := range last {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := last[n]
+		state := "stable"
+		if v.Drift.Drifted {
+			state = "drifted"
+		}
+		if v.Drift.Recomputed {
+			state = "recomputed"
+		}
+		fmt.Printf("%-10s %-10s ratio=%7.3f threshold=%.3f observed=%d recomputes=%d\n",
+			n, state, v.Drift.Ratio, v.Drift.Threshold, v.Drift.Observed, v.Drift.Recomputes)
+	}
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Printf("observed %d queries in %v (%.0f obs/sec)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/secs)
 	return nil
 }
 

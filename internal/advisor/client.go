@@ -218,6 +218,95 @@ func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveRespon
 	return resp, err
 }
 
+// ObserveBatch ships many tables' observation batches in one POST /observe
+// and returns the per-entry verdicts, in submission order. Entries fail
+// independently server-side; the call errors only when the request itself
+// does (transport, decode, non-200). With retries enabled delivery is
+// at-least-once, like Observe.
+func (c *Client) ObserveBatch(ctx context.Context, batches []TableObservation) ([]TableObserveVerdict, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	var resp ObserveResponse
+	if err := c.do(ctx, http.MethodPost, "/observe", ObserveRequest{Batches: batches}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Verdicts) != len(batches) {
+		return resp.Verdicts, fmt.Errorf("advisor client: observe batch answered %d verdicts for %d batches",
+			len(resp.Verdicts), len(batches))
+	}
+	return resp.Verdicts, nil
+}
+
+// ObserveBuffer accumulates observations per table and flushes them as ONE
+// batched request once FlushAt queries are pending (or on demand). It is
+// the client-side half of the batched ingest pipeline: callers record
+// queries as they see them; the buffer amortizes the HTTP and WAL cost
+// across a whole batch. Not safe for concurrent use — give each producer
+// goroutine its own buffer (the server's ingest stage coalesces across
+// connections anyway).
+type ObserveBuffer struct {
+	// Client ships the flushes; required.
+	Client *Client
+	// FlushAt triggers an automatic flush when this many queries are
+	// pending across all tables; <= 0 means DefaultObserveFlushAt.
+	FlushAt int
+
+	pending int
+	order   []string // first-appearance order of tables with pending queries
+	byTable map[string][]ObservedQry
+}
+
+// DefaultObserveFlushAt is the automatic flush threshold of an
+// ObserveBuffer whose FlushAt is unset.
+const DefaultObserveFlushAt = 256
+
+// Add records one observed query for a table, flushing automatically when
+// the buffer reaches its threshold. The returned verdicts are nil unless
+// this Add triggered a flush.
+func (b *ObserveBuffer) Add(ctx context.Context, table string, q ObservedQry) ([]TableObserveVerdict, error) {
+	if b.byTable == nil {
+		b.byTable = make(map[string][]ObservedQry)
+	}
+	if _, ok := b.byTable[table]; !ok {
+		b.order = append(b.order, table)
+	}
+	b.byTable[table] = append(b.byTable[table], q)
+	b.pending++
+	limit := b.FlushAt
+	if limit <= 0 {
+		limit = DefaultObserveFlushAt
+	}
+	if b.pending < limit {
+		return nil, nil
+	}
+	return b.Flush(ctx)
+}
+
+// Pending reports how many queries are buffered and not yet shipped.
+func (b *ObserveBuffer) Pending() int { return b.pending }
+
+// Flush ships everything pending as one batched observe (one entry per
+// table, tables in first-appearance order) and empties the buffer. On
+// error the buffer is left intact so the caller can retry the flush.
+func (b *ObserveBuffer) Flush(ctx context.Context) ([]TableObserveVerdict, error) {
+	if b.pending == 0 {
+		return nil, nil
+	}
+	batches := make([]TableObservation, 0, len(b.order))
+	for _, t := range b.order {
+		batches = append(batches, TableObservation{Table: t, Queries: b.byTable[t]})
+	}
+	verdicts, err := b.Client.ObserveBatch(ctx, batches)
+	if err != nil {
+		return nil, err
+	}
+	b.pending = 0
+	b.order = b.order[:0]
+	b.byTable = make(map[string][]ObservedQry)
+	return verdicts, nil
+}
+
 // Migrate requests a drift-triggered migration plan (and sampled
 // execute-and-verify run) for a registered table.
 func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrationWire, error) {

@@ -45,6 +45,11 @@ type Tracker struct {
 
 	log    []schema.TableQuery
 	advice TableAdvice
+	// pricer supplies the workload the per-batch drift check prices: the
+	// exact log (reference) or a windowed attr-set sketch of the stream.
+	// The log itself is ALWAYS kept — it is window-bounded, and it feeds
+	// fingerprints, durability export, migration mixes, and recomputes.
+	pricer driftPricer
 
 	observed    int64 // queries observed since registration
 	recomputes  int64 // drift-triggered advice recomputations
@@ -80,9 +85,12 @@ const DefaultDriftThreshold = 0.15
 const DefaultDriftWindow = 256
 
 // newTracker seeds a tracker with the workload the advice was computed for.
-func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey string, threshold float64, window int, fp Fingerprint, jn *journal) *Tracker {
+func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey string, threshold float64, window int, fp Fingerprint, jn *journal, pricer driftPricer) *Tracker {
 	if !(threshold > 0) { // negated compare also catches NaN
 		threshold = DefaultDriftThreshold
+	}
+	if pricer == nil {
+		pricer = exactPricer{}
 	}
 	t := &Tracker{
 		table:     tw.Table,
@@ -92,12 +100,14 @@ func newTracker(tw schema.TableWorkload, advice TableAdvice, m cost.Model, mkey 
 		window:    window,
 		log:       append([]schema.TableQuery(nil), tw.Queries...),
 		advice:    advice,
+		pricer:    pricer,
 		regFP:     fp,
 		applied:   advice,
 		appliedFP: fp,
 		jn:        jn,
 	}
 	t.trim()
+	t.pricer.reset(t.table, t.log)
 	return t
 }
 
@@ -143,14 +153,15 @@ type DriftReport struct {
 	Recomputes int64 `json:"recomputes"`
 }
 
-// Observe folds a batch of queries into the log, re-runs the O2P shadow,
-// and recomputes the advice if it drifted past the threshold. On
-// recomputation it returns the fresh advice PAIRED with the log snapshot it
-// was computed from (taken under the same critical section), so the service
-// caches exactly that workload's fingerprint — never a newer advice under
-// an older workload's key. The Fingerprint return is the one the tracker
-// covered BEFORE the recompute re-keyed it: the service evicts that key's
-// replay reports, which were computed for advice the drift just invalidated.
+// Observe folds a batch of queries into the log, re-runs the O2P shadow
+// over the pricer's snapshot, and recomputes the advice if it drifted past
+// the threshold. On recomputation it returns the fresh advice PAIRED with
+// the log snapshot it was computed from (taken under one critical
+// section), so the service caches exactly that workload's fingerprint —
+// never a newer advice under an older workload's key. The Fingerprint in
+// the recomputedAdvice is the one the tracker covered BEFORE the recompute
+// re-keyed it: the service evicts that key's replay reports, which were
+// computed for advice the drift just invalidated.
 //
 // The shadow run and the portfolio recompute execute outside the tracker
 // lock: a drift-triggered search on a big table must not stall concurrent
@@ -164,33 +175,20 @@ type DriftReport struct {
 // on validated input do not realistically fail (errors require an invalid
 // layout, which validated queries cannot produce), so this trade is taken
 // over the extra locking a staged commit would need.
+//
+// Weight semantics are uniform across every observation endpoint: weight 0
+// (the JSON default for an omitted field) is coerced to 1 during
+// validation, so an unweighted observed query counts as one execution —
+// the same convention /advise applies to its workloads. Negative and NaN
+// weights are ErrBadObservation.
 func (t *Tracker) Observe(ctx context.Context, queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
-	// Validate against the CURRENT table inside the lock: the caller may
-	// have built attr bitmasks against a schema snapshot that a concurrent
-	// re-registration has since replaced (setAdvice swaps t.table).
-	// Out-of-range attrs would price garbage; fail cleanly and let the
-	// client re-advise instead.
-	all := t.table.AllAttrs()
-	for _, q := range queries {
-		if q.Attrs.IsEmpty() {
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
-				"%w: query %s references no attributes", ErrBadObservation, q.ID)
-		}
-		if !all.ContainsAll(q.Attrs) {
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
-				"%w: query %s references %v of table %s (re-advise)",
-				ErrStaleSchema, q.ID, q.Attrs, t.table.Name)
-		}
-		if !(q.Weight >= 0) { // negated compare also rejects NaN
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
-				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
-		}
+	valid, err := t.validateLocked(queries)
+	if err != nil {
+		t.mu.Unlock()
+		return DriftReport{}, nil, err
 	}
-	return t.observeLocked(ctx, queries)
+	return t.observeValidatedLocked(ctx, valid)
 }
 
 // ObserveNamed is Observe for queries carrying column NAMES: the names are
@@ -201,22 +199,92 @@ func (t *Tracker) Observe(ctx context.Context, queries []schema.TableQuery) (Dri
 // unknown column almost always means the schema moved under the client.
 func (t *Tracker) ObserveNamed(ctx context.Context, named []ObservedQry) (DriftReport, *recomputedAdvice, error) {
 	t.mu.Lock()
+	queries, err := t.resolveNamedLocked(named)
+	if err != nil {
+		t.mu.Unlock()
+		return DriftReport{}, nil, err
+	}
+	return t.observeValidatedLocked(ctx, queries)
+}
+
+// observeValidatedLocked journals and applies one validated batch, then
+// releases t.mu and runs the drift check. The context bounds the searches'
+// slot waits, never the ingestion: by the time the shadow runs, the batch
+// is journaled and logged, and a deadline expiring mid-search reports an
+// error whose retry re-ingests (at-least-once).
+func (t *Tracker) observeValidatedLocked(ctx context.Context, queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
+	// Journal the batch before it joins the log (empty batches fold to
+	// nothing and are not journaled). A failed append returns the error
+	// with the log untouched; the client's retry re-sends the batch.
+	// Ingestion is at-least-once either way (see Observe), and the fold
+	// ingests the journaled copy exactly as ingestLocked does.
+	if t.jn != nil && len(queries) > 0 {
+		ev := statestore.Event{Type: statestore.EvObserve, Table: t.table.Name, Queries: toQueryRecs(queries)}
+		if err := t.jn.append(ev); err != nil {
+			t.mu.Unlock()
+			return DriftReport{}, nil, err
+		}
+	}
+	t.ingestLocked(queries)
+	in := t.driftInputLocked()
+	t.mu.Unlock()
+
+	// Nothing new observed: skip the shadow search — an empty poll must
+	// not burn a process-wide search slot re-pricing an unchanged stream.
+	if len(queries) == 0 {
+		return in.report(), nil, nil
+	}
+	return t.priceDrift(ctx, in)
+}
+
+// validateLocked checks a numeric observation batch against the CURRENT
+// table and returns a normalized copy (weight 0 coerced to 1). Validation
+// runs inside the lock: the caller may have built attr bitmasks against a
+// schema snapshot that a concurrent re-registration has since replaced
+// (setAdvice swaps t.table). Out-of-range attrs would price garbage; fail
+// cleanly and let the client re-advise instead. Caller holds t.mu.
+func (t *Tracker) validateLocked(queries []schema.TableQuery) ([]schema.TableQuery, error) {
+	all := t.table.AllAttrs()
+	out := make([]schema.TableQuery, 0, len(queries))
+	for _, q := range queries {
+		if q.Attrs.IsEmpty() {
+			return nil, fmt.Errorf(
+				"%w: query %s references no attributes", ErrBadObservation, q.ID)
+		}
+		if !all.ContainsAll(q.Attrs) {
+			return nil, fmt.Errorf(
+				"%w: query %s references %v of table %s (re-advise)",
+				ErrStaleSchema, q.ID, q.Attrs, t.table.Name)
+		}
+		if !(q.Weight >= 0) { // negated compare also rejects NaN
+			return nil, fmt.Errorf(
+				"%w: query %s has invalid weight %v", ErrBadObservation, q.ID, q.Weight)
+		}
+		if q.Weight == 0 {
+			q.Weight = 1
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// resolveNamedLocked resolves named observations against the tracker's
+// current table and normalizes weights exactly like validateLocked.
+// Caller holds t.mu.
+func (t *Tracker) resolveNamedLocked(named []ObservedQry) ([]schema.TableQuery, error) {
 	queries := make([]schema.TableQuery, 0, len(named))
 	for i, oq := range named {
 		if len(oq.Attrs) == 0 {
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"%w: observed query %d references no columns", ErrBadObservation, i+1)
 		}
 		if !(oq.Weight >= 0) { // negated compare also rejects NaN
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"%w: observed query %d has invalid weight %v", ErrBadObservation, i+1, oq.Weight)
 		}
 		attrs, err := resolveAttrs(t.table, oq.Attrs)
 		if err != nil {
-			t.mu.Unlock()
-			return DriftReport{}, nil, fmt.Errorf(
+			return nil, fmt.Errorf(
 				"%w: observed query %d: %v (re-advise)", ErrStaleSchema, i+1, err)
 		}
 		weight := oq.Weight
@@ -229,52 +297,85 @@ func (t *Tracker) ObserveNamed(ctx context.Context, named []ObservedQry) (DriftR
 			Attrs:  attrs,
 		})
 	}
-	return t.observeLocked(ctx, queries)
+	return queries, nil
 }
 
-// observeLocked appends validated queries and runs the drift check. It is
-// entered with t.mu held and releases it before the searches. The context
-// bounds the searches' slot waits, never the ingestion: by the time the
-// shadow runs, the batch is journaled and logged, and a deadline expiring
-// mid-search reports an error whose retry re-ingests (at-least-once).
-func (t *Tracker) observeLocked(ctx context.Context, queries []schema.TableQuery) (DriftReport, *recomputedAdvice, error) {
-	// Journal the batch before it joins the log (empty batches fold to
-	// nothing and are not journaled). A failed append returns the error
-	// with the log untouched; the client's retry re-sends the batch.
-	// Ingestion is at-least-once either way (see Observe), and the fold
-	// ingests the journaled copy exactly as the lines below do.
-	if t.jn != nil && len(queries) > 0 {
-		ev := statestore.Event{Type: statestore.EvObserve, Table: t.table.Name, Queries: toQueryRecs(queries)}
-		if err := t.jn.append(ev); err != nil {
-			t.mu.Unlock()
-			return DriftReport{}, nil, err
-		}
-	}
+// ingestLocked applies one validated, already-journaled batch: O(batch)
+// bookkeeping only, no copies of the log and no searches — this is all the
+// work the tracker lock covers on the ingest hot path. Caller holds t.mu.
+func (t *Tracker) ingestLocked(queries []schema.TableQuery) {
 	t.log = append(t.log, queries...)
 	t.observed += int64(len(queries))
 	t.trim()
-	advised := t.advice
-	model := t.model
-	gen := t.gen
-	obsAt := t.observed
-	tw := schema.TableWorkload{
-		Table:   t.table,
-		Queries: append([]schema.TableQuery(nil), t.log...),
+	t.pricer.ingest(queries)
+}
+
+// driftInput is everything the out-of-lock drift check needs, snapshotted
+// under one tracker critical section.
+type driftInput struct {
+	table      *schema.Table
+	model      cost.Model
+	advised    TableAdvice
+	threshold  float64
+	gen        int64
+	obsAt      int64
+	recomputes int64
+	// pricing is the pricer's snapshot: a copy of the log (exact mode) or
+	// the sketch's aggregated synthetic queries (sketch mode).
+	pricing []schema.TableQuery
+}
+
+func (in driftInput) report() DriftReport {
+	return DriftReport{
+		Table:      in.table.Name,
+		Threshold:  in.threshold,
+		Observed:   in.obsAt,
+		Recomputes: in.recomputes,
 	}
-	rep := DriftReport{
+}
+
+// driftInputLocked snapshots the drift check's inputs. Caller holds t.mu.
+func (t *Tracker) driftInputLocked() driftInput {
+	return driftInput{
+		table:      t.table,
+		model:      t.model,
+		advised:    t.advice,
+		threshold:  t.threshold,
+		gen:        t.gen,
+		obsAt:      t.observed,
+		recomputes: t.recomputes,
+		pricing:    t.pricer.snapshot(t.log),
+	}
+}
+
+// report returns the tracker's counters as an unchanged DriftReport — what
+// an empty observation batch answers without journaling or pricing.
+func (t *Tracker) report() DriftReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return DriftReport{
 		Table:      t.table.Name,
 		Threshold:  t.threshold,
 		Observed:   t.observed,
 		Recomputes: t.recomputes,
 	}
-	t.mu.Unlock()
+}
 
-	// Nothing new observed (or nothing at all): skip the shadow search —
-	// an empty poll must not burn a process-wide search slot re-pricing a
-	// log that hasn't changed.
-	if len(queries) == 0 || len(tw.Queries) == 0 {
+// priceDrift runs the drift check on a snapshot, outside any lock: the O2P
+// shadow prices the snapshot against the advised layout, and past the
+// threshold a portfolio recompute runs over the exact current log. The
+// recompute deliberately re-reads the log rather than using in.pricing: in
+// sketch mode the pricing snapshot is an aggregated approximation good
+// enough to DECIDE drift, but installed advice, its fingerprint, and the
+// cache pairing must be computed from the same exact workload in every
+// mode, so sketch and exact trackers are interchangeable beyond the
+// trigger decision.
+func (t *Tracker) priceDrift(ctx context.Context, in driftInput) (DriftReport, *recomputedAdvice, error) {
+	rep := in.report()
+	if len(in.pricing) == 0 {
 		return rep, nil, nil
 	}
+	ptw := schema.TableWorkload{Table: in.table, Queries: in.pricing}
 
 	// The shadow search draws from the same process-wide budget as every
 	// other kernel entry point, so a burst of /observe traffic cannot
@@ -283,12 +384,12 @@ func (t *Tracker) observeLocked(ctx context.Context, queries []schema.TableQuery
 	if err := algo.AcquireSearchSlotCtx(ctx); err != nil {
 		return rep, nil, err
 	}
-	shadow, err := o2p.New().Partition(tw, model)
+	shadow, err := o2p.New().Partition(ptw, in.model)
 	algo.ReleaseSearchSlot()
 	if err != nil {
 		return rep, nil, err
 	}
-	advisedCost := cost.WorkloadCost(model, tw, advised.Layout.Parts)
+	advisedCost := cost.WorkloadCost(in.model, ptw, in.advised.Layout.Parts)
 	switch {
 	case shadow.Cost > 0:
 		rep.Ratio = (advisedCost - shadow.Cost) / shadow.Cost
@@ -297,12 +398,27 @@ func (t *Tracker) observeLocked(ctx context.Context, queries []schema.TableQuery
 		// is infinitely drifted, not "ratio unknown, stay put".
 		rep.Ratio = math.Inf(1)
 	}
-	if rep.Ratio <= t.threshold {
+	if rep.Ratio <= in.threshold {
 		return rep, nil, nil
 	}
-
 	rep.Drifted = true
-	fresh, err := AdviseTableContext(ctx, tw, model)
+
+	// Snapshot the exact log for the recompute. If a re-registration
+	// landed since the batch was ingested, the advice this check would
+	// compute belongs to a dead generation: report drift, install nothing.
+	t.mu.Lock()
+	if t.gen != in.gen {
+		t.mu.Unlock()
+		return rep, nil, nil
+	}
+	tw := schema.TableWorkload{
+		Table:   t.table,
+		Queries: append([]schema.TableQuery(nil), t.log...),
+	}
+	obsAt := t.observed
+	t.mu.Unlock()
+
+	fresh, err := AdviseTableContext(ctx, tw, in.model)
 	if err != nil {
 		return rep, nil, err
 	}
@@ -318,7 +434,7 @@ func (t *Tracker) observeLocked(ctx context.Context, queries []schema.TableQuery
 	// newest-log advice win regardless of which portfolio search finishes
 	// last. The (fresh, snapshot) pair returned below stays valid either
 	// way: the service caches it under the snapshot's own fingerprint.
-	installed := t.gen == gen && obsAt >= t.advObserved
+	installed := t.gen == in.gen && obsAt >= t.advObserved
 	var rec *recomputedAdvice
 	if installed {
 		snapFP := FingerprintOf(tw)
@@ -408,6 +524,8 @@ func (t *Tracker) setAdvice(tw schema.TableWorkload, advice TableAdvice, fp Fing
 	t.applied = advice
 	t.appliedFP = fp
 	t.trim()
+	// The pricer tracks the registration's stream, not the old table's.
+	t.pricer.reset(t.table, t.log)
 	return nil
 }
 

@@ -41,6 +41,16 @@ func (j *journal) append(ev statestore.Event) error {
 	return nil
 }
 
+// appendBatch journals a whole ingest group as one commit (one write, one
+// fsync). All-or-nothing for the caller: on error none of the events were
+// acknowledged and none may be applied.
+func (j *journal) appendBatch(evs []statestore.Event) error {
+	if err := j.store.AppendBatch(evs); err != nil {
+		return fmt.Errorf("%w: %w", ErrJournal, err)
+	}
+	return nil
+}
+
 // toTableRec flattens a schema for the journal.
 func toTableRec(t *schema.Table) statestore.TableRec {
 	rec := statestore.TableRec{Name: t.Name, Rows: t.Rows,
@@ -160,10 +170,16 @@ func (s *Service) recoverTracker(ts statestore.TableState) (*Tracker, error) {
 		applied:     fromAdviceRec(ts.Applied, table),
 		appliedFP:   Fingerprint(ts.AppliedFP),
 		jn:          s.jn,
+		pricer:      s.cfg.newPricer(),
 	}
 	// The store already trimmed the log to ITS window; re-trim covers a
 	// service configured with a smaller one than the store it opened.
 	t.trim()
+	// Seed the pricer from the recovered log: the sketch's epoch positions
+	// are not journaled, so a sketch tracker restarts with the window's
+	// retained queries in one epoch — the same approximation a fresh
+	// registration gets, converging within one window of traffic.
+	t.pricer.reset(t.table, t.log)
 	return t, nil
 }
 

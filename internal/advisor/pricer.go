@@ -1,0 +1,99 @@
+package advisor
+
+import (
+	"fmt"
+
+	"knives/internal/schema"
+	"knives/internal/sketch"
+)
+
+// Drift-tracking modes for Config.DriftTracking.
+const (
+	// TrackExact prices drift against a copy of the tracker's full
+	// observation log — the reference behavior, O(window) per batch.
+	TrackExact = "exact"
+	// TrackSketch prices drift against a windowed attribute-set frequency
+	// sketch of the stream: O(distinct attr-sets) per batch, memory bounded
+	// by the sketch capacity regardless of stream length. Layout pricing is
+	// linear in query weight and additive over attribute sets, so while the
+	// stream's distinct attr-sets fit the sketch the aggregated workload
+	// prices any fixed layout bit-identically to the log; only the shadow
+	// search's input order and the window's epoch granularity can move the
+	// ratio, and the golden differential test pins the verdicts equivalent
+	// on recorded streams. Drift RECOMPUTES still search over the exact
+	// log, so advice, fingerprints, and cache pairing are mode-independent.
+	TrackSketch = "sketch"
+)
+
+// DefaultSketchCapacity bounds the per-epoch counters of a sketch tracker.
+const DefaultSketchCapacity = sketch.DefaultCapacity
+
+// driftPricer supplies the workload the per-batch drift check prices. All
+// methods are called with the tracker lock held; snapshot's result is
+// handed outside the lock and must not alias mutable tracker state.
+type driftPricer interface {
+	// reset re-seeds the pricer from a registration workload (setAdvice,
+	// recovery, construction).
+	reset(table *schema.Table, queries []schema.TableQuery)
+	// ingest folds one applied observation batch in.
+	ingest(queries []schema.TableQuery)
+	// snapshot returns the queries the drift check prices; log is the
+	// tracker's current (window-trimmed) observation log.
+	snapshot(log []schema.TableQuery) []schema.TableQuery
+}
+
+// exactPricer prices the log itself: the pre-sketch reference behavior.
+type exactPricer struct{}
+
+func (exactPricer) reset(*schema.Table, []schema.TableQuery) {}
+func (exactPricer) ingest([]schema.TableQuery)               {}
+func (exactPricer) snapshot(log []schema.TableQuery) []schema.TableQuery {
+	return append([]schema.TableQuery(nil), log...)
+}
+
+// sketchPricer prices a windowed space-saving summary of the stream keyed
+// by attribute bitmask. Weights are already normalized (> 0) by the
+// tracker's validation before ingest.
+type sketchPricer struct {
+	w *sketch.Window
+}
+
+func newSketchPricer(capacity, window int) *sketchPricer {
+	return &sketchPricer{w: sketch.NewWindow(capacity, window, sketch.DefaultEpochs)}
+}
+
+func (p *sketchPricer) reset(_ *schema.Table, queries []schema.TableQuery) {
+	p.w.Reset()
+	p.ingest(queries)
+}
+
+func (p *sketchPricer) ingest(queries []schema.TableQuery) {
+	for _, q := range queries {
+		p.w.Add(uint64(q.Attrs), q.Weight)
+	}
+}
+
+// snapshot renders the summary as synthetic queries, one per distinct
+// attribute set, sorted by bitmask — deterministic for a given summary
+// state, independent of arrival order.
+func (p *sketchPricer) snapshot(_ []schema.TableQuery) []schema.TableQuery {
+	items := p.w.Items()
+	out := make([]schema.TableQuery, 0, len(items))
+	for _, it := range items {
+		out = append(out, schema.TableQuery{
+			ID:     fmt.Sprintf("sk%x", it.Key),
+			Weight: it.Weight,
+			Attrs:  schema.Set(it.Key),
+		})
+	}
+	return out
+}
+
+// newPricer builds the drift pricer the config asks for. Validation of the
+// mode string happened in OpenService.
+func (cfg Config) newPricer() driftPricer {
+	if cfg.DriftTracking == TrackSketch {
+		return newSketchPricer(cfg.SketchCapacity, cfg.DriftWindow)
+	}
+	return exactPricer{}
+}

@@ -252,10 +252,37 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ReplayResponse{Reports: wires})
 }
 
+// observeStatus maps an observe-path error to the HTTP status the
+// single-table path answers with: 400 for a bad observation (the same
+// payload would fail again), 404 for an unregistered table (advise it
+// first), 409 for a schema the observation no longer matches (the client's
+// to fix by re-advising), 503 for an expired deadline or a failed journal
+// append (nothing was applied; retry), 500 otherwise.
+func observeStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadObservation):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotRegistered):
+		return http.StatusNotFound
+	case errors.Is(err, ErrStaleSchema):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled), errors.Is(err, ErrJournal):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Batches) > 0 {
+		s.observeBatched(w, r, req)
 		return
 	}
 	// Names resolve inside the tracker lock, against the table's current
@@ -265,17 +292,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// rules have one source of truth.
 	rep, err := s.svc.ObserveNamedContext(r.Context(), req.Table, req.Queries)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrBadObservation):
-			writeError(w, http.StatusBadRequest, err)
-		case errors.Is(err, ErrNotRegistered):
-			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, ErrStaleSchema):
-			// The client's to fix (re-advise), not a server fault.
-			writeError(w, http.StatusConflict, err)
-		default:
-			writeServiceError(w, err)
-		}
+		writeError(w, observeStatus(err), err)
 		return
 	}
 	current, fp, err := s.svc.CurrentState(req.Table)
@@ -289,6 +306,41 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, ObserveResponse{Drift: rep, Advice: toWire(current, fp, false)})
+}
+
+// observeBatched answers the batched shape of POST /observe: every entry is
+// ingested (entries fail independently), the response is 200 with one
+// verdict per entry carrying the status the same failure would earn on the
+// single-table path.
+func (s *Server) observeBatched(w http.ResponseWriter, r *http.Request, req ObserveRequest) {
+	if req.Table != "" || len(req.Queries) > 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("advisor: batched observe excludes the single-table fields (table/queries)"))
+		return
+	}
+	outs := s.svc.ObserveBatch(r.Context(), req.Batches)
+	verdicts := make([]TableObserveVerdict, len(outs))
+	for i, o := range outs {
+		v := TableObserveVerdict{Table: o.Table, Status: observeStatus(o.Err)}
+		if o.Err != nil {
+			v.Error = o.Err.Error()
+			verdicts[i] = v
+			continue
+		}
+		current, fp, err := s.svc.CurrentState(o.Table)
+		if err != nil {
+			// The tracker can be evicted between the ingest and this read;
+			// the entry WAS applied, so report the read failure, not a 200.
+			v.Status = observeStatus(err)
+			v.Error = err.Error()
+			verdicts[i] = v
+			continue
+		}
+		v.Drift = o.Rep
+		v.Advice = toWire(current, fp, false)
+		verdicts[i] = v
+	}
+	writeJSON(w, ObserveResponse{Verdicts: verdicts})
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {

@@ -49,6 +49,24 @@ type Config struct {
 	// the replay cache). 0 uses DefaultMigrateCacheCapacity, negative
 	// disables eviction.
 	MigrateCacheCapacity int
+	// DriftTracking selects how trackers price drift per batch: TrackExact
+	// (the default, "" or "exact") copies and prices the full observation
+	// window; TrackSketch ("sketch") prices a windowed attribute-set
+	// frequency sketch — O(distinct attr-sets) per batch with memory
+	// independent of stream length, verdict-equivalent on streams whose
+	// distinct attr-sets fit SketchCapacity. Recomputes, fingerprints, and
+	// caching behave identically in both modes.
+	DriftTracking string
+	// SketchCapacity bounds the sketch tracker's per-epoch counters; 0
+	// uses DefaultSketchCapacity. Ignored under TrackExact.
+	SketchCapacity int
+	// IngestShards is the number of observe-ingest shards; tables hash to
+	// a shard, which serializes and group-commits their batches. 0 uses
+	// DefaultIngestShards.
+	IngestShards int
+	// IngestGroup caps how many pending observation batches one shard
+	// leader drains into a single group commit. 0 uses DefaultIngestGroup.
+	IngestGroup int
 	// Store persists tracker state across restarts. nil (or any store whose
 	// Journaling() is false, like statestore.NewMem()) keeps everything
 	// in-memory only — the pre-durability behavior. A journaling store
@@ -105,6 +123,10 @@ type Service struct {
 	replayEntries  *statestore.FIFO[replayKey, *replayEntry]
 	migrateEntries *statestore.FIFO[migrateKey, *migrateEntry]
 
+	// ing is the sharded observe-ingest stage: every observation batch
+	// funnels through it so concurrent batches share group commits.
+	ing *ingester
+
 	requests    atomic.Int64 // table advice requests answered
 	hits        atomic.Int64 // answered from cache without searching
 	searches    atomic.Int64 // portfolio searches actually run
@@ -113,6 +135,13 @@ type Service struct {
 	replayHits  atomic.Int64 // replays answered from cache without executing
 	migrations  atomic.Int64 // migration requests answered
 	migrateHits atomic.Int64 // migrations answered from cache without executing
+
+	// Batch-accurate observation counters: queries observed (not HTTP
+	// requests), observation batches applied, and group commits — so
+	// ingest and shed rates stay meaningful under batching.
+	observedQueries atomic.Int64
+	observeBatches  atomic.Int64
+	ingestGroups    atomic.Int64
 }
 
 // entry computes one workload's advice at most once. The service mutex only
@@ -169,6 +198,21 @@ func OpenService(cfg Config) (*Service, error) {
 	if cfg.MigrateCacheCapacity == 0 {
 		cfg.MigrateCacheCapacity = DefaultMigrateCacheCapacity
 	}
+	switch cfg.DriftTracking {
+	case "", TrackExact, TrackSketch:
+	default:
+		return nil, fmt.Errorf("advisor: unknown drift tracking mode %q (want %q or %q)",
+			cfg.DriftTracking, TrackExact, TrackSketch)
+	}
+	if cfg.SketchCapacity == 0 {
+		cfg.SketchCapacity = DefaultSketchCapacity
+	}
+	if cfg.IngestShards == 0 {
+		cfg.IngestShards = DefaultIngestShards
+	}
+	if cfg.IngestGroup == 0 {
+		cfg.IngestGroup = DefaultIngestGroup
+	}
 	st := cfg.Store
 	if st == nil {
 		st = statestore.NewMem()
@@ -209,6 +253,7 @@ func OpenService(cfg Config) (*Service, error) {
 		}
 		s.trackers.Insert(ts.Table.Name, t)
 	}
+	s.ing = newIngester(s, cfg.IngestShards, cfg.IngestGroup)
 	return s, nil
 }
 
@@ -247,6 +292,14 @@ type Stats struct {
 	// Shed counts requests refused with 429 by the server's admission gate.
 	// The Service itself never sheds; the serving layer fills this in.
 	Shed int64 `json:"shed"`
+	// ObservedQueries counts QUERIES ingested by observation batches —
+	// not HTTP requests — so ingest rates stay meaningful under batching.
+	// ObserveBatches counts the applied batches, and IngestGroups the
+	// group commits they coalesced into (groups <= batches; the gap is
+	// the amortization the sharded ingest stage bought).
+	ObservedQueries int64 `json:"observed_queries"`
+	ObserveBatches  int64 `json:"observe_batches"`
+	IngestGroups    int64 `json:"ingest_groups"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -276,6 +329,9 @@ func (s *Service) Stats() Stats {
 		Migrations:       migrations,
 		MigrateHits:      migrateHits,
 		CachedMigrations: cachedMigrations,
+		ObservedQueries:  s.observedQueries.Load(),
+		ObserveBatches:   s.observeBatches.Load(),
+		IngestGroups:     s.ingestGroups.Load(),
 	}
 }
 
@@ -434,7 +490,7 @@ func (s *Service) registerTracker(tw schema.TableWorkload, advice TableAdvice, f
 			}
 		}
 		s.trackers.Insert(tw.Table.Name,
-			newTracker(tw, advice, m, mkey, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp, s.jn))
+			newTracker(tw, advice, m, mkey, s.cfg.DriftThreshold, s.cfg.DriftWindow, fp, s.jn, s.cfg.newPricer()))
 		return nil
 	}
 	// The fingerprint check and reset happen under s.mu so they always
@@ -494,13 +550,21 @@ func (s *Service) Observe(table string, queries []schema.TableQuery) (DriftRepor
 
 // ObserveContext is Observe under a request context: the deadline covers
 // the shadow search's slot wait and a drift recompute's portfolio fan-out.
+// Weight 0 is coerced to 1 during the tracker's validation — the same
+// convention /advise applies — so both observation endpoints agree.
+// The batch rides the sharded ingest stage: concurrent batches for tables
+// on the same shard coalesce into one group-committed WAL append.
 func (s *Service) ObserveContext(ctx context.Context, table string, queries []schema.TableQuery) (DriftReport, error) {
 	t, err := s.tracker(table)
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, rec, err := t.Observe(ctx, normalizeQueryWeights(queries))
-	return s.afterObserve(rep, rec, err)
+	// An empty batch changes nothing: answer the tracker's counters
+	// without journaling a no-op event or entering the ingest stage.
+	if len(queries) == 0 {
+		return t.report(), nil
+	}
+	return s.ing.submit(ctx, &ingestJob{tracker: t, table: table, numeric: queries})
 }
 
 // ObserveNamed is Observe for queries carrying column names; resolution
@@ -515,8 +579,48 @@ func (s *Service) ObserveNamedContext(ctx context.Context, table string, named [
 	if err != nil {
 		return DriftReport{}, err
 	}
-	rep, rec, err := t.ObserveNamed(ctx, named)
-	return s.afterObserve(rep, rec, err)
+	if len(named) == 0 {
+		return t.report(), nil
+	}
+	return s.ing.submit(ctx, &ingestJob{tracker: t, table: table, named: named})
+}
+
+// ObserveOutcome is one batch entry's result from ObserveBatch.
+type ObserveOutcome struct {
+	Table string
+	Rep   DriftReport
+	Err   error
+}
+
+// ObserveBatch ingests many tables' observation batches from one request.
+// Entries fail independently — outcome i always answers batches[i].
+// Distinct tables are submitted concurrently, so one request's batches
+// land in the ingest stage together and coalesce into shared group
+// commits; repeated entries for the SAME table are submitted in slice
+// order, preserving that table's apply order.
+func (s *Service) ObserveBatch(ctx context.Context, batches []TableObservation) []ObserveOutcome {
+	out := make([]ObserveOutcome, len(batches))
+	byTable := make(map[string][]int, len(batches))
+	var tables []string // first-appearance order of distinct tables
+	for i, b := range batches {
+		out[i].Table = b.Table
+		if _, ok := byTable[b.Table]; !ok {
+			tables = append(tables, b.Table)
+		}
+		byTable[b.Table] = append(byTable[b.Table], i)
+	}
+	var wg sync.WaitGroup
+	for _, tbl := range tables {
+		wg.Add(1)
+		go func(tbl string, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				out[i].Rep, out[i].Err = s.ObserveNamedContext(ctx, tbl, batches[i].Queries)
+			}
+		}(tbl, byTable[tbl])
+	}
+	wg.Wait()
+	return out
 }
 
 // ErrNotRegistered reports an operation on a table no drift tracker covers

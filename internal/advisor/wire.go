@@ -239,21 +239,58 @@ func toMigrationWire(o *MigrationOutcome, cached bool) MigrationWire {
 	return w
 }
 
-// ObserveRequest is the body of POST /observe: a batch of queries seen on
-// one registered table.
+// ObserveRequest is the body of POST /observe. Two shapes share the
+// endpoint:
+//
+//   - Single-table (legacy): Table + Queries, answered with the top-level
+//     Drift/Advice pair — byte-compatible with every earlier release.
+//   - Batched: Batches carries many tables × many queries in one request,
+//     answered with one TableObserveVerdict per entry, in order. Entries
+//     fail independently: an unknown table or bad query in one batch never
+//     blocks its neighbors. The batched shape excludes the legacy fields.
+//
+// Batches for the same table are applied in slice order; batches for
+// different tables may interleave with other requests.
 type ObserveRequest struct {
+	Table   string        `json:"table,omitempty"`
+	Queries []ObservedQry `json:"queries,omitempty"`
+
+	Batches []TableObservation `json:"batches,omitempty"`
+}
+
+// TableObservation is one table's slice of a batched observe request.
+type TableObservation struct {
 	Table   string        `json:"table"`
 	Queries []ObservedQry `json:"queries"`
 }
 
 // ObservedQry is one observed query: referenced column names and weight.
+// A weight of 0 — the JSON default for an omitted field — is coerced to 1,
+// the same convention /advise applies to workload queries; negative or NaN
+// weights are rejected.
 type ObservedQry struct {
 	Attrs  []string `json:"attrs"`
 	Weight float64  `json:"weight,omitempty"`
 }
 
-// ObserveResponse reports the drift state after an observation batch.
+// ObserveResponse reports the drift state after an observation request.
+// Single-table requests fill Drift/Advice; batched requests fill Verdicts,
+// one per submitted TableObservation, in submission order.
 type ObserveResponse struct {
+	Drift  DriftReport     `json:"drift"`
+	Advice TableAdviceWire `json:"advice"`
+
+	Verdicts []TableObserveVerdict `json:"verdicts,omitempty"`
+}
+
+// TableObserveVerdict is one batch entry's outcome in a batched observe
+// response. Status mirrors the HTTP code the same failure would earn on the
+// single-table path (200, 400, 404, 409, 503, 500); Error is empty on
+// success, in which case Drift/Advice carry the post-ingest state.
+type TableObserveVerdict struct {
+	Table  string          `json:"table"`
+	Status int             `json:"status"`
+	Error  string          `json:"error,omitempty"`
 	Drift  DriftReport     `json:"drift"`
 	Advice TableAdviceWire `json:"advice"`
 }

@@ -57,12 +57,12 @@ func ExtRecovery(_ *Suite) (*Report, error) {
 		n    int64
 		keep int
 	}{
-		{4, 0},       // mid-stream, nothing lands: recover the acked prefix
-		{9, 1 << 16}, // frame fully on disk, ack lost: the in-doubt event
-		{11, 0},      // the first snapshot write: compaction lost, log kept
-		{17, 7},      // torn journal frame: truncated at recovery
+		{4, 0},        // mid-stream, nothing lands: recover the acked prefix
+		{9, 1 << 16},  // frame fully on disk, ack lost: the in-doubt event
+		{11, 0},       // the first snapshot write: compaction lost, log kept
+		{17, 7},       // torn journal frame: truncated at recovery
 		{22, 1 << 16}, // complete snapshot.tmp, never renamed: ignored
-		{47, 3},      // late torn frame, after several snapshot rotations
+		{47, 3},       // late torn frame, after several snapshot rotations
 	}
 	for _, c := range crashes {
 		row, err := runCrashScenario(evs, opts, c.n, c.keep)

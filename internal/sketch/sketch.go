@@ -1,0 +1,220 @@
+// Package sketch provides bounded-memory frequency summaries of
+// attribute-set streams: a weighted space-saving summary (Metwally et al.)
+// over uint64 keys, and a rotating-epoch window over it that approximates a
+// sliding window of the most recent additions.
+//
+// The advisor's drift trackers use these to summarize the observed query
+// stream by attribute-set bitmask: pricing a layout is linear in query
+// weight and additive over attribute sets, so a workload collapsed to
+// (attr-set, total weight) pairs prices bit-identically to the full log for
+// any fixed layout — the sketch only approximates once the stream's
+// distinct attribute sets exceed its capacity, and Exact() reports when it
+// never did. Memory is O(capacity x epochs) regardless of stream length.
+package sketch
+
+import "sort"
+
+// Item is one summarized key: its accumulated weight and the maximum
+// amount by which that weight may overestimate the true total (0 when the
+// summary never evicted, i.e. the stream's distinct keys fit in capacity).
+type Item struct {
+	Key    uint64
+	Weight float64
+	Err    float64
+}
+
+// SpaceSaving is a weighted space-saving summary: at most capacity
+// counters. While the stream's distinct keys fit, every counter is exact;
+// past capacity, a new key takes over the minimum-weight counter and
+// inherits its weight as both estimate floor and error bound — the classic
+// guarantees: estimate >= true weight, estimate - Err <= true weight, and
+// the summed weight of all counters equals the total weight added.
+type SpaceSaving struct {
+	cap      int
+	counters map[uint64]*ssCounter
+	evicted  bool
+}
+
+type ssCounter struct {
+	weight float64
+	err    float64
+}
+
+// DefaultCapacity is a sketch size comfortably above the distinct
+// attribute-set count of every workload the paper evaluates (TPC-H and SSB
+// tables see well under 32 distinct referenced-column sets).
+const DefaultCapacity = 64
+
+// NewSpaceSaving returns an empty summary with the given counter capacity
+// (<= 0 uses DefaultCapacity).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &SpaceSaving{cap: capacity, counters: make(map[uint64]*ssCounter, capacity)}
+}
+
+// Add folds weight into key's counter. Non-positive weights are ignored:
+// the summary is monotone (space-saving has no deletions), and the
+// advisor's observation path normalizes weights to > 0 before ingest.
+func (s *SpaceSaving) Add(key uint64, weight float64) {
+	if !(weight > 0) { // negated compare also drops NaN
+		return
+	}
+	if c, ok := s.counters[key]; ok {
+		c.weight += weight
+		return
+	}
+	if len(s.counters) < s.cap {
+		s.counters[key] = &ssCounter{weight: weight}
+		return
+	}
+	// Full: the new key takes over the minimum-weight counter (ties broken
+	// by smallest key, so the summary is deterministic for any input order
+	// that produced the same counter state).
+	var minKey uint64
+	var minC *ssCounter
+	for k, c := range s.counters {
+		if minC == nil || c.weight < minC.weight || (c.weight == minC.weight && k < minKey) {
+			minKey, minC = k, c
+		}
+	}
+	delete(s.counters, minKey)
+	s.counters[key] = &ssCounter{weight: minC.weight + weight, err: minC.weight}
+	s.evicted = true
+}
+
+// Len returns the number of live counters.
+func (s *SpaceSaving) Len() int { return len(s.counters) }
+
+// Exact reports whether the summary has never evicted a counter — in which
+// case every Item's Weight is the key's true accumulated weight and every
+// Err is zero.
+func (s *SpaceSaving) Exact() bool { return !s.evicted }
+
+// Items returns the live counters sorted by key — a deterministic order
+// independent of insertion history, so downstream pricing is reproducible.
+func (s *SpaceSaving) Items() []Item {
+	out := make([]Item, 0, len(s.counters))
+	for k, c := range s.counters {
+		out = append(out, Item{Key: k, Weight: c.weight, Err: c.err})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Reset empties the summary, keeping its capacity.
+func (s *SpaceSaving) Reset() {
+	s.counters = make(map[uint64]*ssCounter, s.cap)
+	s.evicted = false
+}
+
+// Window approximates a sliding window of the last `window` additions by
+// rotating `epochs` space-saving summaries: additions land in the active
+// epoch; every ceil(window/epochs) additions the oldest epoch is dropped
+// and a fresh one becomes active. Items() merges the retained epochs, so
+// the summary covers between window-span+1 and window of the most recent
+// additions (granularity span = the epoch length). window <= 0 never
+// rotates — one cumulative summary, still memory-bounded by capacity.
+type Window struct {
+	capacity int
+	window   int
+	span     int
+	ring     []*SpaceSaving // ring[0] is the active epoch
+	fill     int            // additions in the active epoch
+	adds     uint64         // lifetime additions
+}
+
+// DefaultEpochs balances window fidelity against merge cost: the effective
+// window slides in steps of window/4.
+const DefaultEpochs = 4
+
+// NewWindow returns a windowed summary. capacity <= 0 uses DefaultCapacity
+// (per epoch); epochs <= 0 uses DefaultEpochs; window <= 0 disables
+// rotation (a cumulative summary).
+func NewWindow(capacity, window, epochs int) *Window {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if epochs <= 0 {
+		epochs = DefaultEpochs
+	}
+	w := &Window{capacity: capacity, window: window}
+	if window <= 0 {
+		w.ring = []*SpaceSaving{NewSpaceSaving(capacity)}
+		return w
+	}
+	w.span = (window + epochs - 1) / epochs
+	if w.span < 1 {
+		w.span = 1
+	}
+	w.ring = make([]*SpaceSaving, epochs)
+	for i := range w.ring {
+		w.ring[i] = NewSpaceSaving(capacity)
+	}
+	return w
+}
+
+// Add folds one addition into the active epoch, rotating first when the
+// epoch is full.
+func (w *Window) Add(key uint64, weight float64) {
+	if w.span > 0 && w.fill >= w.span {
+		// Drop the oldest epoch, recycle its summary as the new active one.
+		last := w.ring[len(w.ring)-1]
+		copy(w.ring[1:], w.ring[:len(w.ring)-1])
+		last.Reset()
+		w.ring[0] = last
+		w.fill = 0
+	}
+	w.ring[0].Add(key, weight)
+	w.fill++
+	w.adds++
+}
+
+// Adds returns the lifetime addition count.
+func (w *Window) Adds() uint64 { return w.adds }
+
+// Exact reports whether every retained epoch is exact.
+func (w *Window) Exact() bool {
+	for _, s := range w.ring {
+		if !s.Exact() {
+			return false
+		}
+	}
+	return true
+}
+
+// Items merges the retained epochs: weights and error bounds sum per key,
+// sorted by key. The result summarizes the window's additions with at most
+// capacity x epochs entries.
+func (w *Window) Items() []Item {
+	if len(w.ring) == 1 {
+		return w.ring[0].Items()
+	}
+	merged := make(map[uint64]*Item)
+	for _, s := range w.ring {
+		for k, c := range s.counters {
+			if it, ok := merged[k]; ok {
+				it.Weight += c.weight
+				it.Err += c.err
+			} else {
+				merged[k] = &Item{Key: k, Weight: c.weight, Err: c.err}
+			}
+		}
+	}
+	out := make([]Item, 0, len(merged))
+	for _, it := range merged {
+		out = append(out, *it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Reset empties every epoch.
+func (w *Window) Reset() {
+	for _, s := range w.ring {
+		s.Reset()
+	}
+	w.fill = 0
+	w.adds = 0
+}

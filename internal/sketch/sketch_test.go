@@ -1,0 +1,272 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exactTally mirrors the stream with an unbounded map for comparison.
+type exactTally map[uint64]float64
+
+func (e exactTally) add(key uint64, w float64) {
+	if w > 0 {
+		e[key] += w
+	}
+}
+
+func TestSpaceSavingExactRegime(t *testing.T) {
+	s := NewSpaceSaving(8)
+	truth := exactTally{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		key := uint64(rng.Intn(8))
+		w := float64(1 + rng.Intn(5))
+		s.Add(key, w)
+		truth.add(key, w)
+	}
+	if !s.Exact() {
+		t.Fatalf("8 distinct keys in capacity 8 must stay exact")
+	}
+	items := s.Items()
+	if len(items) != len(truth) {
+		t.Fatalf("got %d items, want %d", len(items), len(truth))
+	}
+	for _, it := range items {
+		if it.Err != 0 {
+			t.Fatalf("exact regime item %d has nonzero err %g", it.Key, it.Err)
+		}
+		if it.Weight != truth[it.Key] {
+			t.Fatalf("key %d: weight %g, want %g", it.Key, it.Weight, truth[it.Key])
+		}
+	}
+	// Deterministic order: sorted by key.
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Key >= items[i].Key {
+			t.Fatalf("items not sorted by key: %d >= %d", items[i-1].Key, items[i].Key)
+		}
+	}
+}
+
+func TestSpaceSavingOverflowGuarantees(t *testing.T) {
+	const cap = 16
+	s := NewSpaceSaving(cap)
+	truth := exactTally{}
+	rng := rand.New(rand.NewSource(7))
+	var total float64
+	// Zipf-ish: many hits on a few hot keys, a long tail of distinct ones.
+	for i := 0; i < 5000; i++ {
+		var key uint64
+		if rng.Intn(4) > 0 {
+			key = uint64(rng.Intn(8)) // hot set
+		} else {
+			key = uint64(100 + rng.Intn(200)) // tail
+		}
+		w := float64(1 + rng.Intn(3))
+		s.Add(key, w)
+		truth.add(key, w)
+		total += w
+	}
+	if s.Exact() {
+		t.Fatalf("208 distinct keys in capacity %d must have evicted", cap)
+	}
+	if s.Len() != cap {
+		t.Fatalf("Len = %d, want %d", s.Len(), cap)
+	}
+	var sum float64
+	for _, it := range s.Items() {
+		sum += it.Weight
+		// Classic space-saving bounds: true <= estimate, estimate - err <= true.
+		if tw := truth[it.Key]; it.Weight < tw-1e-9 || it.Weight-it.Err > tw+1e-9 {
+			t.Fatalf("key %d: estimate %g err %g outside bounds for true %g",
+				it.Key, it.Weight, it.Err, tw)
+		}
+	}
+	if math.Abs(sum-total) > 1e-6 {
+		t.Fatalf("summed counter weight %g != total added %g", sum, total)
+	}
+	// The hot keys must have survived: their true weight dwarfs the tail.
+	kept := map[uint64]bool{}
+	for _, it := range s.Items() {
+		kept[it.Key] = true
+	}
+	for k := uint64(0); k < 8; k++ {
+		if !kept[k] {
+			t.Fatalf("hot key %d evicted from the summary", k)
+		}
+	}
+}
+
+func TestSpaceSavingIgnoresNonPositive(t *testing.T) {
+	s := NewSpaceSaving(4)
+	s.Add(1, 0)
+	s.Add(2, -3)
+	s.Add(3, math.NaN())
+	if s.Len() != 0 {
+		t.Fatalf("non-positive weights must be ignored, got %d counters", s.Len())
+	}
+	s.Add(1, 2)
+	if got := s.Items(); len(got) != 1 || got[0].Weight != 2 {
+		t.Fatalf("unexpected items %v", got)
+	}
+}
+
+func TestSpaceSavingReset(t *testing.T) {
+	s := NewSpaceSaving(2)
+	s.Add(1, 1)
+	s.Add(2, 1)
+	s.Add(3, 1) // forces eviction
+	if s.Exact() {
+		t.Fatalf("expected eviction")
+	}
+	s.Reset()
+	if s.Len() != 0 || !s.Exact() {
+		t.Fatalf("reset must empty the summary and clear the eviction flag")
+	}
+}
+
+func TestSpaceSavingDefaults(t *testing.T) {
+	s := NewSpaceSaving(0)
+	if s.cap != DefaultCapacity {
+		t.Fatalf("capacity %d, want default %d", s.cap, DefaultCapacity)
+	}
+}
+
+func TestWindowCumulativeWhenUnbounded(t *testing.T) {
+	w := NewWindow(8, 0, 4)
+	for i := 0; i < 100; i++ {
+		w.Add(uint64(i%4), 1)
+	}
+	if w.Adds() != 100 {
+		t.Fatalf("Adds = %d, want 100", w.Adds())
+	}
+	items := w.Items()
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	for _, it := range items {
+		if it.Weight != 25 {
+			t.Fatalf("cumulative window lost weight: key %d = %g, want 25", it.Key, it.Weight)
+		}
+	}
+	if !w.Exact() {
+		t.Fatalf("4 distinct keys in capacity 8 must stay exact")
+	}
+}
+
+func TestWindowRotationDropsOldEpochs(t *testing.T) {
+	// window 8, 4 epochs => span 2: after 8 more additions the first
+	// epoch's keys must be gone.
+	w := NewWindow(16, 8, 4)
+	w.Add(1, 5)
+	w.Add(1, 5)
+	for i := 0; i < 8; i++ {
+		w.Add(2, 1)
+	}
+	items := w.Items()
+	if len(items) != 1 || items[0].Key != 2 {
+		t.Fatalf("old epoch not dropped: items %v", items)
+	}
+	if items[0].Weight != 8 {
+		t.Fatalf("key 2 weight %g, want 8", items[0].Weight)
+	}
+}
+
+func TestWindowCoversRecentAdditions(t *testing.T) {
+	// Everything inside the last window-span+1 additions must be present.
+	w := NewWindow(32, 16, 4) // span 4: retains between 13 and 16 adds
+	truth := exactTally{}
+	for i := 0; i < 200; i++ {
+		key := uint64(i % 7)
+		w.Add(key, 1)
+		truth.add(key, 1)
+	}
+	// The last 13 additions are guaranteed covered; each key appears at
+	// least once in any 13-run of i%7, so every key must be present.
+	items := w.Items()
+	if len(items) != 7 {
+		t.Fatalf("recent keys missing from window: got %d of 7", len(items))
+	}
+	var sum float64
+	for _, it := range items {
+		sum += it.Weight
+	}
+	if sum < 13 || sum > 16 {
+		t.Fatalf("window retains %g additions, want within [13,16]", sum)
+	}
+}
+
+func TestWindowMergesErrAcrossEpochs(t *testing.T) {
+	w := NewWindow(2, 8, 2) // span 4, tiny capacity: force evictions
+	for i := 0; i < 8; i++ {
+		w.Add(uint64(i), 1)
+	}
+	if w.Exact() {
+		t.Fatalf("8 distinct keys through capacity-2 epochs must evict")
+	}
+	items := w.Items()
+	if len(items) == 0 || len(items) > 4 {
+		t.Fatalf("got %d merged items, want 1..4 (2 epochs x capacity 2)", len(items))
+	}
+	var anyErr bool
+	for _, it := range items {
+		if it.Err > 0 {
+			anyErr = true
+		}
+	}
+	if !anyErr {
+		t.Fatalf("evicting epochs must surface nonzero error bounds")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4, 8, 2)
+	for i := 0; i < 10; i++ {
+		w.Add(uint64(i), 1)
+	}
+	w.Reset()
+	if w.Adds() != 0 || len(w.Items()) != 0 || !w.Exact() {
+		t.Fatalf("reset must clear all epochs and counters")
+	}
+	w.Add(9, 3)
+	if got := w.Items(); len(got) != 1 || got[0].Weight != 3 {
+		t.Fatalf("window unusable after reset: %v", got)
+	}
+}
+
+func TestWindowDefaults(t *testing.T) {
+	w := NewWindow(0, 100, 0)
+	if w.capacity != DefaultCapacity {
+		t.Fatalf("capacity %d, want default %d", w.capacity, DefaultCapacity)
+	}
+	if len(w.ring) != DefaultEpochs {
+		t.Fatalf("epochs %d, want default %d", len(w.ring), DefaultEpochs)
+	}
+	if w.span != 25 {
+		t.Fatalf("span %d, want 25", w.span)
+	}
+	// window smaller than epochs: span clamps to 1.
+	if tiny := NewWindow(4, 2, 4); tiny.span != 1 {
+		t.Fatalf("tiny window span %d, want 1", tiny.span)
+	}
+}
+
+func TestWindowDeterministicAcrossRuns(t *testing.T) {
+	build := func() []Item {
+		w := NewWindow(8, 32, 4)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 500; i++ {
+			w.Add(uint64(rng.Intn(20)), float64(1+rng.Intn(4)))
+		}
+		return w.Items()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic item count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic item %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -256,6 +256,24 @@ func (d *Durable) ensureSegmentLocked() error {
 // event is NOT applied and the WAL is repaired before the next attempt —
 // so a caller that journals before mutating can simply retry.
 func (d *Durable) Append(ev Event) error {
+	return d.appendGroup([]Event{ev})
+}
+
+// AppendBatch journals a group of events as one commit: every frame lands
+// in a single write and the group costs at most one fsync, however many
+// events it carries. On any failure none of the events are applied and
+// the WAL is repaired to the last valid boundary before the next attempt,
+// so a prefix of the group never leaks into the folded state — though it
+// may survive on disk and replay after a crash, exactly like a single
+// unacknowledged Append.
+func (d *Durable) AppendBatch(evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	return d.appendGroup(evs)
+}
+
+func (d *Durable) appendGroup(evs []Event) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -264,30 +282,35 @@ func (d *Durable) Append(ev Event) error {
 	if err := d.ensureSegmentLocked(); err != nil {
 		return err
 	}
-	seq := d.lastSeq + 1
-	frame := appendRecord(nil, seq, ev.encode())
+	first := d.lastSeq + 1
+	var frame []byte
+	for i, ev := range evs {
+		frame = appendRecord(frame, first+uint64(i), ev.encode())
+	}
 	if _, err := d.seg.Write(frame); err != nil {
 		// The write may have torn: repair to the last valid boundary
 		// before anything else lands.
 		d.needRepair = true
-		return fmt.Errorf("statestore: append seq %d: %w", seq, err)
+		return fmt.Errorf("statestore: append seq %d..%d: %w", first, first+uint64(len(evs))-1, err)
 	}
-	d.unsynced++
+	d.unsynced += len(evs)
 	if d.opt.SyncEvery <= 1 || d.unsynced >= d.opt.SyncEvery {
 		if err := d.seg.Sync(); err != nil {
-			// Not durable: discard the record (truncate on next attempt)
+			// Not durable: discard the records (truncate on next attempt)
 			// and report failure; the caller retries.
 			d.needRepair = true
-			return fmt.Errorf("statestore: sync seq %d: %w", seq, err)
+			return fmt.Errorf("statestore: sync seq %d..%d: %w", first, first+uint64(len(evs))-1, err)
 		}
 		d.unsynced = 0
 	}
 	d.segEnd += int64(len(frame))
-	d.lastSeq = seq
-	d.st.apply(ev)
-	d.sinceSnap++
+	d.lastSeq = first + uint64(len(evs)) - 1
+	for _, ev := range evs {
+		d.st.apply(ev)
+	}
+	d.sinceSnap += len(evs)
 	if d.opt.SnapshotEvery > 0 && d.sinceSnap >= d.opt.SnapshotEvery {
-		// The record is durable; a failed automatic snapshot must not
+		// The records are durable; a failed automatic snapshot must not
 		// fail the append. It is retried at the next cadence.
 		if err := d.snapshotLocked(); err != nil {
 			d.snapshotErrs++

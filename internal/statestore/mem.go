@@ -10,8 +10,9 @@ type Mem struct{}
 // NewMem returns the in-memory reference store.
 func NewMem() *Mem { return &Mem{} }
 
-func (*Mem) Journaling() bool         { return false }
-func (*Mem) Append(Event) error       { return nil }
-func (*Mem) Recovered() []TableState  { return nil }
-func (*Mem) Snapshot() error          { return nil }
-func (*Mem) Close() error             { return nil }
+func (*Mem) Journaling() bool          { return false }
+func (*Mem) Append(Event) error        { return nil }
+func (*Mem) AppendBatch([]Event) error { return nil }
+func (*Mem) Recovered() []TableState   { return nil }
+func (*Mem) Snapshot() error           { return nil }
+func (*Mem) Close() error              { return nil }

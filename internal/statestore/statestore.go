@@ -53,6 +53,15 @@ type Store interface {
 	Journaling() bool
 	// Append journals one state event durably.
 	Append(ev Event) error
+	// AppendBatch journals many events as one group commit: all frames go
+	// out in a single write and (subject to SyncEvery) a single fsync, so
+	// an ingest group amortizes the durability cost that Append pays per
+	// event. All-or-nothing at the caller's level: on error NONE of the
+	// events count as journaled and none may be applied. A crash between
+	// write and acknowledgment can still persist a prefix of the group —
+	// the same in-doubt window a single unacknowledged Append has, and
+	// legal under the service's at-least-once observe contract.
+	AppendBatch(evs []Event) error
 	// Recovered returns the per-table state replayed at open, in
 	// registration order. Empty for a fresh or in-memory store.
 	Recovered() []TableState
