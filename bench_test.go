@@ -244,6 +244,13 @@ func BenchmarkExtDevice(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "Column", 4), "column-ssd-rank")
 }
 
+func BenchmarkExtOperators(b *testing.B) {
+	rep := runExperiment(b, "ext-operators")
+	b.ReportMetric(cell(b, rep, "hdd", 3), "hillclimb-hdd-executed-seconds")
+	b.ReportMetric(cell(b, rep, "hdd", 5), "hillclimb-hdd-max-abs-delta")
+	b.ReportMetric(cell(b, rep, "mm", 8), "hillclimb-mm-bytes")
+}
+
 // Kernel benches: the parallel, incremental search kernel (see DESIGN.md).
 // The sequential/parallel pair below is the kernel's headline speedup
 // measurement on the paper's biggest exhaustive search — BruteForce over

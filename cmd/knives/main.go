@@ -31,6 +31,18 @@
 //	    Materialize advised layouts through the storage engine, replay the
 //	    workload, and verify measured I/O equals the cost model exactly.
 //
+//	knives exec [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
+//	            [-algorithm advisor|NAME|Row|Column] [-model hdd|ssd|mm]
+//	            [device flags] [-rows N] [-workers N] [-seed N]
+//	            [-select-table NAME -select-column COL [-select-bound N]]
+//	            [-server URL] [-retries N] [-retry-delay D]
+//	    Run every query as a streaming σ/π/⋈ operator pipeline over an
+//	    epoch snapshot of the advised layout, print each plan with its
+//	    per-operator accounting, and verify the measured cost equals the
+//	    cost model bit for bit. -select-* pushes a σ(column < bound) into
+//	    one table's scans. With -server, a running knivesd executes via
+//	    POST /query instead.
+//
 //	knives migrate [-benchmark tpch|ssb] [-sf N] [-table NAME|all]
 //	               [-algorithm advisor|NAME] [-model hdd|ssd|mm] [device flags]
 //	               [-drift F] [-drift-seed N] [-window N]
@@ -96,6 +108,8 @@ func run(args []string) int {
 		err = runObserve(args[1:])
 	case "replay":
 		err = runReplay(args[1:])
+	case "exec":
+		err = runExec(args[1:])
 	case "migrate":
 		err = runMigrate(args[1:])
 	case "experiment":
@@ -158,6 +172,7 @@ commands:
   advise [flags]            recommend the best layout per table
   observe [flags]           stream batched observations to a running knivesd
   replay [flags]            execute advised layouts and verify the cost model
+  exec [flags]              run the workload as σ/π/⋈ operator pipelines (optionally via knivesd)
   migrate [flags]           plan + execute a drift-triggered re-layout and verify it
   experiment <id|all>       regenerate a paper figure or table
 
@@ -490,6 +505,156 @@ func runReplay(args []string) error {
 		if !rep.Exact() {
 			allExact = false
 		}
+	}
+	if !matched {
+		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
+	}
+	if !allExact {
+		return fmt.Errorf("measured execution diverged from the cost model (see deltas above)")
+	}
+	return nil
+}
+
+// runExec runs the workload as streaming σ/π/⋈ operator pipelines over
+// epoch snapshots — locally, or via a running knivesd's POST /query — and
+// verifies the per-operator-decomposed measured cost equals the cost model
+// bit for bit.
+func runExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ContinueOnError)
+	benchName := fs.String("benchmark", "tpch", "benchmark: tpch or ssb")
+	sf := fs.Float64("sf", 10, "scale factor (0 = default 10)")
+	table := fs.String("table", "all", "table name or all")
+	algoName := fs.String("algorithm", "advisor",
+		"layout source: an algorithm name, Row, Column, or advisor (portfolio winner)")
+	modelName := fs.String("model", "hdd", "cost model: hdd, ssd, or mm")
+	devf := devflag.Register(fs)
+	rows := fs.Int64("rows", 0, "max rows materialized per table (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the numbers")
+	seed := fs.Int64("seed", 1, "data generator seed")
+	selTable := fs.String("select-table", "", "table whose pipelines gain a pushed-down selection")
+	selColumn := fs.String("select-column", "", "u32 column (int or date) the selection filters on")
+	selBound := fs.Uint64("select-bound", 0, "keep rows with column value strictly below this bound")
+	server := fs.String("server", "", "execute via a running knivesd at this base URL (POST /query)")
+	retries := fs.Int("retries", 3, "total attempts per request in -server mode (429/503/transport errors retry)")
+	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between -server retries (doubles per attempt)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *rows < 0 {
+		return usageError{err: fmt.Errorf("-rows %d must be non-negative", *rows)}
+	}
+	if (*selTable == "") != (*selColumn == "") {
+		return usageError{err: fmt.Errorf("-select-table and -select-column go together")}
+	}
+	if *selBound > 1<<32-1 {
+		return usageError{err: fmt.Errorf("-select-bound %d exceeds uint32", *selBound)}
+	}
+
+	if *server != "" {
+		if *retries < 1 {
+			return usageError{err: fmt.Errorf("-retries must be >= 1 (got %d)", *retries)}
+		}
+		client := advisor.NewClient(*server)
+		client.Retry = advisor.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryDelay}
+		req := advisor.QueryRequest{
+			Benchmark:   *benchName,
+			ScaleFactor: *sf,
+			MaxRows:     *rows,
+			Seed:        *seed,
+			Workers:     *workers,
+			Model:       &advisor.ModelSpec{Name: *modelName},
+		}
+		if *selTable != "" {
+			req.Selection = &advisor.SelectionSpec{Table: *selTable, Column: *selColumn, Bound: uint32(*selBound)}
+		}
+		resp, err := client.Query(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		allExact := true
+		for _, rep := range resp.Reports {
+			if *table != "all" && rep.Table != *table {
+				continue
+			}
+			from := "executed"
+			if rep.Cached {
+				from = "cached"
+			}
+			fmt.Printf("exec %s: algorithm=%s model=%s rows=%d/%d (%s)\n",
+				rep.Table, rep.Algorithm, rep.Model, rep.RowsReplayed, rep.RowsFull, from)
+			if rep.Selection != "" {
+				fmt.Printf("  selection: %s\n", rep.Selection)
+			}
+			for _, p := range rep.Pipelines {
+				fmt.Printf("  %-8s %s -> %d rows  measured=%.6e predicted=%.6e\n",
+					p.ID, p.Plan, p.ResultRows, p.MeasuredSeconds, p.PredictedSeconds)
+			}
+			fmt.Printf("  total: measured=%.9e predicted=%.9e exact=%v\n",
+				rep.MeasuredSeconds, rep.PredictedSeconds, rep.Exact)
+			fmt.Println()
+			allExact = allExact && rep.Exact
+		}
+		if !allExact {
+			return fmt.Errorf("measured execution diverged from the cost model (see deltas above)")
+		}
+		return nil
+	}
+
+	bench, err := knives.BenchmarkByName(*benchName, *sf)
+	if err != nil {
+		return err
+	}
+	override, err := devf()
+	if err != nil {
+		return usageError{err: err}
+	}
+	model, err := knives.CostModelByName(*modelName, override)
+	if err != nil {
+		return err
+	}
+	cfg := knives.ReplayConfig{
+		Model:   *modelName,
+		Disk:    override,
+		MaxRows: *rows,
+		Workers: *workers,
+		Seed:    *seed,
+	}
+
+	advisorMode := strings.EqualFold(*algoName, "advisor")
+	matched := false
+	allExact := true
+	for _, tw := range bench.TableWorkloads() {
+		if *table != "all" && tw.Table.Name != *table {
+			continue
+		}
+		matched = true
+		var sel *knives.Selection
+		if *selTable == tw.Table.Name && *selTable != "" {
+			attr := tw.Table.AttrIndex(*selColumn)
+			if attr < 0 {
+				return fmt.Errorf("table %s has no column %q", tw.Table.Name, *selColumn)
+			}
+			sel = &knives.Selection{Attr: attr, Bound: uint32(*selBound)}
+		}
+		var rep *knives.OperatorReplay
+		if advisorMode {
+			advice, err := knives.AdviseTable(tw, model)
+			if err != nil {
+				return err
+			}
+			rep, err = knives.ExecuteAdvice(tw, advice, cfg, sel)
+			if err != nil {
+				return err
+			}
+		} else {
+			rep, err = knives.ExecuteAlgorithm(tw, *algoName, cfg, sel)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Print(rep)
+		fmt.Println()
+		allExact = allExact && rep.Exact()
 	}
 	if !matched {
 		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)

@@ -52,7 +52,12 @@
 //	POST /replay   same workload + {max_rows, seed, workers} -> advise,
 //	               materialize through the storage engine, replay, and
 //	               report measured vs predicted cost (fingerprint-cached)
-//	POST /observe  {table, queries} -> drift report + current advice
+//	POST /query    same workload + {max_rows, seed, workers, selection} ->
+//	               advise, materialize, and EXECUTE every query as a σ/π/⋈
+//	               operator pipeline over an epoch snapshot, answering each
+//	               plan with its per-operator cost decomposition (cached)
+//	POST /observe  {table, queries} -> drift report + current advice;
+//	               batched {batches, batch_id} dedups redelivered IDs
 //	POST /migrate  {table, window, max_rows, seed, workers} -> plan the
 //	               applied->advised re-layout against the observed mix,
 //	               execute + verify it on a sampled store, and advance the

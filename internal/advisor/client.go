@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,12 +19,11 @@ import (
 // are retried with exponential backoff; every other status is final. The
 // zero value retries nothing — one attempt, exactly the old behavior.
 //
-// Retries make POST /observe at-least-once: the server journals and applies
-// a batch before answering, so a response lost in transit re-ingests the
-// batch on retry. Observation streams are statistical input to drift
-// tracking, not ledger entries — a duplicated batch nudges window counts,
-// it cannot corrupt state. Advise/replay/migrate are idempotent by cache
-// key, so retries there are free.
+// Retries make POST /observe at-least-once on the wire, but ObserveBatch
+// stamps each logical batch with a client-generated ID the server dedups
+// within a window, so a response lost in transit does NOT re-ingest (and
+// double-count) the applied batch on retry. Advise/replay/query/migrate
+// are idempotent by cache key, so retries there are free.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (first call included);
 	// values < 1 mean 1.
@@ -42,6 +42,43 @@ type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
 	Retry      RetryPolicy
+
+	// jitterNonce seeds this client's backoff jitter so a fleet of shed
+	// clients never shares a retry schedule; 0 means "not yet assigned"
+	// and nonce() fills it lazily. Accessed atomically.
+	jitterNonce uint64
+	// batchSeq numbers this client's observe batches for the dedup IDs.
+	// Accessed atomically.
+	batchSeq uint64
+}
+
+// clientSeq distinguishes clients created in the same process (and the
+// same nanosecond).
+var clientSeq atomic.Uint64
+
+// nonce returns this client's jitter seed, assigning it on first use. The
+// seed mixes a process-wide counter with the wall clock, so clients
+// diverge both within one process and across processes restarted in
+// lockstep; once assigned it never changes, keeping a single client's
+// schedule reproducible.
+func (c *Client) nonce() uint64 {
+	if n := atomic.LoadUint64(&c.jitterNonce); n != 0 {
+		return n
+	}
+	n := splitmix64(clientSeq.Add(1) ^ uint64(time.Now().UnixNano()))
+	if n == 0 {
+		n = 1
+	}
+	atomic.CompareAndSwapUint64(&c.jitterNonce, 0, n)
+	return atomic.LoadUint64(&c.jitterNonce)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewClient returns a client for the given base URL (e.g.
@@ -85,11 +122,17 @@ func retryable(err error) bool {
 }
 
 // backoffDelay computes the sleep before retry number `attempt` (1-based):
-// exponential from BaseDelay, capped at MaxDelay, with deterministic
-// attempt-derived jitter (±25%) so a burst of shed clients does not
-// re-stampede in lockstep. A server Retry-After hint replaces the
-// exponential term but still respects the cap.
-func (p RetryPolicy) backoffDelay(attempt, retryAfterSecs int) time.Duration {
+// exponential from BaseDelay, capped at MaxDelay, with jitter (±25%)
+// hashed from the caller's seed AND the attempt number. A server
+// Retry-After hint replaces the exponential term but still respects the
+// cap.
+//
+// The seed matters: jitter derived from the attempt number alone is
+// IDENTICAL across clients, so a burst of clients shed together computes
+// the same delays and re-stampedes in lockstep — the jitter prevented
+// nothing. Each Client hashes its own nonce into the seed, so a fleet's
+// schedules diverge while any single client's stay reproducible.
+func (p RetryPolicy) backoffDelay(seed uint64, attempt, retryAfterSecs int) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = 100 * time.Millisecond
@@ -105,11 +148,8 @@ func (p RetryPolicy) backoffDelay(attempt, retryAfterSecs int) time.Duration {
 	if d > maxd || d <= 0 {
 		d = maxd
 	}
-	// Deterministic jitter: hash the attempt number into [-25%, +25%].
-	// Determinism keeps tests reproducible; across DIFFERENT clients the
-	// spread comes from their differing request timings, which is enough.
-	h := uint64(attempt) * 0x9e3779b97f4a7c15
-	frac := int64(h%512) - 256 // [-256, 255]
+	h := splitmix64(seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	frac := int64(h%512) - 256 // [-256, 255] -> [-25%, +25%]
 	d += time.Duration(int64(d) * frac / 1024)
 	if d <= 0 {
 		d = base
@@ -148,7 +188,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			retryAfter = he.retryAfter
 		}
 		select {
-		case <-time.After(c.Retry.backoffDelay(attempt, retryAfter)):
+		case <-time.After(c.Retry.backoffDelay(c.nonce(), attempt, retryAfter)):
 		case <-ctx.Done():
 			return lastErr
 		}
@@ -210,6 +250,16 @@ func (c *Client) Replay(ctx context.Context, req ReplayRequest) (ReplayResponse,
 	return resp, err
 }
 
+// Query requests an advise-materialize-EXECUTE chain for a workload: every
+// query runs as a σ/π/⋈ operator pipeline over an epoch snapshot of the
+// advised layout, and the response decomposes each measured cost into
+// per-operator terms.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do(ctx, http.MethodPost, "/query", req, &resp)
+	return resp, err
+}
+
 // Observe streams a batch of observed queries for a registered table.
 // With retries enabled delivery is at-least-once; see RetryPolicy.
 func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveResponse, error) {
@@ -221,14 +271,17 @@ func (c *Client) Observe(ctx context.Context, req ObserveRequest) (ObserveRespon
 // ObserveBatch ships many tables' observation batches in one POST /observe
 // and returns the per-entry verdicts, in submission order. Entries fail
 // independently server-side; the call errors only when the request itself
-// does (transport, decode, non-200). With retries enabled delivery is
-// at-least-once, like Observe.
+// does (transport, decode, non-200). The request carries a client-generated
+// batch ID — every retry of this logical batch re-sends the SAME ID, so the
+// server's dedup window makes redelivery after a lost response idempotent
+// instead of double-counting the applied queries.
 func (c *Client) ObserveBatch(ctx context.Context, batches []TableObservation) ([]TableObserveVerdict, error) {
 	if len(batches) == 0 {
 		return nil, nil
 	}
+	id := fmt.Sprintf("%016x-%x", c.nonce(), atomic.AddUint64(&c.batchSeq, 1))
 	var resp ObserveResponse
-	if err := c.do(ctx, http.MethodPost, "/observe", ObserveRequest{Batches: batches}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/observe", ObserveRequest{BatchID: id, Batches: batches}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Verdicts) != len(batches) {

@@ -1,0 +1,55 @@
+package advisor
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Regression: backoff jitter used to derive from the attempt number alone,
+// so every client in a shed burst computed the SAME delays and the whole
+// fleet re-stampeded in lockstep — the jitter jittered nothing. It must be
+// seeded per client.
+func TestBackoffJitterDivergesAcrossClients(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+	schedule := func(c *Client) []time.Duration {
+		var ds []time.Duration
+		for attempt := 1; attempt <= 5; attempt++ {
+			ds = append(ds, p.backoffDelay(c.nonce(), attempt, 0))
+		}
+		return ds
+	}
+	a, b := NewClient("http://a"), NewClient("http://b")
+	sa, sb := schedule(a), schedule(b)
+	if reflect.DeepEqual(sa, sb) {
+		t.Fatalf("two clients share the identical retry schedule %v; jitter is not per-client", sa)
+	}
+	// A single client's schedule stays reproducible: its nonce is assigned
+	// once and the jitter is a pure hash of (nonce, attempt).
+	if again := schedule(a); !reflect.DeepEqual(again, sa) {
+		t.Errorf("one client's schedule changed between reads: %v then %v", sa, again)
+	}
+	// Jitter stays within ±25% of the nominal exponential step.
+	for i, d := range sa {
+		nominal := p.BaseDelay << i
+		if lo, hi := nominal*3/4, nominal*5/4; d < lo || d > hi {
+			t.Errorf("attempt %d delay %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}
+
+// A server Retry-After hint still anchors the delay (jitter applies around
+// the hint, capped by MaxDelay).
+func TestBackoffRetryAfterHint(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second}
+	c := NewClient("http://a")
+	d := p.backoffDelay(c.nonce(), 1, 2)
+	nominal := 2 * time.Second
+	if lo, hi := nominal*3/4, nominal*5/4; d < lo || d > hi {
+		t.Errorf("hinted delay %v outside [%v, %v]", d, lo, hi)
+	}
+	// The cap still wins over a huge hint.
+	if d := p.backoffDelay(c.nonce(), 1, 3600); d > p.MaxDelay*5/4 {
+		t.Errorf("hinted delay %v ignores MaxDelay %v", d, p.MaxDelay)
+	}
+}

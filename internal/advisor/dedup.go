@@ -1,0 +1,64 @@
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Batched observes retry on lost responses, which makes delivery
+// at-least-once on the wire: the server journals and applies a batch
+// BEFORE answering, so a response lost in transit used to re-ingest the
+// whole batch on retry and double-count every query in it. The dedup
+// window closes that hole: clients stamp each logical batch with an ID,
+// and a replayed ID answers the original ingest's outcomes — including
+// per-entry failures, which a client's whole-request retry could not
+// meaningfully re-drive anyway — without touching the trackers.
+
+// DefaultObserveDedupWindow bounds how many recently applied batch IDs
+// the service remembers. FIFO, like the other caches: a replay older than
+// the window re-ingests (the pre-dedup behavior), so the window only needs
+// to outlive a client's retry schedule, not its lifetime.
+const DefaultObserveDedupWindow = 1024
+
+// maxBatchIDLen caps the accepted batch ID length: the window stores IDs
+// verbatim, so an unbounded ID would be an unbounded memory lever.
+const maxBatchIDLen = 128
+
+// observeDedupEntry holds one applied batch's outcomes. The once collapses
+// a retry racing the original ingest into a single application — the retry
+// blocks until the first attempt's outcomes exist, then answers them.
+type observeDedupEntry struct {
+	once sync.Once
+	outs []ObserveOutcome
+}
+
+// ObserveBatchID is ObserveBatch under a client batch ID: the first call
+// with an ID ingests and records its outcomes in the dedup window; every
+// later call with the same ID answers those outcomes verbatim (dup=true)
+// without re-ingesting. An empty ID skips dedup entirely.
+func (s *Service) ObserveBatchID(ctx context.Context, batchID string, batches []TableObservation) (outs []ObserveOutcome, dup bool, err error) {
+	if batchID == "" {
+		return s.ObserveBatch(ctx, batches), false, nil
+	}
+	if len(batchID) > maxBatchIDLen {
+		return nil, false, fmt.Errorf("%w: batch id longer than %d bytes", ErrBadObservation, maxBatchIDLen)
+	}
+	s.mu.Lock()
+	e, ok := s.observeSeen.Get(batchID)
+	if !ok {
+		e = &observeDedupEntry{}
+		s.observeSeen.Insert(batchID, e)
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		e.outs = s.ObserveBatch(ctx, batches)
+	})
+	if !ran {
+		s.observeDups.Add(1)
+	}
+	return e.outs, !ran, nil
+}

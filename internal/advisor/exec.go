@@ -1,0 +1,120 @@
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/replay"
+	"knives/internal/schema"
+)
+
+// The exec path answers POST /query: advise the workload (from the
+// fingerprint cache), materialize the advised layout, and EXECUTE every
+// query as a σ/π/⋈ operator pipeline over an epoch snapshot — returning
+// per-operator accounting next to the same zero-tolerance predictions the
+// replay path verifies against. Where /replay measures monolithic scans,
+// /query decomposes the identical totals into plan operators, and can push
+// a selection predicate into the scans.
+
+// ExecSelection names a σ pushed into every pipeline of one table's
+// execution: keep rows whose little-endian u32 column (an int or date
+// column) is strictly below Bound.
+type ExecSelection struct {
+	Column string
+	Bound  uint32
+}
+
+// execKey identifies one cached execution: the replay key plus the
+// selection (the predicate changes plans, rows out, and per-query pricing).
+type execKey struct {
+	fp    Fingerprint
+	model string
+	rows  int64
+	seed  int64
+	sel   ExecSelection
+}
+
+// execEntry computes one execution at most once, exactly like the replay
+// cache's entry.
+type execEntry struct {
+	once   sync.Once
+	report *replay.OperatorReplay
+	err    error
+}
+
+// ExecTable answers one table's advise-materialize-execute chain under the
+// service's default pricing model. The bool reports whether the call
+// answered from cache.
+func (s *Service) ExecTable(tw schema.TableWorkload, opt ReplayOptions, sel *ExecSelection) (*replay.OperatorReplay, Fingerprint, bool, error) {
+	return s.execTableAs(context.Background(), tw, opt, sel, s.model, s.modelKey)
+}
+
+// execTableAs is ExecTable under an explicit pricing model (a wire
+// request's resolved ModelSpec, or the service default).
+func (s *Service) execTableAs(ctx context.Context, tw schema.TableWorkload, opt ReplayOptions, sel *ExecSelection, m cost.Model, mkey string) (*replay.OperatorReplay, Fingerprint, bool, error) {
+	if err := opt.validate(); err != nil {
+		return nil, Fingerprint{}, false, err
+	}
+	cfg, err := replayConfigFor(m, opt)
+	if err != nil {
+		return nil, Fingerprint{}, false, err
+	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = replay.DefaultMaxRows
+	}
+	if tw.Table == nil {
+		return nil, Fingerprint{}, false, fmt.Errorf("advisor: nil table")
+	}
+	var opSel *replay.Selection
+	var keySel ExecSelection
+	if sel != nil {
+		attr := tw.Table.AttrIndex(sel.Column)
+		if attr < 0 {
+			return nil, Fingerprint{}, false, fmt.Errorf("%w: table %s has no column %q",
+				ErrBadReplay, tw.Table.Name, sel.Column)
+		}
+		opSel = &replay.Selection{Attr: attr, Bound: sel.Bound}
+		keySel = *sel
+	}
+	tw = normalizeWeights(tw)
+	key := execKey{fp: FingerprintOf(tw), model: mkey, rows: cfg.MaxRows, seed: cfg.Seed, sel: keySel}
+
+	s.mu.Lock()
+	e, ok := s.execEntries.Get(key)
+	if !ok {
+		e = &execEntry{}
+		s.execEntries.Insert(key, e)
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		// Advice may be cached from a request whose *Table pointer differs;
+		// rebind the layout onto THIS workload's table.
+		advice, _, _, err := s.adviseTableAs(ctx, tw, m, mkey)
+		if err != nil {
+			e.err = err
+			return
+		}
+		layout, err := partition.New(tw.Table, advice.Layout.Parts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.report, e.err = replay.Operators(tw, layout, advice.Algorithm, cfg, opSel)
+	})
+	if e.err != nil {
+		// A failed execution must not poison its cache key forever.
+		s.mu.Lock()
+		if cur, ok := s.execEntries.Get(key); ok && cur == e {
+			s.execEntries.Drop(key)
+		}
+		s.mu.Unlock()
+		return nil, key.fp, false, e.err
+	}
+	return e.report, key.fp, !ran, nil
+}

@@ -1,0 +1,145 @@
+package advisor
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// queryRequest is an events-style workload with a date column so the
+// selection path has a u32 attribute to filter on.
+func queryRequest() QueryRequest {
+	return QueryRequest{
+		Tables: []TableSpec{{
+			Name: "events",
+			Rows: 1_000_000,
+			Columns: []ColumnSpec{
+				{Name: "ts", Kind: "date", Size: 4},
+				{Name: "a", Kind: "char", Size: 100},
+				{Name: "b", Kind: "char", Size: 100},
+				{Name: "c", Kind: "char", Size: 100},
+			},
+		}},
+		Queries: []QuerySpec{
+			{ID: "q1", Tables: map[string][]string{"events": {"ts", "a"}}},
+			{ID: "q2", Tables: map[string][]string{"events": {"a", "b"}}},
+			{ID: "q3", Tables: map[string][]string{"events": {"c"}}},
+		},
+		MaxRows: 600,
+		Seed:    3,
+	}
+}
+
+func TestServerQueryEndToEnd(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	resp, err := client.Query(ctx, queryRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Reports) != 1 {
+		t.Fatalf("reports for %d tables, want 1", len(resp.Reports))
+	}
+	rep := resp.Reports[0]
+	if rep.Table != "events" || rep.Cached {
+		t.Errorf("first report: table=%q cached=%v", rep.Table, rep.Cached)
+	}
+	if !rep.Exact || rep.MaxAbsDelta != 0 {
+		t.Errorf("execution not exact: delta=%v", rep.MaxAbsDelta)
+	}
+	if rep.RowsReplayed != 600 {
+		t.Errorf("rows replayed = %d, want 600", rep.RowsReplayed)
+	}
+	if len(rep.Pipelines) != 3 {
+		t.Fatalf("%d pipelines, want 3", len(rep.Pipelines))
+	}
+	for _, p := range rep.Pipelines {
+		if p.Plan == "" || len(p.Operators) == 0 {
+			t.Errorf("pipeline %s missing plan/operators: %+v", p.ID, p)
+		}
+		if p.ResultRows != rep.RowsReplayed {
+			t.Errorf("pipeline %s emitted %d rows without a selection, want %d", p.ID, p.ResultRows, rep.RowsReplayed)
+		}
+		// The leaves decompose the measurement exactly: scan SimTime sums
+		// to the query's measured seconds bit for bit.
+		var leafTime float64
+		for _, op := range p.Operators {
+			if op.Op == "scan" {
+				leafTime += op.SimTime
+			}
+		}
+		if leafTime != p.MeasuredSeconds {
+			t.Errorf("pipeline %s: leaf sim time %v != measured %v", p.ID, leafTime, p.MeasuredSeconds)
+		}
+	}
+
+	again, err := client.Query(ctx, queryRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Reports[0].Cached {
+		t.Error("repeated query not served from the exec cache")
+	}
+	if again.Reports[0].MeasuredSeconds != rep.MeasuredSeconds {
+		t.Error("cached execution differs from first answer")
+	}
+}
+
+func TestServerQuerySelection(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	req := queryRequest()
+	req.Selection = &SelectionSpec{Table: "events", Column: "ts", Bound: 1263} // ~half the date domain
+	resp, err := client.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resp.Reports[0]
+	if !rep.Exact {
+		t.Error("selective execution not exact")
+	}
+	if rep.Selection == "" || !strings.Contains(rep.Selection, "<") {
+		t.Errorf("selection not recorded on the report: %q", rep.Selection)
+	}
+	for _, p := range rep.Pipelines {
+		if p.ResultRows <= 0 || p.ResultRows >= rep.RowsReplayed {
+			t.Errorf("pipeline %s kept %d of %d rows; the σ filtered nothing (or everything)",
+				p.ID, p.ResultRows, rep.RowsReplayed)
+		}
+	}
+	// A different bound is a different execution, not a cache hit.
+	req.Selection.Bound = 400
+	tighter, err := client.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tighter.Reports[0].Cached {
+		t.Error("different selection bound answered from cache")
+	}
+	if tighter.Reports[0].Pipelines[0].ResultRows >= resp.Reports[0].Pipelines[0].ResultRows {
+		t.Error("tighter bound did not keep fewer rows")
+	}
+}
+
+func TestServerQueryErrors(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	req := queryRequest()
+	req.Selection = &SelectionSpec{Table: "events", Column: "nope", Bound: 1}
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Errorf("unknown selection column error = %v", err)
+	}
+
+	req = queryRequest()
+	req.Selection = &SelectionSpec{Table: "orders", Column: "ts", Bound: 1}
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "not in workload") {
+		t.Errorf("unknown selection table error = %v", err)
+	}
+
+	req = queryRequest()
+	req.MaxRows = MaxReplayRows + 1
+	if _, err := client.Query(ctx, req); err == nil {
+		t.Error("oversized max_rows accepted")
+	}
+}

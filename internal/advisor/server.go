@@ -66,6 +66,7 @@ func NewServerWith(svc *Service, cfg ServerConfig) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), cfg: cfg, adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue)}
 	s.mux.HandleFunc("POST /advise", s.harden(s.handleAdvise))
 	s.mux.HandleFunc("POST /replay", s.harden(s.handleReplay))
+	s.mux.HandleFunc("POST /query", s.harden(s.handleQuery))
 	s.mux.HandleFunc("POST /observe", s.harden(s.handleObserve))
 	s.mux.HandleFunc("POST /migrate", s.harden(s.handleMigrate))
 	s.mux.HandleFunc("GET /advice", s.handleAdvice)
@@ -252,6 +253,75 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ReplayResponse{Reports: wires})
 }
 
+// handleQuery answers POST /query: advise, materialize, and EXECUTE the
+// workload as σ/π/⋈ operator pipelines, decomposing each query's measured
+// cost into per-operator terms. A selection, when present, applies only to
+// its named table; other tables execute unfiltered.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	opt := ReplayOptions{MaxRows: req.MaxRows, Seed: req.Seed, Workers: req.Workers}
+	if err := opt.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, mkey, err := s.svc.modelFor(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := req.advise().Materialize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tws := b.TableWorkloads()
+	if sel := req.Selection; sel != nil {
+		if sel.Table == "" || sel.Column == "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: selection needs both table and column", ErrBadReplay))
+			return
+		}
+		found := false
+		for _, tw := range tws {
+			if tw.Table.Name == sel.Table {
+				found = true
+				break
+			}
+		}
+		if !found {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: selection table %q not in workload", ErrBadReplay, sel.Table))
+			return
+		}
+	}
+	wires := make([]TableExecWire, len(tws))
+	err = fanOut(len(tws), func(i int) error {
+		var sel *ExecSelection
+		if req.Selection != nil && req.Selection.Table == tws[i].Table.Name {
+			sel = &ExecSelection{Column: req.Selection.Column, Bound: req.Selection.Bound}
+		}
+		rep, fp, cached, err := s.svc.execTableAs(r.Context(), tws[i], opt, sel, m, mkey)
+		if err != nil {
+			return err
+		}
+		wires[i] = toExecWire(rep, fp, cached)
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrBadReplay) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, QueryResponse{Reports: wires})
+}
+
 // observeStatus maps an observe-path error to the HTTP status the
 // single-table path answers with: 400 for a bad observation (the same
 // payload would fail again), 404 for an unregistered table (advise it
@@ -318,7 +388,11 @@ func (s *Server) observeBatched(w http.ResponseWriter, r *http.Request, req Obse
 			fmt.Errorf("advisor: batched observe excludes the single-table fields (table/queries)"))
 		return
 	}
-	outs := s.svc.ObserveBatch(r.Context(), req.Batches)
+	outs, dup, err := s.svc.ObserveBatchID(r.Context(), req.BatchID, req.Batches)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	verdicts := make([]TableObserveVerdict, len(outs))
 	for i, o := range outs {
 		v := TableObserveVerdict{Table: o.Table, Status: observeStatus(o.Err)}
@@ -340,7 +414,7 @@ func (s *Server) observeBatched(w http.ResponseWriter, r *http.Request, req Obse
 		v.Advice = toWire(current, fp, false)
 		verdicts[i] = v
 	}
-	writeJSON(w, ObserveResponse{Verdicts: verdicts})
+	writeJSON(w, ObserveResponse{Verdicts: verdicts, Duplicate: dup})
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {

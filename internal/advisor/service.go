@@ -121,7 +121,12 @@ type Service struct {
 	entries        *statestore.FIFO[adviceKey, *entry]
 	trackers       *statestore.FIFO[string, *Tracker]
 	replayEntries  *statestore.FIFO[replayKey, *replayEntry]
+	execEntries    *statestore.FIFO[execKey, *execEntry]
 	migrateEntries *statestore.FIFO[migrateKey, *migrateEntry]
+	// observeSeen is the redelivery-dedup window: recently applied batch
+	// IDs and their outcomes, so a client retry after a lost response
+	// answers the original ingest instead of double-counting.
+	observeSeen *statestore.FIFO[string, *observeDedupEntry]
 
 	// ing is the sharded observe-ingest stage: every observation batch
 	// funnels through it so concurrent batches share group commits.
@@ -142,6 +147,7 @@ type Service struct {
 	observedQueries atomic.Int64
 	observeBatches  atomic.Int64
 	ingestGroups    atomic.Int64
+	observeDups     atomic.Int64 // batched observes answered from the dedup window
 }
 
 // entry computes one workload's advice at most once. The service mutex only
@@ -226,7 +232,9 @@ func OpenService(cfg Config) (*Service, error) {
 		entries:        statestore.NewFIFO[adviceKey, *entry](cfg.CacheCapacity),
 		trackers:       statestore.NewFIFO[string, *Tracker](cfg.TrackerCapacity),
 		replayEntries:  statestore.NewFIFO[replayKey, *replayEntry](cfg.ReplayCacheCapacity),
+		execEntries:    statestore.NewFIFO[execKey, *execEntry](cfg.ReplayCacheCapacity),
 		migrateEntries: statestore.NewFIFO[migrateKey, *migrateEntry](cfg.MigrateCacheCapacity),
+		observeSeen:    statestore.NewFIFO[string, *observeDedupEntry](DefaultObserveDedupWindow),
 	}
 	for _, ts := range st.Recovered() {
 		if ts.ModelKey != s.modelKey {
@@ -300,6 +308,9 @@ type Stats struct {
 	ObservedQueries int64 `json:"observed_queries"`
 	ObserveBatches  int64 `json:"observe_batches"`
 	IngestGroups    int64 `json:"ingest_groups"`
+	// DuplicateBatches counts batched observes answered from the dedup
+	// window without re-ingesting (redeliveries of an applied batch ID).
+	DuplicateBatches int64 `json:"duplicate_batches"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -332,6 +343,7 @@ func (s *Service) Stats() Stats {
 		ObservedQueries:  s.observedQueries.Load(),
 		ObserveBatches:   s.observeBatches.Load(),
 		IngestGroups:     s.ingestGroups.Load(),
+		DuplicateBatches: s.observeDups.Load(),
 	}
 }
 
@@ -663,6 +675,11 @@ func (s *Service) afterObserve(rep DriftReport, rec *recomputedAdvice, err error
 		// longer advises. Without this eviction, a post-drift /replay
 		// would serve the stale layout's report from cache.
 		s.replayEntries.DropFunc(func(k replayKey) bool {
+			return k.fp == rec.prevFP || k.fp == snapFP
+		})
+		// Executions cache the advised layout too — same staleness, same
+		// eviction.
+		s.execEntries.DropFunc(func(k execKey) bool {
 			return k.fp == rec.prevFP || k.fp == snapFP
 		})
 		s.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"knives/internal/attrset"
+	"knives/internal/operator"
 	"knives/internal/replay"
 	"knives/internal/schema"
 )
@@ -146,6 +147,85 @@ type ReplayResponse struct {
 	Reports []TableReplayWire `json:"reports"`
 }
 
+// SelectionSpec names a σ pushed into one table's pipelines: keep rows
+// whose u32 column (int or date) is strictly below Bound.
+type SelectionSpec struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Bound  uint32 `json:"bound"`
+}
+
+// QueryRequest is the body of POST /query: the same workload forms as
+// /replay, but the server EXECUTES every query as a streaming σ/π/⋈
+// operator pipeline over an epoch snapshot of the advised layout, and the
+// response decomposes each query's measured cost into per-operator terms —
+// still equal to the cost model's predictions at zero tolerance.
+type QueryRequest struct {
+	Benchmark   string  `json:"benchmark,omitempty"`
+	ScaleFactor float64 `json:"sf,omitempty"`
+
+	Tables  []TableSpec `json:"tables,omitempty"`
+	Queries []QuerySpec `json:"queries,omitempty"`
+
+	// MaxRows, Seed, and Workers behave exactly as on /replay.
+	MaxRows int64 `json:"max_rows,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+
+	// Selection optionally pushes a σ into the named table's pipelines.
+	Selection *SelectionSpec `json:"selection,omitempty"`
+
+	// Model optionally names the device to execute and price on.
+	Model *ModelSpec `json:"model,omitempty"`
+}
+
+// advise returns the request's workload as an AdviseRequest.
+func (r QueryRequest) advise() AdviseRequest {
+	return AdviseRequest{
+		Benchmark:   r.Benchmark,
+		ScaleFactor: r.ScaleFactor,
+		Tables:      r.Tables,
+		Queries:     r.Queries,
+		Model:       r.Model,
+	}
+}
+
+// PipelineWire is one query's executed pipeline on the wire: the measured
+// totals plus the plan and its per-operator decomposition (operator.OpStats
+// serializes itself).
+type PipelineWire struct {
+	QueryReplayWire
+	Plan       string             `json:"plan"`
+	ResultRows int64              `json:"result_rows"`
+	Operators  []operator.OpStats `json:"operators"`
+}
+
+// TableExecWire is one table's executed workload as served over HTTP.
+type TableExecWire struct {
+	Table            string         `json:"table"`
+	Algorithm        string         `json:"algorithm"`
+	Layout           [][]string     `json:"layout"`
+	Model            string         `json:"model"`
+	Selection        string         `json:"selection,omitempty"`
+	RowsReplayed     int64          `json:"rows_replayed"`
+	RowsFull         int64          `json:"rows_full"`
+	MeasuredSeconds  float64        `json:"measured_seconds"`
+	PredictedSeconds float64        `json:"predicted_seconds"`
+	Exact            bool           `json:"exact"`
+	MaxAbsDelta      float64        `json:"max_abs_delta"`
+	BytesRead        int64          `json:"bytes_read"`
+	Seeks            int64          `json:"seeks"`
+	ReconJoins       int64          `json:"recon_joins"`
+	Pipelines        []PipelineWire `json:"pipelines"`
+	Fingerprint      string         `json:"fingerprint"`
+	Cached           bool           `json:"cached"`
+}
+
+// QueryResponse is the body answering POST /query.
+type QueryResponse struct {
+	Reports []TableExecWire `json:"reports"`
+}
+
 // MigrateRequest is the body of POST /migrate: plan (and, when the layouts
 // differ, execute-and-verify on a sampled store) the migration of a
 // registered table from the layout its store holds to the service's
@@ -256,6 +336,14 @@ type ObserveRequest struct {
 	Queries []ObservedQry `json:"queries,omitempty"`
 
 	Batches []TableObservation `json:"batches,omitempty"`
+
+	// BatchID optionally identifies this batched request for redelivery
+	// dedup: a retry re-sending the same ID after a lost response answers
+	// from the server's dedup window instead of re-ingesting (and
+	// double-counting) the applied batches. IDs must be unique per LOGICAL
+	// batch — reusing one for different content answers the first
+	// content's verdicts. Single-table requests ignore it.
+	BatchID string `json:"batch_id,omitempty"`
 }
 
 // TableObservation is one table's slice of a batched observe request.
@@ -281,6 +369,11 @@ type ObserveResponse struct {
 	Advice TableAdviceWire `json:"advice"`
 
 	Verdicts []TableObserveVerdict `json:"verdicts,omitempty"`
+
+	// Duplicate reports that the request's BatchID was already applied and
+	// the verdicts above are the original ingest's, replayed from the
+	// dedup window — nothing was re-ingested.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // TableObserveVerdict is one batch entry's outcome in a batched observe
@@ -434,6 +527,53 @@ func toReplayWire(r *replay.TableReplay, fp Fingerprint, cached bool) TableRepla
 		Seeks:            r.Seeks,
 		ReconJoins:       r.ReconJoins,
 		Queries:          qs,
+		Fingerprint:      fp.String(),
+		Cached:           cached,
+	}
+}
+
+// toExecWire renders an executed-pipeline report for the wire.
+func toExecWire(r *replay.OperatorReplay, fp Fingerprint, cached bool) TableExecWire {
+	t := r.Layout.Table
+	layout := make([][]string, 0, r.Layout.NumParts())
+	for _, part := range r.Layout.Canonical().Parts {
+		layout = append(layout, t.AttrNames(part))
+	}
+	ps := make([]PipelineWire, len(r.Queries))
+	for i, q := range r.Queries {
+		ps[i] = PipelineWire{
+			QueryReplayWire: QueryReplayWire{
+				ID:               q.ID,
+				Weight:           q.Weight,
+				Seeks:            q.Stats.Seeks,
+				BytesRead:        q.Stats.BytesRead,
+				CacheLines:       q.Stats.CacheLines,
+				ReconJoins:       q.Stats.ReconJoins,
+				Checksum:         fmt.Sprintf("%016x", q.Stats.Checksum),
+				MeasuredSeconds:  q.MeasuredSeconds,
+				PredictedSeconds: q.PredictedSeconds,
+			},
+			Plan:       r.Plans[i],
+			ResultRows: r.ResultRows[i],
+			Operators:  r.Ops[i],
+		}
+	}
+	return TableExecWire{
+		Table:            r.Table,
+		Algorithm:        r.Algorithm,
+		Layout:           layout,
+		Model:            r.Model,
+		Selection:        r.Selection,
+		RowsReplayed:     r.RowsReplayed,
+		RowsFull:         r.RowsFull,
+		MeasuredSeconds:  r.MeasuredTotal,
+		PredictedSeconds: r.PredictedTotal,
+		Exact:            r.Exact(),
+		MaxAbsDelta:      r.MaxAbsDelta(),
+		BytesRead:        r.BytesRead,
+		Seeks:            r.Seeks,
+		ReconJoins:       r.ReconJoins,
+		Pipelines:        ps,
 		Fingerprint:      fp.String(),
 		Cached:           cached,
 	}

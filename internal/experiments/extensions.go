@@ -10,7 +10,9 @@ import (
 	"knives/internal/algo/trojan"
 	"knives/internal/cost"
 	"knives/internal/metrics"
+	"knives/internal/replay"
 	"knives/internal/schema"
+	"knives/internal/storage"
 	"knives/internal/workgen"
 )
 
@@ -23,12 +25,17 @@ import (
 // when the selectivity is higher than 1e-4 for uniformly distributed
 // datasets." For each selectivity, HillClimb runs on Lineitem under the
 // selection-aware cost model (predicate on l_shipdate) and the report says
-// whether the layout deviates from the selection-free optimum.
+// whether the layout deviates from the selection-free optimum. The executed
+// columns run that selectivity's advised layout as σ/π/⋈ pipelines with the
+// date predicate pushed into the scans: the σ scales the rows the root
+// emits with the bound, while the common-granularity rule keeps the
+// physical I/O — and therefore the zero-tolerance executed cost — identical
+// across all selectivities.
 func ExtSelectivity(s *Suite) (*Report, error) {
 	r := &Report{
 		ID:     "ext-selectivity",
 		Title:  "Selection-aware layouts: when does the predicate change the layout? (Lineitem)",
-		Header: []string{"selectivity", "layout differs?", "estd. cost (s)", "parts"},
+		Header: []string{"selectivity", "layout differs?", "estd. cost (s)", "parts", "executed (s)", "rows kept"},
 	}
 	li := s.Bench.Table("lineitem")
 	tw := s.Bench.Workload.ForTable(li)
@@ -38,6 +45,8 @@ func ExtSelectivity(s *Suite) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	exact, ioInvariant, ioSeen := true, true, false
+	var bytesRead, seeks int64
 	for _, sel := range []float64{1, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
 		m := cost.NewSelective(s.Disk, selAttr, sel)
 		res, err := hillclimb.New().Partition(tw, m)
@@ -48,10 +57,31 @@ func ExtSelectivity(s *Suite) (*Report, error) {
 		if !res.Partitioning.Equal(base.Partitioning) {
 			differs = "yes"
 		}
+		rep, err := replay.Operators(tw, res.Partitioning, "HillClimb", replay.Config{
+			Disk:    s.Disk,
+			MaxRows: executedSampleRows,
+			Seed:    1,
+		}, &replay.Selection{Attr: selAttr, Bound: uint32(sel * storage.DateDomain)})
+		if err != nil {
+			return nil, err
+		}
+		exact = exact && rep.Exact()
+		// I/O is a function of the layout alone, never the bound: compare
+		// the rows sharing the selection-free optimum's layout.
+		if differs == "no" {
+			if !ioSeen {
+				bytesRead, seeks, ioSeen = rep.BytesRead, rep.Seeks, true
+			} else {
+				ioInvariant = ioInvariant && bytesRead == rep.BytesRead && seeks == rep.Seeks
+			}
+		}
 		r.AddRow(fmt.Sprintf("%.0e", sel), differs, fmtSeconds(res.Cost),
-			fmt.Sprintf("%d", res.Partitioning.NumParts()))
+			fmt.Sprintf("%d", res.Partitioning.NumParts()),
+			fmtSeconds(rep.MeasuredTotal), fmt.Sprintf("%d", rep.ResultRows[0]))
 	}
 	r.AddNote("paper (Section 7): selection predicates affect layouts only beyond ~1e-4 selectivity on uniform data")
+	r.AddNote("executed: σ(l_shipdate<bound) pushed into pipelines over %d-row samples; measured == predicted for every selectivity: %v", int64(executedSampleRows), exact)
+	r.AddNote("common granularity from the execution side: same-layout rows read identical bytes and seeks at every bound (only rows kept changes): %v", ioInvariant)
 	return r, nil
 }
 

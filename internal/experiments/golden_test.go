@@ -38,6 +38,15 @@ func TestGoldenReports(t *testing.T) {
 		{"tab4", nil},
 		{"fig1", maskFig1},
 		{"fig10", maskFig10},
+		// fig4/fig5/tab3 now carry executed columns from operator pipelines
+		// next to the paper's estimates — simulated I/O over deterministic
+		// samples, so golden without masking, verification verdicts included.
+		{"fig4", nil},
+		{"fig5", nil},
+		{"tab3", nil},
+		// ext-operators pins the σ/π/⋈ pipeline against the cost model on
+		// all three devices plus a selectivity sweep — all simulated seconds.
+		{"ext-operators", nil},
 		// ext-replay's times are simulated (virtual-disk) seconds — fully
 		// deterministic, so measured-vs-estimated deltas, exactness
 		// verdicts, and all three rankings are golden without masking.

@@ -28,6 +28,9 @@ type Suite struct {
 	mu     sync.Mutex
 	cache  map[string]*cacheEntry  // default-disk layouts by algorithm name
 	timing map[string]*timingEntry // isolated optimization timings by algorithm name
+
+	opMu    sync.Mutex
+	opCache map[string]*executedEntry // operator replays by layout-family name
 }
 
 // cacheEntry computes one algorithm's default-setting layouts at most once.

@@ -1,0 +1,212 @@
+package operator
+
+import (
+	"fmt"
+	"strings"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/storage"
+)
+
+// Pipeline is a built σ/π/⋈ plan over one pinned epoch, ready to run once.
+// Build shapes it bottom-up from the layout:
+//
+//	π(query)                      ← digest + projection, always the root
+//	└─ ⋈                          ← only when >1 partition is referenced
+//	   ├─ σ(pred) ── scan(part)   ← σ pushed onto the partition holding
+//	   ├─ scan(part)                 the predicate's attribute
+//	   └─ ...                     ← leaves in canonical layout order
+//
+// Leaves share the engine's proportional buffer split (each cursor's
+// allotment is Buff·rowSize/totalRowSize), so the pipeline's physical
+// accounting is the monolithic Scan's, term for term.
+type Pipeline struct {
+	dev    cost.Device
+	query  attrset.Set
+	pred   *Pred
+	root   Operator
+	proj   *Project
+	join   *ReconJoin
+	leaves []*Scan
+	ops    []Operator // bottom-up: leaves (canonical order), σ, ⋈, π
+	ran    bool
+}
+
+// Result is one pipeline execution's outcome: the rows that flowed out of
+// the root, the engine-comparable totals, and the per-operator breakdown.
+type Result struct {
+	// Rows is the number of result rows the root emitted.
+	Rows int64
+	// Checksum digests the projected result, layout-independently.
+	Checksum uint64
+	// Stats aggregates the pipeline in Engine.Scan's terms — for a plan
+	// with no predicate it equals the monolithic scan's ScanStats bit for
+	// bit (same cursors, same summation order).
+	Stats storage.ScanStats
+	// Ops breaks the work down per operator, bottom-up (leaves in
+	// canonical layout order, then σ, ⋈, π as present).
+	Ops []OpStats
+}
+
+// Build plans query (a projection attribute set) with an optional
+// selection predicate over the snapshot, pricing against dev. The device
+// must share the snapshot's block geometry; its buffer and mechanical
+// constants may differ (what-if execution on one materialized store).
+// Attributes outside the table are ignored, like Engine.Scan. A plan
+// referencing no attributes is valid and runs to an empty result for
+// free.
+func Build(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pred) (*Pipeline, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	all := snap.Table().AllAttrs()
+	query = query.Intersect(all)
+	needed := query
+	if pred != nil {
+		if pred.Match == nil {
+			return nil, fmt.Errorf("operator: predicate %q has no Match function", pred.Name)
+		}
+		if !all.Has(pred.Attr) {
+			return nil, fmt.Errorf("operator: predicate attribute %d outside table %s",
+				pred.Attr, snap.Table().Name)
+		}
+		needed = needed.Add(pred.Attr)
+	}
+	p := &Pipeline{dev: dev, query: query, pred: pred}
+	if needed.IsEmpty() {
+		return p, nil
+	}
+
+	// Referenced partitions in canonical order, and the combined row size
+	// that splits the I/O buffer proportionally across their cursors.
+	var refs []int
+	var totalRowSize int64
+	for i := 0; i < snap.NumParts(); i++ {
+		if snap.PartAttrs(i).Overlaps(needed) {
+			refs = append(refs, i)
+			totalRowSize += int64(snap.PartRowSize(i))
+		}
+	}
+
+	children := make([]Operator, 0, len(refs))
+	for _, i := range refs {
+		cur, err := snap.Cursor(i, dev, totalRowSize)
+		if err != nil {
+			return nil, err
+		}
+		leaf := NewScan(cur, dev)
+		p.leaves = append(p.leaves, leaf)
+		p.ops = append(p.ops, leaf)
+		var child Operator = leaf
+		if pred != nil && snap.PartAttrs(i).Has(pred.Attr) {
+			sel := NewSelect(leaf, *pred)
+			p.ops = append(p.ops, sel)
+			child = sel
+		}
+		children = append(children, child)
+	}
+
+	root := children[0]
+	if len(children) > 1 {
+		p.join = NewReconJoin(children)
+		p.ops = append(p.ops, p.join)
+		root = p.join
+	}
+	p.proj = NewProject(root, query)
+	p.ops = append(p.ops, p.proj)
+	p.root = p.proj
+	return p, nil
+}
+
+// Describe renders the plan bottom-up, one operator per line.
+func (p *Pipeline) Describe() string {
+	if p.root == nil {
+		return "(empty)"
+	}
+	names := make([]string, len(p.ops))
+	for i, op := range p.ops {
+		names[i] = op.Name()
+	}
+	return strings.Join(names, " → ")
+}
+
+// Run drives the pipeline to end of stream and aggregates. Equivalent to
+// RunFunc(nil); a pipeline runs once.
+func (p *Pipeline) Run() (Result, error) { return p.RunFunc(nil) }
+
+// RunFunc drives the pipeline to end of stream, invoking fn (when
+// non-nil) on every result row. Rows passed to fn alias operator-owned
+// buffers and are valid only during the call — copy what you keep.
+//
+// The returned Result aggregates the leaves' physical accounting in the
+// engine's own shape: Parts in canonical layout order, simulated time
+// summed per partition with the identical seek+scan expression. That
+// reuse — not a parallel implementation — is why executed totals equal
+// Engine.Scan (and therefore the cost model) bit for bit.
+func (p *Pipeline) RunFunc(fn func(r *Row) error) (Result, error) {
+	if p.ran {
+		return Result{}, fmt.Errorf("operator: pipeline already ran")
+	}
+	p.ran = true
+	var res Result
+	if p.root == nil {
+		return res, nil
+	}
+	for {
+		r, err := p.root.Next()
+		if err != nil {
+			return res, err
+		}
+		if r == nil {
+			break
+		}
+		res.Rows++
+		if fn != nil {
+			if err := fn(r); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Aggregate exactly as Engine.Scan does: per-partition measurements in
+	// canonical order, simulated time charged with the same per-partition
+	// grouping and summation order (floating-point addition is not
+	// associative; any other order could differ in the last bit).
+	st := &res.Stats
+	for _, leaf := range p.leaves {
+		ps := leaf.PartStats()
+		st.Parts = append(st.Parts, ps)
+		st.Seeks += ps.Seeks
+		st.BytesRead += ps.BytesRead
+		st.CacheLines += ps.CacheLines
+		st.SimTime += p.dev.SeekTime*float64(ps.Seeks) +
+			float64(ps.BytesRead)/p.dev.ReadBandwidth
+	}
+	st.Tuples = res.Rows
+	if p.join != nil {
+		st.ReconJoins = p.join.Stats().ReconJoins
+	}
+	st.Checksum = p.proj.Checksum()
+	res.Checksum = st.Checksum
+	for _, op := range p.ops {
+		res.Ops = append(res.Ops, op.Stats())
+	}
+	return res, nil
+}
+
+// MeasuredSeconds converts executed totals to the seconds dev's pricing
+// discipline charges: SimTime (seek+scan, already summed per partition)
+// for block devices, cache-line transfers times miss latency — summed in
+// the same canonical partition order the cache model sums its terms — for
+// cache devices.
+func MeasuredSeconds(dev cost.Device, st storage.ScanStats) float64 {
+	if dev.Pricing == cost.PricingCache {
+		var t float64
+		for _, ps := range st.Parts {
+			t += float64(ps.CacheLines) * dev.MissLatency
+		}
+		return t
+	}
+	return st.SimTime
+}

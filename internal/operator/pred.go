@@ -1,0 +1,72 @@
+// Package operator executes σ/π/⋈ pipelines over pinned storage epochs in
+// the Volcano (pull-based iterator) idiom: every operator is a lazy stream
+// of reconstructed rows that does no work until pulled, and every operator
+// carries its own measurements (rows, seeks, bytes, cache lines,
+// reconstruction joins, simulated seconds) so a pipeline's total cost
+// decomposes exactly into the cost model's per-partition terms.
+//
+// The package exists to close the measured==predicted loop ABOVE the scan:
+// Engine.Scan already proves a full projection scan costs exactly what the
+// model says; this layer proves the same for composed plans — selections
+// pushed into partition scans, tuple-reconstruction joins stitching a
+// query's attributes back together across vertical partitions, projections
+// digesting the result. The accounting survives composition because the
+// leaves reuse the engine's own cursor mechanics (storage.PartCursor) and
+// the final aggregation reuses the engine's summation order; everything
+// above the leaves moves slice headers, never bytes, and charges nothing.
+package operator
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Pred is a selection predicate over one attribute's raw column bytes, as
+// materialized by the storage engine (little-endian u32 for ints and
+// dates, little-endian u64 for decimals, padded ASCII for chars). Match
+// must be pure: the σ operator may evaluate it on every row of a
+// partition stream.
+type Pred struct {
+	// Attr is the attribute index the predicate reads.
+	Attr int
+	// Name describes the predicate in plans and reports, e.g. "a4<1263".
+	Name string
+	// Match decides the row given the attribute's column bytes.
+	Match func(col []byte) bool
+}
+
+// U32Less returns the predicate attr < bound over a little-endian uint32
+// column (the engine's int and date encodings).
+func U32Less(attr int, bound uint32) Pred {
+	return Pred{
+		Attr: attr,
+		Name: fmt.Sprintf("a%d<%d", attr, bound),
+		Match: func(col []byte) bool {
+			return len(col) >= 4 && binary.LittleEndian.Uint32(col) < bound
+		},
+	}
+}
+
+// U32GreaterEq returns the predicate attr >= bound over a little-endian
+// uint32 column.
+func U32GreaterEq(attr int, bound uint32) Pred {
+	return Pred{
+		Attr: attr,
+		Name: fmt.Sprintf("a%d>=%d", attr, bound),
+		Match: func(col []byte) bool {
+			return len(col) >= 4 && binary.LittleEndian.Uint32(col) >= bound
+		},
+	}
+}
+
+// U64Less returns the predicate attr < bound over a little-endian uint64
+// column (the engine's decimal encoding).
+func U64Less(attr int, bound uint64) Pred {
+	return Pred{
+		Attr: attr,
+		Name: fmt.Sprintf("a%d<%d", attr, bound),
+		Match: func(col []byte) bool {
+			return len(col) >= 8 && binary.LittleEndian.Uint64(col) < bound
+		},
+	}
+}

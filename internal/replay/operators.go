@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"knives/internal/algo"
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/operator"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// Selection configures an optional σ pushed down into every query of an
+// operator replay: accept rows whose little-endian u32 column Attr (an int
+// or date column) is strictly below Bound. The selection attribute joins
+// each query's referenced set, exactly as a WHERE clause would, and the
+// common-granularity rule still reads every referenced partition in full —
+// so the PREDICTED cost of a selective query is the full-scan
+// cost of (query attrs ∪ {Attr}), and the measurement must equal it.
+type Selection struct {
+	Attr  int
+	Bound uint32
+}
+
+// pred builds the operator predicate.
+func (s Selection) pred() operator.Pred { return operator.U32Less(s.Attr, s.Bound) }
+
+// OperatorReplay is a TableReplay produced by executing σ/π/⋈ pipelines
+// instead of monolithic scans, with the per-query plans and per-operator
+// breakdowns alongside. Queries, Plans, Ops, and ResultRows are
+// index-aligned.
+type OperatorReplay struct {
+	TableReplay
+	// Plans[i] renders query i's pipeline bottom-up.
+	Plans []string
+	// Ops[i] is query i's per-operator accounting in plan order.
+	Ops [][]operator.OpStats
+	// ResultRows[i] counts rows query i's root emitted (the sampled row
+	// count without a selection; the surviving rows with one).
+	ResultRows []int64
+	// Selection renders the pushed-down predicate; empty without one.
+	Selection string
+}
+
+// Operators materializes the layout (sampled, like Layout) and replays the
+// workload by building and running one operator pipeline per query over an
+// epoch snapshot, instead of calling the engine's monolithic Scan. The
+// pipeline reuses the engine's cursor mechanics and summation order, so
+// every measured quantity still equals the cost model's prediction at zero
+// tolerance — now composed from per-operator terms. With a non-nil sel,
+// every plan gains a σ pushed onto the partition scan holding sel.Attr.
+func Operators(tw schema.TableWorkload, layout partition.Partitioning, algorithm string, cfg Config, sel *Selection) (*OperatorReplay, error) {
+	cfg, model, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if tw.Table == nil {
+		return nil, fmt.Errorf("replay: nil table")
+	}
+	if layout.Table != tw.Table {
+		return nil, fmt.Errorf("replay: layout partitions %v, workload is over %s", layout.Table, tw.Table.Name)
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	// Same heavy-job class as Layout: a materialization plus a pipeline
+	// per query.
+	algo.AcquireSearchSlot()
+	defer algo.ReleaseSearchSlot()
+	start := time.Now()
+
+	e, err := materialize(tw, layout, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	sample := e.Table()
+	parts := e.Layout().Canonical().Parts
+	rep := &OperatorReplay{
+		TableReplay: TableReplay{
+			Table:        sample.Name,
+			Algorithm:    algorithm,
+			Layout:       e.Layout(),
+			RowsFull:     tw.Table.Rows,
+			RowsReplayed: e.Rows(),
+			Model:        model.Name(),
+			Backend:      cfg.Backend,
+			Queries:      make([]QueryReplay, len(tw.Queries)),
+		},
+		Plans:      make([]string, len(tw.Queries)),
+		Ops:        make([][]operator.OpStats, len(tw.Queries)),
+		ResultRows: make([]int64, len(tw.Queries)),
+	}
+	var pred *operator.Pred
+	if sel != nil {
+		p := sel.pred()
+		pred = &p
+		rep.Selection = p.Name
+	}
+
+	// One snapshot pins the epoch; every pipeline opens its own cursors on
+	// it, so the query fan-out below shares pages without sharing state.
+	snap := e.Snapshot()
+	sem := make(chan struct{}, cfg.Workers)
+	errs := make([]error, len(tw.Queries))
+	var wg sync.WaitGroup
+	for i, q := range tw.Queries {
+		wg.Add(1)
+		go func(i int, q schema.TableQuery) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pipe, err := operator.Build(snap, cfg.Disk, q.Attrs, pred)
+			if err != nil {
+				errs[i] = fmt.Errorf("replay: plan %s/%s: %w", sample.Name, q.ID, err)
+				return
+			}
+			res, err := pipe.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("replay: exec %s/%s: %w", sample.Name, q.ID, err)
+				return
+			}
+			measured, err := measuredSeconds(model, res.Stats)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Price what the plan references: the query's attributes plus
+			// the selection attribute σ reads.
+			priced := q.Attrs
+			if sel != nil {
+				priced = priced.Union(attrset.Single(sel.Attr)).Intersect(sample.AllAttrs())
+			}
+			rep.Queries[i] = QueryReplay{
+				ID:               q.ID,
+				Weight:           q.Weight,
+				Stats:            res.Stats,
+				MeasuredSeconds:  measured,
+				PredictedSeconds: model.QueryCost(sample, parts, priced),
+				PredictedBytes:   cost.ScanBytes(sample, parts, priced, cfg.Disk.BlockSize),
+				PredictedSeeks:   predictedSeeks(sample, parts, priced, cfg.Disk),
+			}
+			rep.Plans[i] = pipe.Describe()
+			rep.Ops[i] = res.Ops
+			rep.ResultRows[i] = res.Rows
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Weighted totals, mirroring cost.WorkloadCost's arithmetic.
+	for i := range rep.Queries {
+		q := &rep.Queries[i]
+		mq := q.Weight * q.MeasuredSeconds
+		rep.MeasuredTotal += mq
+		pq := q.Weight * q.PredictedSeconds
+		rep.PredictedTotal += pq
+		rep.BytesRead += q.Stats.BytesRead
+		rep.Seeks += q.Stats.Seeks
+		rep.ReconJoins += q.Stats.ReconJoins
+		rep.Tuples += q.Stats.Tuples
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// String renders the TableReplay summary with each query's plan and
+// per-operator accounting underneath.
+func (r *OperatorReplay) String() string {
+	var b strings.Builder
+	b.WriteString(r.TableReplay.String())
+	if r.Selection != "" {
+		fmt.Fprintf(&b, "  selection: %s\n", r.Selection)
+	}
+	for i, q := range r.Queries {
+		fmt.Fprintf(&b, "  %s: %s -> %d rows\n", q.ID, r.Plans[i], r.ResultRows[i])
+		for _, op := range r.Ops[i] {
+			fmt.Fprintf(&b, "    %-28s in=%-8d out=%-8d seeks=%-6d bytes=%-10d joins=%-6d sim=%.6e\n",
+				op.Name, op.RowsIn, op.RowsOut, op.Seeks, op.BytesRead, op.ReconJoins, op.SimTime)
+		}
+	}
+	return b.String()
+}
+
+// OperatorsAlgorithm searches the full-scale workload with the named
+// algorithm ("Row"/"Column" name the baseline families) and replays the
+// resulting layout through operator pipelines.
+func OperatorsAlgorithm(tw schema.TableWorkload, name string, cfg Config, sel *Selection) (*OperatorReplay, error) {
+	_, model, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	layout, resolved, err := layoutFor(tw, name, model)
+	if err != nil {
+		return nil, err
+	}
+	return Operators(tw, layout, resolved, cfg, sel)
+}

@@ -1,0 +1,238 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"knives/internal/partition"
+	"knives/internal/schema"
+	"knives/internal/storage"
+)
+
+// The operator-pipeline acceptance matrix: for EVERY algorithm (plus the
+// Row/Column baselines) x {TPC-H, SSB} table x {HDD, SSD, MM} device, a
+// workload executed through σ/π/⋈ pipelines over an epoch snapshot must
+// measure EXACTLY what the cost model predicts — the same zero-tolerance
+// bar the monolithic-scan differential suite holds, now composed from
+// per-operator terms. Checksums must again be layout- and
+// model-invariant, which also pins them to the monolithic path: the
+// differential suite records the same values for the same data.
+func TestOperatorsDifferential(t *testing.T) {
+	layouts := []string{"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce", "Row", "Column"}
+	if testing.Short() {
+		layouts = []string{"HillClimb", "Row", "Column"}
+	}
+	benches := []*schema.Benchmark{schema.TPCH(10), schema.SSB(10)}
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			type queryKey struct {
+				table string
+				query int
+			}
+			want := make(map[queryKey]uint64)
+			for _, model := range []string{"hdd", "ssd", "mm"} {
+				for _, name := range layouts {
+					t.Run(fmt.Sprintf("%s/%s", model, name), func(t *testing.T) {
+						cfg := Config{Model: model, MaxRows: 1_500, Seed: 42}
+						for _, tw := range b.TableWorkloads() {
+							rep, err := OperatorsAlgorithm(tw, name, cfg, nil)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !rep.Exact() {
+								t.Errorf("%s: executed != predicted (max |delta| %g)",
+									rep.Table, rep.MaxAbsDelta())
+								for _, q := range rep.Queries {
+									if !q.Exact() {
+										t.Logf("  %s: seeks %d/%d bytes %d/%d seconds %.18g/%.18g",
+											q.ID, q.Stats.Seeks, q.PredictedSeeks,
+											q.Stats.BytesRead, q.PredictedBytes,
+											q.MeasuredSeconds, q.PredictedSeconds)
+									}
+								}
+							}
+							for qi, q := range rep.Queries {
+								// Without a selection the pipeline emits every
+								// sampled row, and the plan must mention a π.
+								if rep.ResultRows[qi] != rep.RowsReplayed {
+									t.Errorf("%s query %s: pipeline emitted %d rows, store holds %d",
+										rep.Table, q.ID, rep.ResultRows[qi], rep.RowsReplayed)
+								}
+								if rep.Plans[qi] == "" {
+									t.Errorf("%s query %s: empty plan description", rep.Table, q.ID)
+								}
+								if len(rep.Ops[qi]) == 0 {
+									t.Errorf("%s query %s: no per-operator stats", rep.Table, q.ID)
+								}
+								k := queryKey{rep.Table, qi}
+								if prev, ok := want[k]; !ok {
+									want[k] = q.Stats.Checksum
+								} else if q.Stats.Checksum != prev {
+									t.Errorf("%s query %s: checksum %x differs from other layouts' %x — operator reconstruction is layout-dependent",
+										rep.Table, q.ID, q.Stats.Checksum, prev)
+								}
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestOperatorsMatchMonolithicReplay pins the two execution paths to each
+// other directly: the same workload, layout, and config replayed through
+// Layout (monolithic scans) and through Operators (σ/π/⋈ pipelines) must
+// produce identical per-query stats, measurements, and predictions.
+func TestOperatorsMatchMonolithicReplay(t *testing.T) {
+	tw := schema.TPCH(10).TableWorkloads()[0]
+	for _, model := range []string{"hdd", "mm"} {
+		cfg := Config{Model: model, MaxRows: 1_000, Seed: 7}
+		scanRep, err := Algorithm(tw, "HillClimb", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opRep, err := OperatorsAlgorithm(tw, "HillClimb", cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scanRep.Queries) != len(opRep.Queries) {
+			t.Fatalf("%s: %d vs %d queries", model, len(scanRep.Queries), len(opRep.Queries))
+		}
+		for i := range scanRep.Queries {
+			s, o := scanRep.Queries[i], opRep.Queries[i]
+			if s.Stats.Checksum != o.Stats.Checksum ||
+				s.Stats.BytesRead != o.Stats.BytesRead ||
+				s.Stats.Seeks != o.Stats.Seeks ||
+				s.Stats.ReconJoins != o.Stats.ReconJoins ||
+				s.Stats.SimTime != o.Stats.SimTime ||
+				s.MeasuredSeconds != o.MeasuredSeconds ||
+				s.PredictedSeconds != o.PredictedSeconds {
+				t.Errorf("%s query %s: scan %+v != operator %+v", model, s.ID, s, o)
+			}
+		}
+		if scanRep.MeasuredTotal != opRep.MeasuredTotal || scanRep.PredictedTotal != opRep.PredictedTotal {
+			t.Errorf("%s totals diverge: scan %.18g/%.18g, operator %.18g/%.18g",
+				model, scanRep.MeasuredTotal, scanRep.PredictedTotal,
+				opRep.MeasuredTotal, opRep.PredictedTotal)
+		}
+	}
+}
+
+// TestOperatorsSelection runs TPC-H lineitem with a σ on l_shipdate pushed
+// into every pipeline. The common-granularity rule means selectivity must
+// not change physical I/O — every referenced partition is still read in
+// full, so measured == predicted holds at zero tolerance — while the rows
+// the root emits shrink roughly in proportion to the date fraction.
+func TestOperatorsSelection(t *testing.T) {
+	const shipdate = 10 // l_shipdate, a 4-byte date column
+	var tw schema.TableWorkload
+	for _, cand := range schema.TPCH(10).TableWorkloads() {
+		if cand.Table.Name == "lineitem" {
+			tw = cand
+		}
+	}
+	if tw.Table == nil {
+		t.Fatal("TPC-H has no lineitem workload")
+	}
+	cfg := Config{Model: "hdd", MaxRows: 2_000, Seed: 42}
+
+	type run struct {
+		frac float64
+		rep  *OperatorReplay
+	}
+	var runs []run
+	for _, frac := range []float64{0.25, 0.75} {
+		sel := &Selection{Attr: shipdate, Bound: uint32(frac * storage.DateDomain)}
+		rep, err := OperatorsAlgorithm(tw, "HillClimb", cfg, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Selection == "" {
+			t.Error("selection not recorded on the replay")
+		}
+		if !rep.Exact() {
+			t.Errorf("frac %.2f: executed != predicted (max |delta| %g) — selectivity leaked into I/O",
+				frac, rep.MaxAbsDelta())
+		}
+		for qi := range rep.Queries {
+			got := rep.ResultRows[qi]
+			if got >= rep.RowsReplayed {
+				t.Errorf("frac %.2f query %d: σ emitted %d of %d rows — no filtering",
+					frac, qi, got, rep.RowsReplayed)
+			}
+			lo := int64(float64(rep.RowsReplayed) * (frac - 0.15))
+			hi := int64(float64(rep.RowsReplayed)*(frac+0.15)) + 1
+			if got < lo || got > hi {
+				t.Errorf("frac %.2f query %d: σ emitted %d rows, expected roughly %d of %d",
+					frac, qi, got, int64(frac*float64(rep.RowsReplayed)), rep.RowsReplayed)
+			}
+		}
+		runs = append(runs, run{frac, rep})
+	}
+	// Physical I/O is selectivity-independent: both fractions read the
+	// same bytes with the same seeks.
+	a, b := runs[0].rep, runs[1].rep
+	if a.BytesRead != b.BytesRead || a.Seeks != b.Seeks {
+		t.Errorf("selectivity changed I/O: %.2f read %d bytes/%d seeks, %.2f read %d/%d",
+			runs[0].frac, a.BytesRead, a.Seeks, runs[1].frac, b.BytesRead, b.Seeks)
+	}
+	if a.ResultRows[0] >= b.ResultRows[0] {
+		t.Errorf("tighter bound emitted more rows: %d (frac %.2f) >= %d (frac %.2f)",
+			a.ResultRows[0], runs[0].frac, b.ResultRows[0], runs[1].frac)
+	}
+}
+
+// The rendered report is what `knives exec` prints and what a human debugs
+// a divergence from, so the plan, the selection, and every operator row
+// must actually appear in it.
+func TestOperatorReplayString(t *testing.T) {
+	var tw schema.TableWorkload
+	for _, cand := range schema.TPCH(10).TableWorkloads() {
+		if cand.Table.Name == "lineitem" {
+			tw = cand
+		}
+	}
+	sel := &Selection{Attr: 10, Bound: uint32(storage.DateDomain / 2)} // σ on l_shipdate
+	rep, err := OperatorsAlgorithm(tw, "Row", Config{Model: "hdd", MaxRows: 500, Seed: 1}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "selection: "+rep.Selection) {
+		t.Errorf("rendered report misses the selection %q:\n%s", rep.Selection, out)
+	}
+	for i, q := range rep.Queries {
+		if !strings.Contains(out, q.ID+": "+rep.Plans[i]) {
+			t.Errorf("rendered report misses plan for %s:\n%s", q.ID, out)
+		}
+		for _, op := range rep.Ops[i] {
+			if !strings.Contains(out, op.Name) {
+				t.Errorf("rendered report misses operator %s of %s", op.Name, q.ID)
+			}
+		}
+	}
+	if n := strings.Count(out, "rows\n"); n != len(rep.Queries) {
+		t.Errorf("rendered %d query result lines, want %d", n, len(rep.Queries))
+	}
+}
+
+func TestOperatorsErrors(t *testing.T) {
+	tw := schema.TPCH(10).TableWorkloads()[0]
+	cfg := Config{Model: "hdd", MaxRows: 500, Seed: 1}
+	if _, err := Operators(schema.TableWorkload{}, partition.Partitioning{}, "x", cfg, nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := OperatorsAlgorithm(tw, "NoSuchAlgorithm", cfg, nil); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := OperatorsAlgorithm(tw, "Row", Config{Model: "nope"}, nil); err == nil {
+		t.Error("unknown model accepted")
+	}
+	// A selection on an attribute outside the table must fail at Build.
+	if _, err := OperatorsAlgorithm(tw, "Row", cfg, &Selection{Attr: 63, Bound: 1}); err == nil {
+		t.Error("selection attribute outside the table accepted")
+	}
+}

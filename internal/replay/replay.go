@@ -259,35 +259,11 @@ func Layout(tw schema.TableWorkload, layout partition.Partitioning, algorithm st
 	defer algo.ReleaseSearchSlot()
 	start := time.Now()
 
-	// Sample: same columns, capped rows. Attribute sets are positional, so
-	// the layout transfers unchanged.
-	sample := tw.Table
-	if sample.Rows > cfg.MaxRows {
-		sample, err = schema.NewTable(tw.Table.Name, cfg.MaxRows, tw.Table.Columns)
-		if err != nil {
-			return nil, fmt.Errorf("replay: sample %s: %w", tw.Table.Name, err)
-		}
-	}
-	sampled, err := partition.New(sample, layout.Parts)
+	e, err := materialize(tw, layout, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
-	}
-
-	var newBackend func(name string, pageSize int) (storage.Backend, error)
-	if cfg.Backend == BackendFile {
-		dir := cfg.Dir
-		newBackend = func(name string, pageSize int) (storage.Backend, error) {
-			return storage.NewFileBackend(dir, name, pageSize)
-		}
-	}
-	e, err := storage.NewEngine(sampled, cfg.Disk, newBackend)
-	if err != nil {
-		return nil, fmt.Errorf("replay: %w", err)
+		return nil, err
 	}
 	defer e.Close()
-	if err := e.LoadParallel(storage.NewGenerator(cfg.Seed), sample.Rows, cfg.Workers); err != nil {
-		return nil, fmt.Errorf("replay: load %s: %w", sample.Name, err)
-	}
 	rep, err := replayLoaded(tw, e, algorithm, cfg, model)
 	if err != nil {
 		return nil, err
@@ -335,6 +311,43 @@ func OnEngine(tw schema.TableWorkload, e *storage.Engine, algorithm string, cfg 
 	rep.RowsFull = tw.Table.Rows
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// materialize samples the table to cfg.MaxRows, builds the engine for the
+// layout on cfg's backend, and loads the deterministic data. The caller
+// owns (and closes) the engine; cfg must already be normalized. Attribute
+// sets are positional, so the full-scale layout transfers to the sampled
+// twin unchanged.
+func materialize(tw schema.TableWorkload, layout partition.Partitioning, cfg Config) (*storage.Engine, error) {
+	sample := tw.Table
+	var err error
+	if sample.Rows > cfg.MaxRows {
+		sample, err = schema.NewTable(tw.Table.Name, cfg.MaxRows, tw.Table.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("replay: sample %s: %w", tw.Table.Name, err)
+		}
+	}
+	sampled, err := partition.New(sample, layout.Parts)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+
+	var newBackend func(name string, pageSize int) (storage.Backend, error)
+	if cfg.Backend == BackendFile {
+		dir := cfg.Dir
+		newBackend = func(name string, pageSize int) (storage.Backend, error) {
+			return storage.NewFileBackend(dir, name, pageSize)
+		}
+	}
+	e, err := storage.NewEngine(sampled, cfg.Disk, newBackend)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if err := e.LoadParallel(storage.NewGenerator(cfg.Seed), sample.Rows, cfg.Workers); err != nil {
+		e.Close()
+		return nil, fmt.Errorf("replay: load %s: %w", sample.Name, err)
+	}
+	return e, nil
 }
 
 // replayLoaded runs the query-parallel scan pool over a loaded engine and

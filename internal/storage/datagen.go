@@ -19,6 +19,13 @@ import (
 	"knives/internal/schema"
 )
 
+// DateDomain is the number of distinct day values date columns draw from
+// (~7 years, like TPC-H's order dates). Generated dates are near-uniform
+// over [0, DateDomain), so a predicate date < frac·DateDomain selects
+// close to fraction frac of the rows — the knob the selectivity
+// experiments turn.
+const DateDomain = 2526
+
 // Generator produces deterministic synthetic rows for a table. Values are
 // derived from a seed, the column name, and the row number, so any
 // partition of any layout regenerates identical bytes — which is what lets
@@ -78,8 +85,7 @@ func (g *Generator) Value(col schema.Column, row int64, dst []byte) {
 		v := uint32(row) + uint32(r%7)
 		binary.LittleEndian.PutUint32(pad4(dst), v)
 	case schema.KindDate:
-		// Dates drawn from a ~7-year domain (2,526 days, like TPC-H).
-		v := uint32(r % 2526)
+		v := uint32(r % DateDomain)
 		binary.LittleEndian.PutUint32(pad4(dst), v)
 	case schema.KindDecimal:
 		// Prices with two decimals from a bounded domain.

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/partition"
+	"knives/internal/schema"
+)
+
+// Snapshot pins one engine epoch for operator-level access: the physical
+// layout, the row count, and per-partition page streams, all immutable
+// after the snapshot is taken. Any number of snapshots (and the cursors
+// opened on them) may be used concurrently with Scans and with a
+// Repartition publishing a new epoch — the pinned epoch's backends stay
+// open (retired, at worst) until the engine is closed, exactly the
+// guarantee concurrent Scans already rely on.
+//
+// Snapshot is the seam the operator layer (internal/operator) builds its
+// σ/π/⋈ pipeline on: where Engine.Scan is one monolithic "read every
+// referenced partition and reconstruct" loop, a snapshot hands out one
+// PartCursor per partition and lets the caller compose the reads — while
+// keeping the accounting (proportional buffer split, seek-per-refill,
+// whole-page reads) in this package, bit-identical to Scan's, so composed
+// pipelines measure exactly what the cost model predicts.
+type Snapshot struct {
+	table     *schema.Table
+	disk      cost.Disk
+	cacheLine int64
+	ep        *engineEpoch
+}
+
+// Snapshot pins the engine's current epoch. Like Scan, it must not be
+// called before Load has completed.
+func (e *Engine) Snapshot() *Snapshot {
+	return &Snapshot{table: e.table, disk: e.disk, cacheLine: e.cacheLine, ep: e.epoch.Load()}
+}
+
+// Table returns the logical table the snapshot stores.
+func (s *Snapshot) Table() *schema.Table { return s.table }
+
+// Rows returns the number of rows the pinned epoch holds.
+func (s *Snapshot) Rows() int64 { return s.ep.rows }
+
+// Layout returns the pinned epoch's partitioning (canonical order).
+func (s *Snapshot) Layout() partition.Partitioning { return s.ep.layout }
+
+// NumParts returns the number of partitions in the pinned layout.
+func (s *Snapshot) NumParts() int { return len(s.ep.parts) }
+
+// PartAttrs returns the column group of partition i (canonical order).
+func (s *Snapshot) PartAttrs(i int) attrset.Set { return s.ep.parts[i].attrs }
+
+// PartRowSize returns the bytes one row of partition i occupies.
+func (s *Snapshot) PartRowSize(i int) int { return s.ep.parts[i].rowSize }
+
+// CacheLine returns the granularity the engine counts cache-line
+// transfers at (initialized from its device, see SetCacheLine).
+func (s *Snapshot) CacheLine() int64 { return s.cacheLine }
+
+// PartCursor streams one partition of a pinned epoch row by row, with the
+// SAME accounting Engine.Scan keeps per referenced partition: whole pages
+// fetched in order, one seek charged per buffer refill under the
+// proportional split, BlockSize bytes per page. After a cursor has been
+// advanced through every row, its Stats equal the PartScanStats the same
+// partition would contribute to a full Scan — which is what lets an
+// operator pipeline's per-leaf totals decompose into the cost model's
+// per-partition terms bit for bit.
+//
+// A cursor keeps all state local; cursors over one snapshot (or many) may
+// be used from different goroutines as long as each individual cursor
+// stays on one.
+type PartCursor struct {
+	p   *enginePart
+	dev cost.Device
+
+	pagesBuff int64
+	page      []byte
+	buffered  int64
+	nextPage  int64
+	inPage    int
+	row       int64 // rows advanced so far (row index of current row + 1)
+	rows      int64 // total rows in the epoch
+	seeks     int64
+	bytes     int64
+	cacheLine int64
+
+	// offsets[a] is the byte offset of attribute a within the partition
+	// row, or -1 when the partition does not hold a.
+	offsets [attrset.MaxAttrs]int
+}
+
+// Cursor opens a cursor over partition i, accounting against dev. The
+// device's block size must equal the page size the epoch was materialized
+// with (its geometry IS the file format); buffer size and the mechanical
+// constants may differ from the engine's own device, which is how one
+// materialized store serves measurements for several what-if devices.
+//
+// totalRowSize is the combined row size of every partition the surrounding
+// query references — the denominator of the cost model's proportional
+// buffer split. A cursor reading a partition on its own passes the
+// partition's own row size.
+func (s *Snapshot) Cursor(i int, dev cost.Device, totalRowSize int64) (*PartCursor, error) {
+	if i < 0 || i >= len(s.ep.parts) {
+		return nil, fmt.Errorf("storage: cursor over partition %d of %d", i, len(s.ep.parts))
+	}
+	p := &s.ep.parts[i]
+	if dev.BlockSize != s.disk.BlockSize {
+		return nil, fmt.Errorf("storage: cursor device block size %d does not match the %d-byte pages the store was materialized with",
+			dev.BlockSize, s.disk.BlockSize)
+	}
+	if totalRowSize < int64(p.rowSize) {
+		return nil, fmt.Errorf("storage: cursor totalRowSize %d below partition row size %d",
+			totalRowSize, p.rowSize)
+	}
+	// The proportional buffer split, exactly as Scan computes it.
+	buff := dev.BufferSize * int64(p.rowSize) / totalRowSize
+	pagesBuff := buff / dev.BlockSize
+	if pagesBuff < 1 {
+		pagesBuff = 1
+	}
+	line := dev.CacheLineSize
+	if line <= 0 {
+		line = s.cacheLine
+	}
+	c := &PartCursor{
+		p: p, dev: dev, pagesBuff: pagesBuff,
+		page: make([]byte, dev.BlockSize),
+		rows: s.ep.rows, cacheLine: line,
+	}
+	for a := range c.offsets {
+		c.offsets[a] = -1
+	}
+	for ci, col := range p.cols {
+		c.offsets[col] = p.offsets[ci]
+	}
+	return c, nil
+}
+
+// Attrs returns the cursor's partition column group.
+func (c *PartCursor) Attrs() attrset.Set { return c.p.attrs }
+
+// RowSize returns the bytes one partition row occupies.
+func (c *PartCursor) RowSize() int { return c.p.rowSize }
+
+// Next advances to the next row, fetching (and accounting) pages as the
+// row walk crosses page boundaries. It returns false at end of stream.
+func (c *PartCursor) Next() (bool, error) {
+	if c.row >= c.rows {
+		return false, nil
+	}
+	if c.nextPage != 0 {
+		c.inPage++
+	}
+	if c.nextPage == 0 || c.inPage == c.p.rowsPerPage {
+		if c.buffered == 0 {
+			c.seeks++
+			c.buffered = c.pagesBuff
+		}
+		if err := c.p.backend.ReadPage(c.nextPage, c.page); err != nil {
+			return false, err
+		}
+		c.bytes += c.dev.BlockSize
+		c.nextPage++
+		c.buffered--
+		c.inPage = 0
+	}
+	c.row++
+	return true, nil
+}
+
+// Col returns the current row's bytes of attribute a, valid until the next
+// Next call. It returns nil when the partition does not hold a.
+func (c *PartCursor) Col(a int) []byte {
+	off := c.offsets[a]
+	if off < 0 {
+		return nil
+	}
+	base := c.inPage * c.p.rowSize
+	return c.page[base+off : base+off+c.p.colSize(a)]
+}
+
+// colSize returns the byte width of attribute a within the partition row.
+func (p *enginePart) colSize(a int) int {
+	for ci, col := range p.cols {
+		if col == a {
+			if ci+1 < len(p.offsets) {
+				return p.offsets[ci+1] - p.offsets[ci]
+			}
+			return p.rowSize - p.offsets[ci]
+		}
+	}
+	return 0
+}
+
+// Stats returns the cursor's accounting so far. Cache lines are counted
+// over the logical stream the row walk has entered — StreamLines of the
+// rows advanced — matching Scan's per-partition accounting once the
+// cursor has been driven through every row.
+func (c *PartCursor) Stats() PartScanStats {
+	return PartScanStats{
+		Attrs:      c.p.attrs,
+		RowSize:    c.p.rowSize,
+		BytesRead:  c.bytes,
+		Seeks:      c.seeks,
+		CacheLines: cost.StreamLines(c.row, int64(c.p.rowSize), c.cacheLine),
+	}
+}

@@ -18,6 +18,13 @@ type (
 	TableReplay = replay.TableReplay
 	// QueryReplay is one query's measured execution next to its prediction.
 	QueryReplay = replay.QueryReplay
+	// OperatorReplay is a TableReplay produced by executing every query as
+	// a streaming σ/π/⋈ operator pipeline over an epoch snapshot, with
+	// per-query plans and per-operator accounting alongside.
+	OperatorReplay = replay.OperatorReplay
+	// Selection pushes σ(attr < bound) into every pipeline of an
+	// operator-backed execution.
+	Selection = replay.Selection
 )
 
 // ReplayLayout materializes the table under the given layout and replays
@@ -46,4 +53,30 @@ func ReplayAdvice(tw TableWorkload, advice TableAdvice, cfg ReplayConfig) (*Tabl
 		return nil, err
 	}
 	return replay.Layout(tw, layout, advice.Algorithm, cfg)
+}
+
+// ExecuteLayout materializes the table under the given layout and EXECUTES
+// the workload as σ/π/⋈ operator pipelines over an epoch snapshot — the
+// measured totals still equal the cost model bit for bit, now decomposed
+// into per-operator terms. A non-nil sel pushes its predicate into every
+// query's scans.
+func ExecuteLayout(tw TableWorkload, layout Partitioning, algorithm string, cfg ReplayConfig, sel *Selection) (*OperatorReplay, error) {
+	return replay.Operators(tw, layout, algorithm, cfg, sel)
+}
+
+// ExecuteAlgorithm searches the full-scale workload with the named
+// algorithm ("Row"/"Column" name the baseline families) and executes the
+// resulting layout through operator pipelines.
+func ExecuteAlgorithm(tw TableWorkload, name string, cfg ReplayConfig, sel *Selection) (*OperatorReplay, error) {
+	return replay.OperatorsAlgorithm(tw, name, cfg, sel)
+}
+
+// ExecuteAdvice executes an advisor recommendation through operator
+// pipelines: the advised layout is rebound onto the workload's table.
+func ExecuteAdvice(tw TableWorkload, advice TableAdvice, cfg ReplayConfig, sel *Selection) (*OperatorReplay, error) {
+	layout, err := partition.New(tw.Table, advice.Layout.Parts)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Operators(tw, layout, advice.Algorithm, cfg, sel)
 }
