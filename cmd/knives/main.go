@@ -63,6 +63,10 @@
 // hardware parameters of that preset: -buffer MB, -block KB, -seek-ms,
 // -read-mbps, -write-mbps, -cache-line BYTES, -miss-ns (0 = keep the
 // preset's value).
+//
+// advise, observe, replay, exec, and migrate accept -verbose: a per-step
+// timing breakdown (benchmark build, per-table searches, replays, server
+// round-trips) printed to stderr, leaving stdout parseable.
 package main
 
 import (
@@ -161,6 +165,35 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 		return usageError{err: err, reported: true}
 	}
 	return nil
+}
+
+// vtimer prints a per-step timing breakdown to stderr under -verbose: each
+// step reports the time since the previous one, total the whole command.
+// Timings go to stderr so piped stdout output stays parseable.
+type vtimer struct {
+	on          bool
+	start, last time.Time
+}
+
+func newVTimer(on bool) *vtimer {
+	now := time.Now()
+	return &vtimer{on: on, start: now, last: now}
+}
+
+func (v *vtimer) step(name string) {
+	if !v.on {
+		return
+	}
+	now := time.Now()
+	fmt.Fprintf(os.Stderr, "timing: %-32s %v\n", name, now.Sub(v.last).Round(10*time.Microsecond))
+	v.last = now
+}
+
+func (v *vtimer) total() {
+	if !v.on {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "timing: %-32s %v\n", "total", time.Since(v.start).Round(10*time.Microsecond))
 }
 
 func usage() {
@@ -263,23 +296,30 @@ func runAdvise(args []string) error {
 	server := fs.String("server", "", "ask a running knivesd at this base URL instead of searching locally")
 	retries := fs.Int("retries", 3, "total attempts per request in -server mode (429/503/transport errors retry)")
 	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between -server retries (doubles per attempt)")
+	verbose := fs.Bool("verbose", false, "print a per-step timing breakdown to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	vt := newVTimer(*verbose)
+	defer vt.total()
 	if *server != "" {
 		if *retries < 1 {
 			return usageError{err: fmt.Errorf("-retries must be >= 1 (got %d)", *retries)}
 		}
-		return adviseViaServer(*server, *benchName, *sf, *retries, *retryDelay)
+		err := adviseViaServer(*server, *benchName, *sf, *retries, *retryDelay)
+		vt.step("advise via server")
+		return err
 	}
 	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
 		return err
 	}
+	vt.step("build benchmark")
 	advice, err := knives.Advise(bench, knives.NewHDDModel(knives.DefaultDisk()))
 	if err != nil {
 		return err
 	}
+	vt.step("portfolio search")
 	for _, a := range advice {
 		fmt.Printf("%-10s use %-9s cost=%10.3f  vs row %+.1f%%  vs column %+.1f%%\n",
 			a.Table.Name, a.Algorithm, a.Cost,
@@ -327,6 +367,7 @@ func runObserve(args []string) error {
 	batch := fs.Int("batch", advisor.DefaultObserveFlushAt, "queries per batched /observe request")
 	retries := fs.Int("retries", 3, "total attempts per request (429/503/transport errors retry)")
 	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between retries (doubles per attempt)")
+	verbose := fs.Bool("verbose", false, "print a per-step timing breakdown to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -343,6 +384,9 @@ func runObserve(args []string) error {
 	if err != nil {
 		return err
 	}
+	vt := newVTimer(*verbose)
+	defer vt.total()
+	vt.step("build benchmark")
 	client := advisor.NewClient(*server)
 	client.Retry = advisor.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryDelay}
 	buf := &advisor.ObserveBuffer{Client: client, FlushAt: *batch}
@@ -385,6 +429,7 @@ func runObserve(args []string) error {
 	if !matched {
 		return fmt.Errorf("benchmark %s has no table %q", bench.Name, *table)
 	}
+	vt.step("stream observations")
 	vs, err := buf.Flush(ctx)
 	if err != nil {
 		return err
@@ -392,6 +437,7 @@ func runObserve(args []string) error {
 	if err := collect(vs); err != nil {
 		return err
 	}
+	vt.step("final flush")
 	elapsed := time.Since(start)
 
 	names := make([]string, 0, len(last))
@@ -434,9 +480,12 @@ func runReplay(args []string) error {
 	seed := fs.Int64("seed", 1, "data generator seed")
 	backend := fs.String("backend", "mem", "partition page store: mem or file")
 	dir := fs.String("dir", "", "directory for -backend file (default: a fresh temp dir)")
+	verbose := fs.Bool("verbose", false, "print a per-step timing breakdown to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	vt := newVTimer(*verbose)
+	defer vt.total()
 
 	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
@@ -490,6 +539,7 @@ func runReplay(args []string) error {
 			if err != nil {
 				return err
 			}
+			vt.step("advise " + tw.Table.Name)
 			rep, err = knives.ReplayAdvice(tw, advice, cfg)
 			if err != nil {
 				return err
@@ -500,6 +550,7 @@ func runReplay(args []string) error {
 				return err
 			}
 		}
+		vt.step("replay " + tw.Table.Name)
 		fmt.Print(rep)
 		fmt.Println()
 		if !rep.Exact() {
@@ -537,9 +588,12 @@ func runExec(args []string) error {
 	server := fs.String("server", "", "execute via a running knivesd at this base URL (POST /query)")
 	retries := fs.Int("retries", 3, "total attempts per request in -server mode (429/503/transport errors retry)")
 	retryDelay := fs.Duration("retry-delay", 100*time.Millisecond, "base backoff between -server retries (doubles per attempt)")
+	verbose := fs.Bool("verbose", false, "print a per-step timing breakdown to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	vt := newVTimer(*verbose)
+	defer vt.total()
 	if *rows < 0 {
 		return usageError{err: fmt.Errorf("-rows %d must be non-negative", *rows)}
 	}
@@ -571,6 +625,7 @@ func runExec(args []string) error {
 		if err != nil {
 			return err
 		}
+		vt.step("query via server")
 		allExact := true
 		for _, rep := range resp.Reports {
 			if *table != "all" && rep.Table != *table {
@@ -642,6 +697,7 @@ func runExec(args []string) error {
 			if err != nil {
 				return err
 			}
+			vt.step("advise " + tw.Table.Name)
 			rep, err = knives.ExecuteAdvice(tw, advice, cfg, sel)
 			if err != nil {
 				return err
@@ -652,6 +708,7 @@ func runExec(args []string) error {
 				return err
 			}
 		}
+		vt.step("execute " + tw.Table.Name)
 		fmt.Print(rep)
 		fmt.Println()
 		allExact = allExact && rep.Exact()
@@ -682,9 +739,12 @@ func runMigrate(args []string) error {
 	seed := fs.Int64("seed", 1, "data generator seed")
 	backend := fs.String("backend", "mem", "partition page store: mem or file")
 	dir := fs.String("dir", "", "directory for -backend file (default: a fresh temp dir)")
+	verbose := fs.Bool("verbose", false, "print a per-step timing breakdown to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	vt := newVTimer(*verbose)
+	defer vt.total()
 
 	bench, err := knives.BenchmarkByName(*benchName, *sf)
 	if err != nil {
@@ -767,6 +827,7 @@ func runMigrate(args []string) error {
 		if err != nil {
 			return err
 		}
+		vt.step("advise endpoints " + tw.Table.Name)
 		plan, err := knives.MigratePlan(drifted, from, to, model, *window)
 		if err != nil {
 			return err
@@ -781,6 +842,7 @@ func runMigrate(args []string) error {
 		if err != nil {
 			return err
 		}
+		vt.step("migrate " + tw.Table.Name)
 		fmt.Print(rep)
 		fmt.Println()
 		if !rep.Exact() {

@@ -15,6 +15,7 @@
 //	        [-wal-dir DIR] [-snapshot-every N]
 //	        [-request-timeout D] [-max-inflight N] [-max-queue N]
 //	        [-retry-after D] [-drain-timeout D]
+//	        [-pprof] [-slow-request D]
 //
 // -model resolves a device preset (hdd, ssd, mm, plus aliases like disk,
 // flash, ram) the daemon prices with by default; the device flags override
@@ -38,6 +39,16 @@
 // stream's distinct attribute sets fit the capacity. -ingest-shards and
 // -ingest-group tune the sharded observe-ingest stage that group-commits
 // concurrent observation batches into shared WAL appends.
+//
+// The daemon always serves GET /metrics: one Prometheus text-format scrape
+// covering request latency histograms, admission wait and shed counts,
+// search and cache metrics, ingest group-commit sizes and queue depth,
+// drift and migration timings, and — with -wal-dir — WAL append/fsync/
+// snapshot durations plus the last recovery's report. -pprof additionally
+// mounts net/http/pprof under GET /debug/pprof/ (off by default: heap and
+// goroutine dumps are an operator's decision). -slow-request D traces every
+// request and logs a span breakdown (admission wait, search-gate waits,
+// per-algorithm searches, ingest) for requests that take at least D.
 //
 // -request-timeout, -max-inflight, and -max-queue bound the POST endpoints:
 // past the in-flight and queue limits the daemon sheds with 429 +
@@ -65,7 +76,9 @@
 //	GET  /advice?table=NAME         -> current tracked advice
 //	GET  /tables                    -> registered tables
 //	GET  /stats                     -> cache, drift, migration, and shed
-//	                                   counters
+//	                                   counters (+ recovery report when
+//	                                   journaling)
+//	GET  /metrics                   -> Prometheus text-format telemetry
 //	GET  /healthz                   -> liveness
 package main
 
@@ -87,6 +100,7 @@ import (
 	"knives/internal/migrate"
 	"knives/internal/schema"
 	"knives/internal/statestore"
+	"knives/internal/telemetry"
 	"knives/internal/vfs"
 )
 
@@ -113,6 +127,8 @@ type config struct {
 	maxQueue       int
 	retryAfter     time.Duration
 	drainTimeout   time.Duration
+	pprof          bool
+	slowRequest    time.Duration
 }
 
 // parseFlags validates the command line into a config.
@@ -147,6 +163,9 @@ func parseFlags(args []string) (config, error) {
 		"Retry-After hint on shed (429) responses, rounded up to whole seconds")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
 		"how long shutdown waits for in-flight requests to finish")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/")
+	slowRequest := fs.Duration("slow-request", 0,
+		"trace every request and log a span breakdown for ones at least this slow (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return config{}, err
@@ -192,6 +211,9 @@ func parseFlags(args []string) (config, error) {
 	if *drainTimeout <= 0 {
 		return config{}, fmt.Errorf("-drain-timeout must be positive (got %v)", *drainTimeout)
 	}
+	if *slowRequest < 0 {
+		return config{}, fmt.Errorf("-slow-request must be >= 0 (got %v)", *slowRequest)
+	}
 	cfg := config{
 		addr:           *addr,
 		driftThreshold: *driftThreshold,
@@ -208,6 +230,8 @@ func parseFlags(args []string) (config, error) {
 		maxQueue:       *maxQueue,
 		retryAfter:     *retryAfter,
 		drainTimeout:   *drainTimeout,
+		pprof:          *pprofFlag,
+		slowRequest:    *slowRequest,
 	}
 	override, err := devf()
 	if err != nil {
@@ -231,8 +255,13 @@ func parseFlags(args []string) (config, error) {
 // newService builds the advisor service for a config: durable when -wal-dir
 // is set (recovering whatever a previous process journaled), in-memory
 // otherwise. Prewarm runs after recovery, so recovered tables keep their
-// journaled drift state and only missing tables are searched fresh.
-func newService(cfg config) (*advisor.Service, error) {
+// journaled drift state and only missing tables are searched fresh. One
+// telemetry registry is shared by the state store (WAL and recovery
+// metrics), the service (search, cache, ingest, drift, operator metrics),
+// and the HTTP server (request histograms and GET /metrics), so a single
+// scrape covers the daemon end to end.
+func newService(cfg config) (*advisor.Service, *telemetry.Registry, error) {
+	reg := telemetry.NewRegistry()
 	acfg := advisor.Config{
 		Model:          cfg.model,
 		DriftThreshold: cfg.driftThreshold,
@@ -242,34 +271,36 @@ func newService(cfg config) (*advisor.Service, error) {
 		IngestShards:   cfg.ingestShards,
 		IngestGroup:    cfg.ingestGroup,
 		MigrateWindow:  cfg.migrateWindow,
+		Telemetry:      reg,
 	}
 	if cfg.walDir != "" {
 		fsys, err := vfs.Dir(cfg.walDir)
 		if err != nil {
-			return nil, fmt.Errorf("wal dir: %w", err)
+			return nil, nil, fmt.Errorf("wal dir: %w", err)
 		}
 		st, err := statestore.Open(fsys, statestore.Options{
 			// The store's fold must trim observation logs exactly like the
 			// live trackers, so the windows are one flag, not two.
 			DriftWindow:   cfg.driftWindow,
 			SnapshotEvery: cfg.snapshotEvery,
+			Metrics:       reg,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("open state store: %w", err)
+			return nil, nil, fmt.Errorf("open state store: %w", err)
 		}
 		acfg.Store = st
 	}
 	svc, err := advisor.OpenService(acfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.prewarm != nil {
 		if err := svc.Prewarm(cfg.prewarm); err != nil {
 			svc.Close()
-			return nil, fmt.Errorf("prewarm: %w", err)
+			return nil, nil, fmt.Errorf("prewarm: %w", err)
 		}
 	}
-	return svc, nil
+	return svc, reg, nil
 }
 
 // serve runs the daemon on ln until ctx is canceled, then drains: stop
@@ -277,13 +308,16 @@ func newService(cfg config) (*advisor.Service, error) {
 // only then close the service — which snapshots and fsyncs the WAL, so a
 // clean shutdown restarts from a snapshot instead of a replay. Returns nil
 // on a clean drain.
-func serve(ctx context.Context, cfg config, svc *advisor.Service, ln net.Listener) error {
+func serve(ctx context.Context, cfg config, svc *advisor.Service, reg *telemetry.Registry, ln net.Listener) error {
 	srv := &http.Server{
 		Handler: advisor.NewServerWith(svc, advisor.ServerConfig{
 			RequestTimeout: cfg.requestTimeout,
 			MaxInFlight:    cfg.maxInFlight,
 			MaxQueue:       cfg.maxQueue,
 			RetryAfter:     cfg.retryAfter,
+			Telemetry:      reg,
+			EnablePprof:    cfg.pprof,
+			SlowRequest:    cfg.slowRequest,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -331,7 +365,7 @@ func run(args []string) int {
 		}
 		return 2
 	}
-	svc, err := newService(cfg)
+	svc, reg, err := newService(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "knivesd: %v\n", err)
 		return 1
@@ -346,7 +380,7 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	fmt.Fprintf(os.Stderr, "knivesd: listening on %s\n", ln.Addr())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, cfg, svc, ln) }()
+	go func() { done <- serve(ctx, cfg, svc, reg, ln) }()
 
 	var serveErr error
 	select {

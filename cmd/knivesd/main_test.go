@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"knives/internal/algo"
 	"knives/internal/migrate"
 	"knives/internal/statestore"
+	"knives/internal/telemetry"
 	"knives/internal/vfs"
 )
 
@@ -103,7 +106,7 @@ func TestServeDrainsInFlightThenSealsWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := newService(cfg)
+	svc, reg, err := newService(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestServeDrainsInFlightThenSealsWAL(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serve(ctx, cfg, svc, ln) }()
+	go func() { served <- serve(ctx, cfg, svc, reg, ln) }()
 
 	// Park the request mid-handler by taking every search slot: the advise
 	// is admitted, journal-registered work not yet done, fan-out waiting.
@@ -199,7 +202,7 @@ func TestDaemonServesPrewarmedBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := newService(cfg)
+	svc, _, err := newService(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,5 +229,75 @@ func TestDaemonServesPrewarmedBenchmark(t *testing.T) {
 	}
 	if stats.Hits != 8 {
 		t.Errorf("stats after prewarmed advise: %+v", stats)
+	}
+}
+
+func TestParseFlagsTelemetry(t *testing.T) {
+	cfg, err := parseFlags([]string{"-pprof", "-slow-request", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.pprof {
+		t.Error("-pprof not recorded")
+	}
+	if cfg.slowRequest != 250*time.Millisecond {
+		t.Errorf("slowRequest = %v, want 250ms", cfg.slowRequest)
+	}
+	if _, err := parseFlags([]string{"-slow-request", "-1s"}); err == nil {
+		t.Error("negative -slow-request accepted")
+	}
+}
+
+// The daemon's wiring smoke: newService hands back the registry it shared
+// with the state store and service, and a server built on it answers a
+// strict-format /metrics scrape with WAL and request metrics after one
+// advise round-trip.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	cfg, err := parseFlags([]string{"-wal-dir", t.TempDir(), "-drift-window", "16", "-pprof"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, reg, err := newService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(advisor.NewServerWith(svc, advisor.ServerConfig{
+		Telemetry:   reg,
+		EnablePprof: cfg.pprof,
+	}))
+	defer ts.Close()
+
+	client := advisor.NewClient(ts.URL)
+	client.HTTPClient = ts.Client()
+	if _, err := client.Advise(context.Background(), advisor.AdviseRequest{Benchmark: "tpch", ScaleFactor: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.CheckExposition(string(b)); err != nil {
+		t.Fatalf("exposition fails strict check: %v", err)
+	}
+	for _, want := range []string{
+		"knives_wal_fsync_seconds_count",
+		"knives_requests_total",
+		`knives_http_request_seconds_count{path="/advise"}`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

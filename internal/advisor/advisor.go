@@ -22,6 +22,7 @@ import (
 	"knives/internal/cost"
 	"knives/internal/partition"
 	"knives/internal/schema"
+	"knives/internal/telemetry"
 )
 
 // TableAdvice is the advisor's recommendation for one table.
@@ -158,11 +159,16 @@ func AdviseTableContext(ctx context.Context, tw schema.TableWorkload, m cost.Mod
 	algos := portfolio()
 	results := make([]algo.Result, len(algos))
 	err := fanOut(len(algos), func(i int) error {
-		if err := algo.AcquireSearchSlotCtx(ctx); err != nil {
+		_, gateSp := telemetry.StartSpan(ctx, "gate-wait "+algos[i].Name())
+		err := algo.AcquireSearchSlotCtx(ctx)
+		gateSp.End()
+		if err != nil {
 			return fmt.Errorf("advisor: %s on %s: %w", algos[i].Name(), tw.Table.Name, err)
 		}
 		defer algo.ReleaseSearchSlot()
+		_, searchSp := telemetry.StartSpan(ctx, "search "+algos[i].Name())
 		res, err := algos[i].Partition(tw, m)
+		searchSp.End()
 		if err != nil {
 			return fmt.Errorf("advisor: %s on %s: %w", algos[i].Name(), tw.Table.Name, err)
 		}

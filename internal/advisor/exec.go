@@ -106,6 +106,9 @@ func (s *Service) execTableAs(ctx context.Context, tw schema.TableWorkload, opt 
 			return
 		}
 		e.report, e.err = replay.Operators(tw, layout, advice.Algorithm, cfg, opSel)
+		if e.err == nil {
+			s.tm.recordOpStats(e.report.Ops)
+		}
 	})
 	if e.err != nil {
 		// A failed execution must not poison its cache key forever.

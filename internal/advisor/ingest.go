@@ -5,9 +5,11 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"knives/internal/schema"
 	"knives/internal/statestore"
+	"knives/internal/telemetry"
 )
 
 // DefaultIngestShards is how many independent ingest shards the service
@@ -89,6 +91,8 @@ func newIngester(svc *Service, shards, group int) *ingester {
 // expired deadline surfaces as the drift check's error, never as a batch
 // silently dropped from the queue.
 func (in *ingester) submit(ctx context.Context, job *ingestJob) (DriftReport, error) {
+	t0 := time.Now()
+	ctx, sp := telemetry.StartSpan(ctx, "ingest "+job.table)
 	job.ctx = ctx
 	job.done = make(chan struct{})
 	h := fnv.New32a()
@@ -106,6 +110,8 @@ func (in *ingester) submit(ctx context.Context, job *ingestJob) (DriftReport, er
 		in.lead(sh)
 	}
 	<-job.done
+	sp.End()
+	in.svc.tm.ingestWait.Since(t0)
 	return job.rep, job.err
 }
 
@@ -203,6 +209,12 @@ func (in *ingester) process(group []*ingestJob) {
 	}
 	if len(valid) > 0 {
 		svc.ingestGroups.Add(1)
+		svc.tm.groupBatches.Observe(float64(len(valid)))
+		nq := 0
+		for _, job := range valid {
+			nq += len(job.queries)
+		}
+		svc.tm.groupQueries.Observe(float64(nq))
 	}
 
 	// One coalesced drift check per table, fanned out across the group's
@@ -218,7 +230,13 @@ func (in *ingester) process(group []*ingestJob) {
 				ctxs[i] = job.ctx
 			}
 			ctx, stop := mergeContexts(ctxs)
+			tDrift := time.Now()
 			rep, rec, err := t.priceDrift(ctx, inputs[t])
+			drift := time.Since(tDrift).Seconds()
+			svc.tm.driftCheck.Observe(drift)
+			if rep.Recomputed {
+				svc.tm.driftRecompute.Observe(drift)
+			}
 			stop()
 			rep, err = svc.afterObserve(rep, rec, err)
 			for _, job := range jobs {

@@ -1,0 +1,303 @@
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"knives/internal/faultinject"
+	"knives/internal/statestore"
+	"knives/internal/telemetry"
+	"knives/internal/vfs"
+)
+
+// Regression: a request whose deadline expires answered 503 WITHOUT the
+// Retry-After hint, even though the client's RetryPolicy honors it on 503
+// exactly like on 429. The hint must ride every 503.
+func TestServer503RetryAfterOnExpiredDeadline(t *testing.T) {
+	svc, err := OpenService(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWith(svc, ServerConfig{
+		RequestTimeout: 50 * time.Millisecond,
+		RetryAfter:     3 * time.Second,
+	}))
+	defer ts.Close()
+	defer holdSearchGate(t)()
+
+	resp, err := postAdvise(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-bound request: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("503 Retry-After = %q, want \"3\"", got)
+	}
+}
+
+// Regression for the observe path: a journal append failure surfaces as 503
+// through observeStatus, and that 503 must carry Retry-After too. Write #1
+// is the registration's EvAdviseCommit append; write #2 — scheduled to fail
+// — is the first observation batch's group commit.
+func TestServer503RetryAfterOnJournalError(t *testing.T) {
+	fsys, err := vfs.Dir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(fsys, faultinject.FailNthWrite(2))
+	st, err := statestore.Open(inj, statestore.Options{DriftWindow: 16, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := OpenService(Config{Store: st, DriftWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWith(svc, ServerConfig{RetryAfter: 2 * time.Second}))
+	defer ts.Close()
+
+	if resp, err := postAdvise(ts); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("registering advise: status %v, err %v", resp.StatusCode, err)
+	}
+	body := `{"table":"events","queries":[{"attrs":["a","c"]}]}`
+	resp, err := ts.Client().Post(ts.URL+"/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("observe through failed append: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("503 Retry-After = %q, want \"2\"", got)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("journal fault never fired; the 503 came from somewhere else")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// sampleValue finds one sample line ("name 12" or "name{labels} 12") in a
+// Prometheus exposition and returns its value.
+func sampleValue(t *testing.T, expo, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+			if err != nil {
+				t.Fatalf("sample %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample %q in exposition:\n%s", name, expo)
+	return 0
+}
+
+// telemetryServer builds the full wired daemon the way cmd/knivesd does:
+// one registry shared by the statestore (WAL metrics), the service (cache,
+// search, ingest metrics), and the server (request histograms, /metrics).
+func telemetryServer(t *testing.T, reg *telemetry.Registry) (*httptest.Server, *Service) {
+	t.Helper()
+	fsys, err := vfs.Dir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := statestore.Open(fsys, statestore.Options{DriftWindow: 16, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := OpenService(Config{Store: st, DriftWindow: 16, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServerWith(svc, ServerConfig{
+		Telemetry:   reg,
+		EnablePprof: true,
+		// Every request is "slow" at 1ns: the tracing + render path runs on
+		// each request, logging into the void.
+		SlowRequest: time.Nanosecond,
+		SlowLog:     log.New(io.Discard, "", 0),
+	}))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// The acceptance smoke: a fully wired daemon serves /metrics in strict
+// Prometheus text format, with non-zero WAL fsync, ingest group-size, and
+// request-latency histograms after an advise + a few observes — and /stats
+// carries the store's recovery report.
+func TestServerMetricsEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts, svc := telemetryServer(t, reg)
+	client := NewClient(ts.URL)
+	client.HTTPClient = ts.Client()
+
+	ctx := context.Background()
+	if _, err := client.Advise(ctx, eventsRequest()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Observe(ctx, ObserveRequest{
+			Table:   "events",
+			Queries: []ObservedQry{{Attrs: []string{"a", "c"}}},
+		}); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := string(b)
+	if err := telemetry.CheckExposition(expo); err != nil {
+		t.Fatalf("exposition fails strict check: %v\n%s", err, expo)
+	}
+
+	for name, min := range map[string]float64{
+		"knives_requests_total":                              1,
+		"knives_searches_total":                              1,
+		"knives_observe_batches_total":                       3,
+		"knives_wal_fsync_seconds_count":                     1,
+		"knives_wal_append_seconds_count":                    1,
+		"knives_ingest_group_batches_count":                  1,
+		"knives_ingest_wait_seconds_count":                   3,
+		"knives_drift_check_seconds_count":                   1,
+		"knives_advise_miss_seconds_count":                   1,
+		"knives_search_seconds_count":                        1,
+		`knives_http_request_seconds_count{path="/advise"}`:  1,
+		`knives_http_request_seconds_count{path="/observe"}`: 3,
+		"knives_tracked_tables":                              1,
+	} {
+		if got := sampleValue(t, expo, name); got < min {
+			t.Errorf("%s = %v, want >= %v", name, got, min)
+		}
+	}
+	// The recovery gauges exist from startup (an empty store recovered
+	// nothing — the gauge is the report, zero included).
+	if got := sampleValue(t, expo, "knives_recovery_records"); got != 0 {
+		t.Errorf("fresh store recovered %v records", got)
+	}
+
+	// The same report rides /stats as JSON for journaling services.
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery == nil {
+		t.Fatal("journaling service /stats has no recovery report")
+	}
+
+	// pprof answers on its operator-enabled mount.
+	pp, err := ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", pp.StatusCode)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// The -race gate for the telemetry layer: scrapes, stats reads, and
+// observation ingest hammer the same registry concurrently; every scrape
+// must stay parseable under the strict checker.
+func TestServerConcurrentScrapeWhileIngesting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts, svc := telemetryServer(t, reg)
+	client := NewClient(ts.URL)
+	client.HTTPClient = ts.Client()
+
+	ctx := context.Background()
+	if _, err := client.Advise(ctx, eventsRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, scrapers, rounds = 4, 4, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+scrapers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				_, err := client.Observe(ctx, ObserveRequest{
+					Table:   "events",
+					Queries: []ObservedQry{{Attrs: []string{"a", "c"}, Weight: float64(w + 1)}},
+				})
+				if err != nil {
+					errs <- fmt.Errorf("writer %d round %d: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp, err := ts.Client().Get(ts.URL + "/metrics")
+				if err != nil {
+					errs <- fmt.Errorf("scraper %d round %d: %w", s, r, err)
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := telemetry.CheckExposition(string(b)); err != nil {
+					errs <- fmt.Errorf("scrape %d/%d unparseable: %w", s, r, err)
+					return
+				}
+				if _, err := client.Stats(ctx); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := sampleValue(t, reg.String(), "knives_observe_batches_total"); got != writers*rounds {
+		t.Errorf("observe_batches_total = %v, want %d", got, writers*rounds)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"knives/internal/migrate"
 	"knives/internal/partition"
@@ -146,7 +147,11 @@ func (s *Service) MigrateTable(table string, opt MigrateOptions) (*MigrationOutc
 	ran := false
 	e.once.Do(func() {
 		ran = true
+		t0 := time.Now()
 		e.outcome, e.err = s.migrateOnce(table, st, key, rcfg)
+		if e.err == nil {
+			s.tm.migrateExec.Since(t0)
+		}
 	})
 	if e.err != nil {
 		// Like a failed advice search or replay, a failed migration must

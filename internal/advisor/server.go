@@ -6,9 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"knives/internal/telemetry"
 )
 
 // Server exposes a Service over HTTP:
@@ -30,6 +34,11 @@ type Server struct {
 	mux *http.ServeMux
 	cfg ServerConfig
 	adm *admission
+
+	// Per-endpoint request latency and the admission wait; nil (free)
+	// without ServerConfig.Telemetry.
+	httpHist map[string]*telemetry.Histogram
+	admWait  *telemetry.Histogram
 }
 
 const maxBodyBytes = 8 << 20
@@ -48,9 +57,26 @@ type ServerConfig struct {
 	// before the server starts shedding with 429. Only meaningful when
 	// MaxInFlight > 0.
 	MaxQueue int
-	// RetryAfter is the hint sent in the Retry-After header on 429; 0 means
-	// one second.
+	// RetryAfter is the hint sent in the Retry-After header on 429 and 503;
+	// 0 means one second.
 	RetryAfter time.Duration
+	// Telemetry, when set, mounts GET /metrics (Prometheus text format)
+	// and records per-endpoint request latency and admission wait
+	// histograms. Share the registry with the Service and statestore so
+	// one scrape covers the daemon end to end.
+	Telemetry *telemetry.Registry
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ on the
+	// server's own mux. Off by default: profiling endpoints expose heap
+	// and goroutine dumps and belong behind an operator's decision.
+	EnablePprof bool
+	// SlowRequest, when positive, traces every hardened request and logs a
+	// span breakdown (where the budget went: admission, search-gate waits,
+	// per-algorithm searches, ingest) for requests that take at least this
+	// long. Zero disables tracing entirely — the untraced span fast path
+	// is a single context lookup.
+	SlowRequest time.Duration
+	// SlowLog receives slow-request reports; nil uses log.Default().
+	SlowLog *log.Logger
 }
 
 // NewServer wraps a Service in an http.Handler with no request limits.
@@ -64,11 +90,29 @@ func NewServer(svc *Service) *Server {
 // liveness and stats remain observable while the server sheds load.
 func NewServerWith(svc *Service, cfg ServerConfig) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), cfg: cfg, adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue)}
-	s.mux.HandleFunc("POST /advise", s.harden(s.handleAdvise))
-	s.mux.HandleFunc("POST /replay", s.harden(s.handleReplay))
-	s.mux.HandleFunc("POST /query", s.harden(s.handleQuery))
-	s.mux.HandleFunc("POST /observe", s.harden(s.handleObserve))
-	s.mux.HandleFunc("POST /migrate", s.harden(s.handleMigrate))
+	if reg := cfg.Telemetry; reg != nil {
+		reg.SetHelp("knives_http_request_seconds", "Hardened request latency end to end, by endpoint.")
+		reg.SetHelp("knives_admission_wait_seconds", "Time spent acquiring an admission slot (gated servers only).")
+		s.httpHist = make(map[string]*telemetry.Histogram)
+		for _, path := range []string{"/advise", "/replay", "/query", "/observe", "/migrate"} {
+			s.httpHist[path] = reg.Histogram(`knives_http_request_seconds{path="` + path + `"}`)
+		}
+		s.admWait = reg.Histogram("knives_admission_wait_seconds")
+		reg.CounterFunc("knives_shed_total", s.adm.shedCount)
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.mux.HandleFunc("POST /advise", s.harden("/advise", s.handleAdvise))
+	s.mux.HandleFunc("POST /replay", s.harden("/replay", s.handleReplay))
+	s.mux.HandleFunc("POST /query", s.harden("/query", s.handleQuery))
+	s.mux.HandleFunc("POST /observe", s.harden("/observe", s.handleObserve))
+	s.mux.HandleFunc("POST /migrate", s.harden("/migrate", s.handleMigrate))
 	s.mux.HandleFunc("GET /advice", s.handleAdvice)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -76,29 +120,65 @@ func NewServerWith(svc *Service, cfg ServerConfig) *Server {
 	return s
 }
 
-// harden applies the request deadline and the admission gate to one POST
+// harden applies the request deadline, the admission gate, and (when
+// configured) latency accounting and slow-request tracing to one POST
 // handler. Shed requests answer 429 with a Retry-After hint; a deadline
 // that expires while still queued answers 503 (the request did no work and
-// a retry is safe).
-func (s *Server) harden(h http.HandlerFunc) http.HandlerFunc {
+// a retry is safe) — with the same Retry-After hint, since the client's
+// backoff policy honors it on both statuses.
+func (s *Server) harden(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		defer s.httpHist[path].Since(t0)
+		if s.cfg.SlowRequest > 0 {
+			ctx, tr := telemetry.NewTrace(r.Context(), r.Method+" "+path)
+			r = r.WithContext(ctx)
+			defer func() {
+				if d := tr.Elapsed(); d >= s.cfg.SlowRequest {
+					s.slowLog().Printf("slow request: %s took %s\n%s",
+						tr.Name, d.Round(time.Millisecond), tr.Render())
+				}
+			}()
+		}
 		if s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		if err := s.adm.acquire(r.Context()); err != nil {
-			if errors.Is(err, ErrShed) {
-				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-				writeError(w, http.StatusTooManyRequests, err)
+		if s.adm != nil {
+			actx, sp := telemetry.StartSpan(r.Context(), "admission-wait")
+			tAdm := time.Now()
+			err := s.adm.acquire(actx)
+			sp.End()
+			s.admWait.Since(tAdm)
+			if err != nil {
+				if errors.Is(err, ErrShed) {
+					s.retryHint(w)
+					writeError(w, http.StatusTooManyRequests, err)
+					return
+				}
+				s.retryHint(w)
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("advisor: request expired waiting for admission: %w", err))
 				return
 			}
-			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("advisor: request expired waiting for admission: %w", err))
-			return
+			defer s.adm.release()
 		}
-		defer s.adm.release()
 		h(w, r)
 	}
+}
+
+// retryHint stamps the configured Retry-After pacing hint; sent on every
+// 429 and 503 so a backing-off client always has a pace to follow.
+func (s *Server) retryHint(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+}
+
+// slowLog returns the slow-request logger.
+func (s *Server) slowLog() *log.Logger {
+	if s.cfg.SlowLog != nil {
+		return s.cfg.SlowLog
+	}
+	return log.Default()
 }
 
 // retryAfterSeconds renders the Retry-After hint in whole seconds, at
@@ -134,10 +214,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // server is telling the truth about being too slow under the given budget,
 // and the work-in-progress still lands in the caches for a retry. A failed
 // journal append is 503 too: the mutation was not applied, the WAL
-// self-heals, and a retry is exactly what ErrJournal asks for. Anything
-// else is a 500.
-func writeServiceError(w http.ResponseWriter, err error) {
+// self-heals, and a retry is exactly what ErrJournal asks for. Every 503
+// carries the Retry-After pacing hint — the client's backoff honors it, and
+// a shed burst retrying unpaced 503s would stampede. Anything else is a 500.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) || errors.Is(err, ErrJournal) {
+		s.retryHint(w)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -203,7 +285,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeServiceError(w, err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, AdviseResponse{Advice: wires})
@@ -247,7 +329,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeServiceError(w, err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, ReplayResponse{Reports: wires})
@@ -316,7 +398,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeServiceError(w, err)
+		s.writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, QueryResponse{Reports: wires})
@@ -362,7 +444,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// rules have one source of truth.
 	rep, err := s.svc.ObserveNamedContext(r.Context(), req.Table, req.Queries)
 	if err != nil {
-		writeError(w, observeStatus(err), err)
+		status := observeStatus(err)
+		if status == http.StatusServiceUnavailable {
+			s.retryHint(w)
+		}
+		writeError(w, status, err)
 		return
 	}
 	current, fp, err := s.svc.CurrentState(req.Table)
@@ -437,7 +523,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrNotRegistered):
 			writeError(w, http.StatusNotFound, err)
 		default:
-			writeServiceError(w, err)
+			s.writeServiceError(w, err)
 		}
 		return
 	}
@@ -470,4 +556,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the shared registry in the Prometheus text format.
+// Mounted only when ServerConfig.Telemetry is set; like the GET endpoints
+// it is ungated, so a scraper keeps seeing the daemon while it sheds load.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.cfg.Telemetry.WritePrometheus(w)
 }

@@ -7,11 +7,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"knives/internal/cost"
 	"knives/internal/migrate"
 	"knives/internal/schema"
 	"knives/internal/statestore"
+	"knives/internal/telemetry"
 )
 
 // Config parameterizes a Service.
@@ -75,6 +77,13 @@ type Config struct {
 	// window should match DriftWindow, or recovered logs are re-trimmed to
 	// the smaller of the two.
 	Store statestore.Store
+	// Telemetry, when set, receives the service's request/ingest/drift
+	// latency histograms and counter bindings (and installs the
+	// process-wide search-gate wait observer). Nil disables service
+	// instrumentation at the cost of one nil check per point. Share the
+	// registry with statestore.Options.Metrics and the HTTP server so one
+	// /metrics scrape covers the whole daemon.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultCacheCapacity bounds the advice cache in a long-running daemon:
@@ -131,6 +140,10 @@ type Service struct {
 	// ing is the sharded observe-ingest stage: every observation batch
 	// funnels through it so concurrent batches share group commits.
 	ing *ingester
+
+	// tm holds the telemetry handles; the zero value (no registry) leaves
+	// them nil and every instrumentation point free.
+	tm svcMetrics
 
 	requests    atomic.Int64 // table advice requests answered
 	hits        atomic.Int64 // answered from cache without searching
@@ -262,6 +275,9 @@ func OpenService(cfg Config) (*Service, error) {
 		s.trackers.Insert(ts.Table.Name, t)
 	}
 	s.ing = newIngester(s, cfg.IngestShards, cfg.IngestGroup)
+	if cfg.Telemetry != nil {
+		s.tm.bind(cfg.Telemetry, s)
+	}
 	return s, nil
 }
 
@@ -311,6 +327,10 @@ type Stats struct {
 	// DuplicateBatches counts batched observes answered from the dedup
 	// window without re-ingesting (redeliveries of an applied batch ID).
 	DuplicateBatches int64 `json:"duplicate_batches"`
+	// Recovery reports what the journaling store replayed at open —
+	// snapshot coverage, segments scanned, records replayed, torn-tail and
+	// skip counts. Nil for an in-memory (non-journaling) service.
+	Recovery *statestore.RecoveryReport `json:"recovery,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -326,7 +346,13 @@ func (s *Service) Stats() Stats {
 	replays := s.replays.Load()
 	migrateHits := s.migrateHits.Load()
 	migrations := s.migrations.Load()
+	var recovery *statestore.RecoveryReport
+	if s.store.Journaling() {
+		rep := s.store.Report()
+		recovery = &rep
+	}
 	return Stats{
+		Recovery:         recovery,
 		Requests:         req,
 		Hits:             hits,
 		Misses:           req - hits,
@@ -409,6 +435,7 @@ func (s *Service) adviseTableAs(ctx context.Context, tw schema.TableWorkload, m 
 	// 1; searching with the raw workload would let two differently-priced
 	// workloads share a cache entry.
 	tw = normalizeWeights(tw)
+	t0 := time.Now()
 	s.requests.Add(1)
 	fp := FingerprintOf(tw)
 	key := adviceKey{fp: fp, model: mkey}
@@ -417,7 +444,11 @@ func (s *Service) adviseTableAs(ctx context.Context, tw schema.TableWorkload, m 
 	e.once.Do(func() {
 		ran = true
 		s.searches.Add(1)
-		e.advice, e.err = AdviseTableContext(ctx, tw, m)
+		sctx, sp := telemetry.StartSpan(ctx, "portfolio-search "+tw.Table.Name)
+		tSearch := time.Now()
+		e.advice, e.err = AdviseTableContext(sctx, tw, m)
+		sp.End()
+		s.tm.search.Since(tSearch)
 	})
 	// Attribution is by who ran the search, not who created the entry: a
 	// concurrent requester can find the entry yet win the once race and do
@@ -456,6 +487,11 @@ func (s *Service) adviseTableAs(ctx context.Context, tw schema.TableWorkload, m 
 		if err := s.registerTracker(tw, e.advice, fp, m, mkey); err != nil {
 			return TableAdvice{}, fp, false, err
 		}
+	}
+	if hit {
+		s.tm.adviseHit.Since(t0)
+	} else {
+		s.tm.adviseMiss.Since(t0)
 	}
 	return e.advice, fp, hit, nil
 }

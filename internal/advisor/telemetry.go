@@ -1,0 +1,140 @@
+package advisor
+
+import (
+	"time"
+
+	"knives/internal/algo"
+	"knives/internal/operator"
+	"knives/internal/telemetry"
+)
+
+// svcMetrics holds the service's telemetry handles. The zero value (no
+// registry configured) leaves every handle nil, and the telemetry types are
+// nil-receiver safe, so instrumentation points never branch on "is
+// telemetry enabled" — an unbound service pays a nil check per point and
+// nothing else.
+type svcMetrics struct {
+	// Request-path latency, split by cache outcome so the flat hit path
+	// and the search-dominated miss path never share a distribution.
+	adviseHit  *telemetry.Histogram
+	adviseMiss *telemetry.Histogram
+	// search times the portfolio fan-out alone (the miss path minus
+	// caching and registration).
+	search *telemetry.Histogram
+
+	// Ingest stage: submit-to-done wait per batch, group-commit sizes in
+	// batches and queries, and the coalesced drift check (recompute is the
+	// subset that actually moved advice).
+	ingestWait     *telemetry.Histogram
+	groupBatches   *telemetry.Histogram
+	groupQueries   *telemetry.Histogram
+	driftCheck     *telemetry.Histogram
+	driftRecompute *telemetry.Histogram
+
+	// migrateExec times migrateOnce: plan + sampled execute-and-verify.
+	migrateExec *telemetry.Histogram
+
+	// Per-operator accounting from /query executions, keyed by operator
+	// kind ("scan", "select", "join", "project").
+	opRows map[string]*telemetry.Counter
+	opSim  map[string]*telemetry.Histogram
+}
+
+// operatorKinds is the closed set of operator labels bound at registration;
+// OpStats.Op values outside it (there are none today) would be dropped
+// rather than minting unbounded label values.
+var operatorKinds = []string{"scan", "select", "join", "project"}
+
+// bind registers the service's metrics on reg: the histograms above, plus
+// read-at-scrape bindings for the counters the Service already maintains
+// atomically (no hot-path double-writes) and the cache/tracker/queue-depth
+// gauges. It also installs the process-wide search-gate wait observer —
+// last service bound wins, matching the gate's own process-wide scope.
+func (m *svcMetrics) bind(reg *telemetry.Registry, s *Service) {
+	reg.SetHelp("knives_advise_hit_seconds", "Advise latency answered from the fingerprint cache.")
+	reg.SetHelp("knives_advise_miss_seconds", "Advise latency that ran the portfolio search.")
+	reg.SetHelp("knives_search_seconds", "Portfolio fan-out time per search.")
+	reg.SetHelp("knives_gate_wait_seconds", "Contended waits for a process-wide search slot.")
+	reg.SetHelp("knives_ingest_wait_seconds", "Observe batch wait: submit to group-commit + drift verdict.")
+	reg.SetHelp("knives_ingest_group_batches", "Observation batches coalesced per group commit.")
+	reg.SetHelp("knives_ingest_group_queries", "Queries carried per group commit.")
+	reg.SetHelp("knives_drift_check_seconds", "Coalesced drift check time per table (shadow pricing).")
+	reg.SetHelp("knives_drift_recompute_seconds", "Drift checks that recomputed advice (portfolio rerun included).")
+	reg.SetHelp("knives_migrate_exec_seconds", "Migration plan + sampled execute-and-verify time.")
+	m.adviseHit = reg.Histogram("knives_advise_hit_seconds")
+	m.adviseMiss = reg.Histogram("knives_advise_miss_seconds")
+	m.search = reg.Histogram("knives_search_seconds")
+	m.ingestWait = reg.Histogram("knives_ingest_wait_seconds")
+	m.groupBatches = reg.Histogram("knives_ingest_group_batches")
+	m.groupQueries = reg.Histogram("knives_ingest_group_queries")
+	m.driftCheck = reg.Histogram("knives_drift_check_seconds")
+	m.driftRecompute = reg.Histogram("knives_drift_recompute_seconds")
+	m.migrateExec = reg.Histogram("knives_migrate_exec_seconds")
+
+	m.opRows = make(map[string]*telemetry.Counter, len(operatorKinds))
+	m.opSim = make(map[string]*telemetry.Histogram, len(operatorKinds))
+	reg.SetHelp("knives_operator_rows_total", "Rows emitted by executed plan operators, by operator kind.")
+	reg.SetHelp("knives_operator_sim_seconds", "Simulated execution time per operator, by operator kind.")
+	for _, op := range operatorKinds {
+		m.opRows[op] = reg.Counter(`knives_operator_rows_total{op="` + op + `"}`)
+		m.opSim[op] = reg.Histogram(`knives_operator_sim_seconds{op="` + op + `"}`)
+	}
+
+	gateWait := reg.Histogram("knives_gate_wait_seconds")
+	algo.SetGateWaitObserver(func(d time.Duration) { gateWait.Observe(d.Seconds()) })
+
+	// The service's own monotonic counters, read at scrape time.
+	reg.SetHelp("knives_requests_total", "Table advice requests answered.")
+	reg.CounterFunc("knives_requests_total", s.requests.Load)
+	reg.CounterFunc("knives_advice_hits_total", s.hits.Load)
+	reg.CounterFunc("knives_searches_total", s.searches.Load)
+	reg.CounterFunc("knives_recomputes_total", s.recomputes.Load)
+	reg.CounterFunc("knives_replays_total", s.replays.Load)
+	reg.CounterFunc("knives_replay_hits_total", s.replayHits.Load)
+	reg.CounterFunc("knives_migrations_total", s.migrations.Load)
+	reg.CounterFunc("knives_migrate_hits_total", s.migrateHits.Load)
+	reg.CounterFunc("knives_observed_queries_total", s.observedQueries.Load)
+	reg.CounterFunc("knives_observe_batches_total", s.observeBatches.Load)
+	reg.CounterFunc("knives_ingest_groups_total", s.ingestGroups.Load)
+	reg.CounterFunc("knives_duplicate_batches_total", s.observeDups.Load)
+
+	reg.SetHelp("knives_ingest_queue_depth", "Observation batches pending across all ingest shards.")
+	reg.GaugeFunc("knives_ingest_queue_depth", func() float64 { return float64(s.ing.queueDepth()) })
+	reg.GaugeFunc("knives_cached_entries", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.entries.Len())
+	})
+	reg.GaugeFunc("knives_tracked_tables", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.trackers.Len())
+	})
+}
+
+// recordOpStats folds one execution's per-operator accounting into the
+// operator counters. Unknown kinds are dropped (bounded label set).
+func (m *svcMetrics) recordOpStats(ops [][]operator.OpStats) {
+	if m.opRows == nil {
+		return
+	}
+	for _, plan := range ops {
+		for _, st := range plan {
+			m.opRows[st.Op].Add(st.RowsOut)
+			m.opSim[st.Op].Observe(st.SimTime)
+		}
+	}
+}
+
+// queueDepth sums the pending batches across every ingest shard — read only
+// at scrape time, so the shard mutexes are taken briefly and never on the
+// ingest hot path.
+func (in *ingester) queueDepth() int {
+	n := 0
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
+}

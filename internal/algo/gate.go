@@ -3,6 +3,8 @@ package algo
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
+	"time"
 )
 
 // SearchGate bounds how many partitioning searches run at once across the
@@ -16,9 +18,42 @@ import (
 // quadratically.
 var searchGate = make(chan struct{}, runtime.GOMAXPROCS(0))
 
+// gateWaitObserver, when set, receives the wait duration of every CONTENDED
+// slot acquisition — uncontended fast-path acquires are not reported, so the
+// observation stream measures queueing, not throughput, and the fast path
+// stays a single channel send. The gate is process-wide, so the hook is too:
+// last registration wins (in practice the one daemon service of the process).
+var gateWaitObserver atomic.Pointer[func(time.Duration)]
+
+// SetGateWaitObserver installs fn as the search-gate wait observer; nil
+// uninstalls it.
+func SetGateWaitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		gateWaitObserver.Store(nil)
+		return
+	}
+	gateWaitObserver.Store(&fn)
+}
+
+// observeGateWait reports one contended wait to the observer, if any.
+func observeGateWait(start time.Time) {
+	if fn := gateWaitObserver.Load(); fn != nil {
+		(*fn)(time.Since(start))
+	}
+}
+
 // AcquireSearchSlot blocks until a process-wide search slot is free. Every
 // Acquire must be paired with exactly one ReleaseSearchSlot.
-func AcquireSearchSlot() { searchGate <- struct{}{} }
+func AcquireSearchSlot() {
+	select {
+	case searchGate <- struct{}{}:
+		return
+	default:
+	}
+	start := time.Now()
+	searchGate <- struct{}{}
+	observeGateWait(start)
+}
 
 // ReleaseSearchSlot returns a slot taken by AcquireSearchSlot.
 func ReleaseSearchSlot() { <-searchGate }
@@ -32,7 +67,15 @@ func AcquireSearchSlotCtx(ctx context.Context) error {
 	select {
 	case searchGate <- struct{}{}:
 		return nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case searchGate <- struct{}{}:
+		observeGateWait(start)
+		return nil
 	case <-ctx.Done():
+		observeGateWait(start)
 		return ctx.Err()
 	}
 }

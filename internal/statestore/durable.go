@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"knives/internal/telemetry"
 	"knives/internal/vfs"
 )
 
@@ -27,6 +29,12 @@ type Options struct {
 	// is guaranteed to survive a crash; larger values trade the last
 	// SyncEvery-1 events for throughput.
 	SyncEvery int
+	// Metrics, when set, receives WAL timing histograms
+	// (knives_wal_append_seconds, knives_wal_fsync_seconds,
+	// knives_wal_snapshot_seconds) and recovery/snapshot gauges. Nil
+	// disables instrumentation at zero cost — the histogram handles stay
+	// nil and their methods no-op.
+	Metrics *telemetry.Registry
 }
 
 // snapshot file names.
@@ -84,6 +92,11 @@ type Durable struct {
 
 	snapshots    int64
 	snapshotErrs int64
+
+	// WAL timing histograms; nil (and therefore free) without Options.Metrics.
+	appendHist *telemetry.Histogram
+	fsyncHist  *telemetry.Histogram
+	snapHist   *telemetry.Histogram
 }
 
 // Open replays the directory's snapshot and WAL segments and returns a
@@ -192,7 +205,34 @@ func Open(fsys vfs.FS, opt Options) (*Durable, error) {
 	d.report.SkippedUnknown = d.st.skipped - skippedBefore
 	d.recovered = d.st.export()
 	d.report.Tables = len(d.recovered)
+	d.bindMetrics(opt.Metrics)
 	return d, nil
+}
+
+// bindMetrics registers the store's histograms and gauges on reg; a nil reg
+// leaves every handle nil, and the nil-safe metric methods make the
+// instrumentation points free.
+func (d *Durable) bindMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("knives_wal_append_seconds", "WAL group-commit latency: frame build through fold, including any fsync.")
+	reg.SetHelp("knives_wal_fsync_seconds", "WAL fsync latency (only appends that actually synced per SyncEvery).")
+	reg.SetHelp("knives_wal_snapshot_seconds", "Snapshot + WAL truncation latency.")
+	d.appendHist = reg.Histogram("knives_wal_append_seconds")
+	d.fsyncHist = reg.Histogram("knives_wal_fsync_seconds")
+	d.snapHist = reg.Histogram("knives_wal_snapshot_seconds")
+	reg.GaugeFunc("knives_wal_last_seq", func() float64 { return float64(d.LastSeq()) })
+	reg.CounterFunc("knives_wal_snapshots_total", func() int64 { n, _ := d.Snapshots(); return n })
+	reg.CounterFunc("knives_wal_snapshot_errors_total", func() int64 { _, e := d.Snapshots(); return e })
+	rep := d.report
+	reg.GaugeFunc("knives_recovery_snapshot_seq", func() float64 { return float64(rep.SnapshotSeq) })
+	reg.GaugeFunc("knives_recovery_segments", func() float64 { return float64(rep.Segments) })
+	reg.GaugeFunc("knives_recovery_records", func() float64 { return float64(rep.Records) })
+	reg.GaugeFunc("knives_recovery_torn_bytes", func() float64 { return float64(rep.TornBytes) })
+	reg.GaugeFunc("knives_recovery_skipped_old", func() float64 { return float64(rep.SkippedOld) })
+	reg.GaugeFunc("knives_recovery_skipped_unknown", func() float64 { return float64(rep.SkippedUnknown) })
+	reg.GaugeFunc("knives_recovery_tables", func() float64 { return float64(rep.Tables) })
 }
 
 func (d *Durable) Journaling() bool { return true }
@@ -274,6 +314,7 @@ func (d *Durable) AppendBatch(evs []Event) error {
 }
 
 func (d *Durable) appendGroup(evs []Event) error {
+	t0 := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -295,7 +336,10 @@ func (d *Durable) appendGroup(evs []Event) error {
 	}
 	d.unsynced += len(evs)
 	if d.opt.SyncEvery <= 1 || d.unsynced >= d.opt.SyncEvery {
-		if err := d.seg.Sync(); err != nil {
+		tSync := time.Now()
+		err := d.seg.Sync()
+		d.fsyncHist.Since(tSync)
+		if err != nil {
 			// Not durable: discard the records (truncate on next attempt)
 			// and report failure; the caller retries.
 			d.needRepair = true
@@ -317,6 +361,7 @@ func (d *Durable) appendGroup(evs []Event) error {
 		}
 		d.sinceSnap = 0
 	}
+	d.appendHist.Since(t0)
 	return nil
 }
 
@@ -340,6 +385,8 @@ func (d *Durable) Snapshot() error {
 // before the rename the old snapshot + all segments replay; after it the
 // new snapshot skips old records by sequence.
 func (d *Durable) snapshotLocked() error {
+	t0 := time.Now()
+	defer d.snapHist.Since(t0)
 	data := encodeSnapshot(snapshotData{
 		lastSeq:   d.lastSeq,
 		window:    int64(d.opt.DriftWindow),

@@ -14,5 +14,6 @@ func (*Mem) Journaling() bool          { return false }
 func (*Mem) Append(Event) error        { return nil }
 func (*Mem) AppendBatch([]Event) error { return nil }
 func (*Mem) Recovered() []TableState   { return nil }
+func (*Mem) Report() RecoveryReport    { return RecoveryReport{} }
 func (*Mem) Snapshot() error           { return nil }
 func (*Mem) Close() error              { return nil }

@@ -65,6 +65,10 @@ type Store interface {
 	// Recovered returns the per-table state replayed at open, in
 	// registration order. Empty for a fresh or in-memory store.
 	Recovered() []TableState
+	// Report describes what recovery found at open — snapshot coverage,
+	// segments scanned, records replayed, what was skipped or truncated.
+	// The zero value for a fresh or in-memory store.
+	Report() RecoveryReport
 	// Snapshot compacts the journal: persists the current folded state
 	// and truncates the WAL to the records after it.
 	Snapshot() error

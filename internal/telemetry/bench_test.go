@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryOverhead measures the per-call cost of the three hot-path
+// primitives the service leans on: a sharded counter increment, a histogram
+// observation, and an untraced StartSpan/End pair. These are the only calls
+// that sit on the observe fast path, so their sum bounds the instrumentation
+// tax per request leg.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total")
+	h := reg.Histogram("bench_seconds")
+	ctx := context.Background()
+
+	b.Run("CounterInc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.0042)
+		}
+	})
+	b.Run("HistogramSince", func(b *testing.B) {
+		b.ReportAllocs()
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			h.Since(t0)
+		}
+	})
+	b.Run("SpanUntraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := StartSpan(ctx, "bench")
+			sp.End()
+		}
+	})
+	b.Run("SpanTraced", func(b *testing.B) {
+		b.ReportAllocs()
+		tctx, _ := NewTrace(ctx, "bench")
+		for i := 0; i < b.N; i++ {
+			_, sp := StartSpan(tctx, "bench")
+			sp.End()
+		}
+	})
+}
+
+// BenchmarkExposition measures a full scrape render over a realistically
+// sized registry (a few dozen families), which bounds /metrics handler cost.
+func BenchmarkExposition(b *testing.B) {
+	reg := NewRegistry()
+	for _, op := range []string{"scan", "select", "join", "project"} {
+		reg.Counter(`knives_operator_rows_total{op="` + op + `"}`).Add(1000)
+		reg.Histogram(`knives_operator_seconds{op="` + op + `"}`).Observe(0.01)
+	}
+	for i := 0; i < 20; i++ {
+		h := reg.Histogram("knives_h" + string(rune('a'+i)) + "_seconds")
+		for j := 0; j < 50; j++ {
+			h.Observe(float64(j) * 0.001)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.String()
+	}
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition strictly validates a Prometheus text-format payload:
+// every line must be a well-formed comment or sample, every sample must
+// belong to a family declared by a preceding # TYPE line, no sample may
+// repeat, and every histogram series must satisfy the bucket invariants —
+// `le` bounds strictly increasing, cumulative counts non-decreasing, a
+// mandatory +Inf bucket equal to _count, and _sum present. It is the
+// referee both the package's own tests and the /metrics end-to-end tests
+// scrape through, so a malformed exposition can never pass by being unread.
+func CheckExposition(text string) error {
+	types := map[string]string{}    // family -> declared type
+	seen := map[string]bool{}       // exact sample key -> present
+	samples := map[string]float64{} // exact sample key -> value
+	type bucketSeries struct {
+		family string
+		les    []float64
+		counts []float64
+	}
+	buckets := map[string]*bucketSeries{} // family + base labels -> series
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				family, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[family]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, family)
+				}
+				types[family] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		samples[key] = value
+
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, base, err := splitLE(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			sk := family + "{" + base + "}"
+			bs := buckets[sk]
+			if bs == nil {
+				bs = &bucketSeries{family: family}
+				buckets[sk] = bs
+			}
+			bs.les = append(bs.les, le)
+			bs.counts = append(bs.counts, value)
+		}
+		if (typ == "counter" || typ == "histogram") && (value < 0 || math.IsNaN(value)) {
+			return fmt.Errorf("line %d: %s value %v must be a non-negative number", lineNo, typ, value)
+		}
+	}
+
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, sk := range keys {
+		bs := buckets[sk]
+		if len(bs.les) == 0 || !math.IsInf(bs.les[len(bs.les)-1], 1) {
+			return fmt.Errorf("histogram series %s: missing +Inf bucket", sk)
+		}
+		for i := 1; i < len(bs.les); i++ {
+			if !(bs.les[i] > bs.les[i-1]) {
+				return fmt.Errorf("histogram series %s: le bounds not increasing (%v after %v)",
+					sk, bs.les[i], bs.les[i-1])
+			}
+			if bs.counts[i] < bs.counts[i-1] {
+				return fmt.Errorf("histogram series %s: cumulative count decreases at le=%v (%v < %v)",
+					sk, bs.les[i], bs.counts[i], bs.counts[i-1])
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimPrefix(sk, bs.family+"{"), "}")
+		countKey := bs.family + "_count{" + base + "}"
+		sumKey := bs.family + "_sum{" + base + "}"
+		count, ok := samples[countKey]
+		if !ok {
+			return fmt.Errorf("histogram series %s: missing _count sample", sk)
+		}
+		if _, ok := samples[sumKey]; !ok {
+			return fmt.Errorf("histogram series %s: missing _sum sample", sk)
+		}
+		if inf := bs.counts[len(bs.counts)-1]; inf != count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %v != _count %v", sk, inf, count)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !nameRE.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", "", 0, fmt.Errorf("sample %q must be exactly `name value`", line)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("sample %q has unparseable value: %v", line, perr)
+	}
+	return name, labels, v, nil
+}
+
+// splitLE extracts the le bound from a bucket label set and returns the
+// remaining (base) labels.
+func splitLE(labels string) (le float64, base string, err error) {
+	parts := strings.Split(labels, ",")
+	rest := make([]string, 0, len(parts))
+	found := false
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			v = strings.TrimSuffix(v, `"`)
+			if v == "+Inf" {
+				le, found = math.Inf(1), true
+				continue
+			}
+			f, perr := strconv.ParseFloat(v, 64)
+			if perr != nil {
+				return 0, "", fmt.Errorf("bucket le %q unparseable: %v", v, perr)
+			}
+			le, found = f, true
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket sample without le label (%q)", labels)
+	}
+	return le, strings.Join(rest, ","), nil
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histograms use one fixed, log-spaced bucket grid for every metric: each
+// decade from 1e-9 to 1e9 is split at 1, 2.5, and 5, giving ~21% worst-case
+// relative quantile error — plenty for latency work spanning nanosecond
+// cache hits to multi-second portfolio searches, and for value histograms
+// like group-commit sizes. A fixed grid keeps Observe lock-free (one atomic
+// add into a precomputed slot, one atomic add to the sum) and makes every
+// histogram's buckets directly comparable in exposition.
+var bucketBounds = makeBounds()
+
+func makeBounds() []float64 {
+	var bounds []float64
+	for e := -9; e <= 9; e++ {
+		d := math.Pow(10, float64(e))
+		bounds = append(bounds, 1*d, 2.5*d, 5*d)
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram of non-negative values. Observe is
+// lock-free; Count, Sum, and Quantile read a live snapshot that may trail
+// concurrent writers by individual observations — bucket counts are
+// monotone, so derived quantiles are always within the stream observed so
+// far. The nil *Histogram ignores writes and reads as empty.
+type Histogram struct {
+	// counts[i] tallies observations in (bounds[i-1], bounds[i]];
+	// counts[len(bounds)] is the +Inf overflow bucket.
+	counts []atomic.Uint64
+	// sumBits accumulates the exact sum of observed values (CAS on the
+	// float's bits; histograms observe at most once per request leg, so
+	// the loop never spins hot).
+	sumBits atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, len(bucketBounds)+1)}
+}
+
+// Observe records one value. Negative values clamp to zero (durations and
+// sizes cannot be negative; a clock step must not corrupt the histogram),
+// NaN is dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(bucketBounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Since observes the seconds elapsed since t0 — the common latency call
+// shape, and the one place the seconds convention is spelled out: every
+// duration histogram in this codebase records seconds, as Prometheus
+// base units prescribe.
+func (h *Histogram) Since(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// snapshot copies the bucket counts.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the exact sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank. An empty histogram answers 0;
+// ranks landing in the +Inf bucket answer the top finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i >= len(bucketBounds) {
+				return bucketBounds[len(bucketBounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = bucketBounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bucketBounds[i]-lower)*frac
+		}
+		cum = next
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+func (h *Histogram) kind() string { return "histogram" }
+
+// expo renders the cumulative _bucket series plus _sum and _count. Empty
+// buckets are skipped (the grid has 58 slots; a scrape should not carry
+// dozens of zero lines per histogram) except +Inf, which is mandatory.
+func (h *Histogram) expo(b *strings.Builder, family, labels string) {
+	counts := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		last := i == len(counts)-1
+		if c == 0 && !last {
+			continue
+		}
+		bound := "+Inf"
+		if !last {
+			bound = formatValue(bucketBounds[i])
+		}
+		le := `le="` + bound + `"`
+		if labels != "" {
+			le = labels + "," + le
+		}
+		writeSample(b, family+"_bucket", le, float64(cum))
+	}
+	writeSample(b, family+"_sum", labels, h.Sum())
+	writeSample(b, family+"_count", labels, float64(cum))
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Trace collects the spans of one request so a slow-request log can show
+// where the budget went. Traces ride the context: the HTTP layer opens one
+// per request (when slow-request logging is enabled), and every layer below
+// — service, ingest stage, drift tracker, portfolio fan-out — adds spans
+// through StartSpan without knowing whether anyone is listening. When no
+// trace is in the context, StartSpan returns a nil *Span whose End is a
+// no-op, so the instrumentation points cost one context lookup on the
+// untraced hot path.
+type Trace struct {
+	// Name labels the trace, e.g. "POST /observe".
+	Name string
+	// Start anchors span offsets.
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	// Name describes the work, e.g. "search lineitem" or "ingest-wait orders".
+	Name string
+	// Depth is the nesting level under the trace root (0 = top).
+	Depth int
+	// Offset is when the span started, relative to the trace start.
+	Offset time.Duration
+	// Dur is how long it ran.
+	Dur time.Duration
+}
+
+// Span is an open span; End closes it into its trace. The nil *Span (what
+// StartSpan returns without a trace) ends as a no-op.
+type Span struct {
+	tr    *Trace
+	name  string
+	depth int
+	start time.Time
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// NewTrace opens a trace and attaches it to the context.
+func NewTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	tr := &Trace{Name: name, Start: time.Now()}
+	return context.WithValue(ctx, traceKey, tr), tr
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// StartSpan opens a span on the context's trace (nil span when there is
+// none). The returned context carries the span so children nest under it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	if tr == nil {
+		return ctx, nil
+	}
+	depth := 0
+	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
+		depth = parent.depth + 1
+	}
+	sp := &Span{tr: tr, name: name, depth: depth, start: time.Now()}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End closes the span, recording it on its trace, and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, SpanRecord{
+		Name: s.name, Depth: s.depth, Offset: s.start.Sub(s.tr.Start), Dur: d,
+	})
+	s.tr.mu.Unlock()
+	return d
+}
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.Start)
+}
+
+// Spans returns the finished spans ordered by start offset.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// Total sums the durations of every finished span with the given name —
+// e.g. the per-request total of "gate-wait" across a portfolio fan-out.
+func (t *Trace) Total(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			sum += s.Dur
+		}
+	}
+	return sum
+}
+
+// Render formats the trace as an indented breakdown for the slow-request
+// log: one line per span, offset and duration aligned, nesting indented.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	var b strings.Builder
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  %10s +%-10s %s%s\n",
+			fmtDur(s.Dur), fmtDur(s.Offset), strings.Repeat("  ", s.Depth), s.Name)
+	}
+	return b.String()
+}
+
+// fmtDur renders durations rounded for humans: sub-millisecond noise does
+// not belong in a slow-request log.
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

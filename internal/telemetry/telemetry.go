@@ -1,0 +1,372 @@
+// Package telemetry is knivesd's low-overhead instrumentation layer:
+// sharded atomic counters, gauges, fixed-bucket latency histograms, and
+// request-scoped trace spans, exposed in the Prometheus text format.
+//
+// The design goal is that instrumenting the observation hot path costs
+// nanoseconds, not microseconds: counters stripe their cells across cache
+// lines so concurrent writers do not bounce one word between cores,
+// histograms are a fixed array of atomic buckets (no locks, no dynamic
+// ranges), and every metric type is nil-receiver safe so call sites never
+// branch on "is telemetry enabled".
+//
+// A Registry owns metrics by full name. Names follow the Prometheus data
+// model and may carry a fixed label set inline:
+//
+//	reg.Counter(`knives_operator_rows_total{op="scan"}`)
+//	reg.Histogram("knives_wal_fsync_seconds")
+//
+// Metrics of one family (the name before the label braces) are grouped
+// under one # TYPE line by WritePrometheus. Creating the same name twice
+// returns the same metric; creating it as two different kinds panics —
+// that is a programming error, not an operational condition.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// nameRE validates a metric name: a Prometheus identifier, optionally
+// followed by one inline {label="value",...} set. Backslashes and double
+// quotes are excluded from label values so exposition never needs escaping.
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*` +
+	`(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})?$`)
+
+// splitName returns the family (metric name without labels) and the label
+// body (without braces, empty when unlabeled).
+func splitName(full string) (family, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], full[i+1 : len(full)-1]
+	}
+	return full, ""
+}
+
+// metric is anything a Registry can expose.
+type metric interface {
+	// kind is the Prometheus type: "counter", "gauge", or "histogram".
+	kind() string
+	// expo appends this metric's sample lines.
+	expo(b *strings.Builder, family, labels string)
+}
+
+// Registry owns a set of named metrics. The zero value is not usable; make
+// one with NewRegistry. All methods are safe for concurrent use; lookups
+// after creation are lock-free at the metric level (callers should retain
+// the returned pointers on hot paths rather than re-resolving names).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+	helps   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric), helps: make(map[string]string)}
+}
+
+// register get-or-creates a named metric, panicking on an invalid name or a
+// kind conflict.
+func (r *Registry) register(name, kind string, mk func() metric) metric {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind() != kind {
+			panic(fmt.Sprintf("telemetry: metric %q already registered as %s, requested %s",
+				name, m.kind(), kind))
+		}
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// SetHelp records a # HELP line for a metric family.
+func (r *Registry) SetHelp(family, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[family] = strings.ReplaceAll(help, "\n", " ")
+}
+
+// Counter get-or-creates a sharded monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	return r.register(name, "counter", func() metric { return newCounter() }).(*Counter)
+}
+
+// CounterFunc get-or-creates a counter whose value is read from fn at
+// exposition time — for surfacing counters another subsystem already
+// maintains (the service's atomic stats) without double-counting writes.
+// Re-registering replaces the function, so a restarted service rebinds the
+// name to its live state.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	m := r.register(name, "counter", func() metric { return &funcCounter{} }).(*funcCounter)
+	m.mu.Lock()
+	m.fn = fn
+	m.mu.Unlock()
+}
+
+// Gauge get-or-creates a settable gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.register(name, "gauge", func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc get-or-creates a gauge whose value is read from fn at
+// exposition time. Re-registering replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	m := r.register(name, "gauge", func() metric { return &Gauge{} }).(*Gauge)
+	m.mu.Lock()
+	m.fn = fn
+	m.mu.Unlock()
+}
+
+// Histogram get-or-creates a fixed-bucket histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.register(name, "histogram", func() metric { return newHistogram() }).(*Histogram)
+}
+
+// cacheLinePad is sized so adjacent counter cells never share a cache line
+// (128 covers the adjacent-line prefetcher on common x86 parts).
+const cacheLinePad = 128
+
+type counterCell struct {
+	n atomic.Int64
+	_ [cacheLinePad - 8]byte
+}
+
+// Counter is a monotonic counter striped across cache-line-padded cells:
+// concurrent writers land on different cells (indexed by a hash of the
+// caller's stack address, a cheap per-goroutine discriminator), so a hot
+// counter never serializes its writers on one cache line. Reads sum the
+// cells. The nil *Counter ignores writes and reads as 0.
+type Counter struct {
+	cells []counterCell
+	mask  uint64
+}
+
+// counterShards is the stripe width: enough to spread writers on big
+// machines, one cell (no hashing benefit, minimal memory) on small ones.
+func counterShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return 1
+	}
+	// Round up to a power of two, capped at 64.
+	s := 1
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	return s
+}
+
+func newCounter() *Counter {
+	n := counterShards()
+	return &Counter{cells: make([]counterCell, n), mask: uint64(n - 1)}
+}
+
+// cellIndex picks a stripe for the calling goroutine: distinct goroutines
+// live on distinct stacks, so hashing a local's address spreads concurrent
+// writers across cells without runtime hooks or thread-locals. The address
+// is used only as entropy — it is never dereferenced or stored.
+func (c *Counter) cellIndex() uint64 {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe)))
+	// SplitMix64 finalizer: stack addresses share high bits, so mix hard.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return (h ^ (h >> 31)) & c.mask
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.cells[c.cellIndex()].n.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+func (c *Counter) kind() string { return "counter" }
+
+func (c *Counter) expo(b *strings.Builder, family, labels string) {
+	writeSample(b, family, labels, float64(c.Value()))
+}
+
+// funcCounter reads its value from a callback at exposition time.
+type funcCounter struct {
+	mu sync.Mutex
+	fn func() int64
+}
+
+func (f *funcCounter) value() int64 {
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+func (f *funcCounter) kind() string { return "counter" }
+
+func (f *funcCounter) expo(b *strings.Builder, family, labels string) {
+	writeSample(b, family, labels, float64(f.value()))
+}
+
+// Gauge is a last-write-wins float value, or a callback when registered
+// through GaugeFunc. The nil *Gauge ignores writes and reads as 0.
+type Gauge struct {
+	bits atomic.Uint64
+
+	mu sync.Mutex
+	fn func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges are not write-hot).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (the callback's, when one is set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) kind() string { return "gauge" }
+
+func (g *Gauge) expo(b *strings.Builder, family, labels string) {
+	writeSample(b, family, labels, g.Value())
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one # TYPE
+// line per family, metrics of a family sorted by their label sets.
+func (r *Registry) WritePrometheus(w io.Writer) (int, error) {
+	var b strings.Builder
+	r.write(&b)
+	return io.WriteString(w, b.String())
+}
+
+func (r *Registry) write(b *strings.Builder) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	byName := make(map[string]metric, len(r.metrics))
+	for name, m := range r.metrics {
+		byName[name] = m
+	}
+	helps := make(map[string]string, len(r.helps))
+	for f, h := range r.helps {
+		helps[f] = h
+	}
+	r.mu.Unlock()
+
+	sort.Slice(names, func(i, j int) bool {
+		fi, li := splitName(names[i])
+		fj, lj := splitName(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+	lastFamily := ""
+	for _, name := range names {
+		m := byName[name]
+		family, labels := splitName(name)
+		if family != lastFamily {
+			if help, ok := helps[family]; ok {
+				fmt.Fprintf(b, "# HELP %s %s\n", family, help)
+			}
+			fmt.Fprintf(b, "# TYPE %s %s\n", family, m.kind())
+			lastFamily = family
+		}
+		m.expo(b, family, labels)
+	}
+}
+
+// String renders the exposition as one string.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.write(&b)
+	return b.String()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(b *strings.Builder, family, labels string, v float64) {
+	b.WriteString(family)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus parsers expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}

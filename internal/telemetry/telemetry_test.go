@@ -1,0 +1,388 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("knives_test_total")
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("knives_same_total")
+	b := reg.Counter("knives_same_total")
+	if a != b {
+		t.Fatal("same name should return the same counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("aliased counter reads %d, want 3", b.Value())
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.Since(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read empty")
+	}
+	var tr *Trace
+	if tr.Elapsed() != 0 || tr.Spans() != nil || tr.Total("x") != 0 || tr.Render() != "" {
+		t.Fatal("nil trace must read empty")
+	}
+	var sp *Span
+	if sp.End() != 0 {
+		t.Fatal("nil span End must return 0")
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{
+		"",
+		"9starts_with_digit",
+		"has space",
+		`bad{label}`,    // label without value
+		`bad{l="v"`,     // unclosed
+		`bad{l="a\"b"}`, // quote in value
+		`bad{l="v"}x`,   // trailing garbage
+		`bad{1l="v"}`,   // label starts with digit
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", name)
+				}
+			}()
+			reg.Counter(name)
+		}()
+	}
+	// Valid shapes must not panic.
+	reg.Counter(`knives_ok_total{op="scan",phase="read"}`)
+	reg.Gauge("knives:colon_ok")
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("knives_conflict")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a histogram should panic")
+		}
+	}()
+	reg.Histogram("knives_conflict")
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("knives_depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	reg.GaugeFunc("knives_live", func() float64 { return 7 })
+	if !strings.Contains(reg.String(), "knives_live 7") {
+		t.Fatalf("GaugeFunc value missing from exposition:\n%s", reg.String())
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry()
+	n := int64(0)
+	reg.CounterFunc("knives_requests_total", func() int64 { return n })
+	n = 42
+	if !strings.Contains(reg.String(), "knives_requests_total 42") {
+		t.Fatalf("CounterFunc must read live value:\n%s", reg.String())
+	}
+	// Rebinding replaces the callback.
+	reg.CounterFunc("knives_requests_total", func() int64 { return 99 })
+	if !strings.Contains(reg.String(), "knives_requests_total 99") {
+		t.Fatalf("CounterFunc rebind must win:\n%s", reg.String())
+	}
+}
+
+func TestHistogramCountSumQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("knives_lat_seconds")
+	vals := []float64{0.001, 0.002, 0.004, 0.01, 0.05, 0.1, 0.5, 1, 2, 10}
+	var want float64
+	for _, v := range vals {
+		h.Observe(v)
+		want += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+	// The median of 10 values lands in the bucket holding the 5th; grid
+	// resolution bounds how tight this can be — it just has to be sane.
+	q50 := h.Quantile(0.5)
+	if q50 < 0.01 || q50 > 0.1 {
+		t.Fatalf("p50 = %v, want within [0.01, 0.1]", q50)
+	}
+	q99 := h.Quantile(0.99)
+	if q99 < 2 || q99 > 25 {
+		t.Fatalf("p99 = %v, want within [2, 25]", q99)
+	}
+	if q := h.Quantile(0); q > h.Quantile(1) {
+		t.Fatalf("quantiles not monotone: q0=%v q1=%v", q, h.Quantile(1))
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewRegistry().Histogram("knives_edge_seconds")
+	h.Observe(math.NaN()) // dropped
+	h.Observe(-5)         // clamps to 0
+	h.Observe(0)
+	h.Observe(1e12) // beyond top bound -> +Inf bucket
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 1e12 {
+		t.Fatalf("Sum = %v, want 1e12", h.Sum())
+	}
+	// A rank in the +Inf bucket answers the top finite bound.
+	if got, top := h.Quantile(1), bucketBounds[len(bucketBounds)-1]; got != top {
+		t.Fatalf("Quantile(1) = %v, want top bound %v", got, top)
+	}
+}
+
+func TestHistogramBucketInvariants(t *testing.T) {
+	if len(bucketBounds) == 0 {
+		t.Fatal("no bucket bounds")
+	}
+	for i := 1; i < len(bucketBounds); i++ {
+		if !(bucketBounds[i] > bucketBounds[i-1]) {
+			t.Fatalf("bounds not increasing at %d: %v after %v",
+				i, bucketBounds[i], bucketBounds[i-1])
+		}
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("knives_inv_seconds")
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.003)
+	}
+	// Exposition-level invariants are enforced by the strict checker.
+	if err := CheckExposition(reg.String()); err != nil {
+		t.Fatalf("exposition fails strict check: %v\n%s", err, reg.String())
+	}
+	// And the +Inf bucket must equal the count even read directly.
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.Count() {
+		t.Fatalf("snapshot total %d != Count %d", total, h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("knives_conc_seconds")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w+1) * 0.0001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var want float64
+	for w := 1; w <= workers; w++ {
+		want += float64(w) * 0.0001 * perWorker
+	}
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("knives_rows_total", "rows processed per operator")
+	reg.Counter(`knives_rows_total{op="scan"}`).Add(10)
+	reg.Counter(`knives_rows_total{op="join"}`).Add(4)
+	reg.Gauge("knives_queue_depth").Set(3)
+	h := reg.Histogram("knives_req_seconds")
+	h.Observe(0.004)
+	h.Observe(0.2)
+
+	out := reg.String()
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("strict check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# HELP knives_rows_total rows processed per operator\n",
+		"# TYPE knives_rows_total counter\n",
+		`knives_rows_total{op="join"} 4` + "\n",
+		`knives_rows_total{op="scan"} 10` + "\n",
+		"# TYPE knives_queue_depth gauge\n",
+		"knives_queue_depth 3\n",
+		"# TYPE knives_req_seconds histogram\n",
+		`knives_req_seconds_bucket{le="+Inf"} 2` + "\n",
+		"knives_req_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with two labeled children.
+	if n := strings.Count(out, "# TYPE knives_rows_total "); n != 1 {
+		t.Errorf("family declared %d times, want 1", n)
+	}
+	// Buckets are cumulative: the 0.2 observation's bucket includes the 0.004 one.
+	if !strings.Contains(out, `knives_req_seconds_bucket{le="0.25"} 2`) {
+		t.Errorf("cumulative bucket at le=0.25 missing:\n%s", out)
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":           "knives_x_total 1\n",
+		"bad value":         "# TYPE knives_x counter\nknives_x abc\n",
+		"duplicate sample":  "# TYPE knives_x counter\nknives_x 1\nknives_x 2\n",
+		"duplicate TYPE":    "# TYPE knives_x counter\n# TYPE knives_x counter\nknives_x 1\n",
+		"negative counter":  "# TYPE knives_x counter\nknives_x -1\n",
+		"unknown type":      "# TYPE knives_x blob\nknives_x 1\n",
+		"missing +Inf":      "# TYPE knives_h histogram\nknives_h_bucket{le=\"1\"} 1\nknives_h_sum 1\nknives_h_count 1\n",
+		"count mismatch":    "# TYPE knives_h histogram\nknives_h_bucket{le=\"+Inf\"} 1\nknives_h_sum 1\nknives_h_count 2\n",
+		"shrinking buckets": "# TYPE knives_h histogram\nknives_h_bucket{le=\"1\"} 5\nknives_h_bucket{le=\"2\"} 3\nknives_h_bucket{le=\"+Inf\"} 5\nknives_h_sum 1\nknives_h_count 5\n",
+		"missing sum":       "# TYPE knives_h histogram\nknives_h_bucket{le=\"+Inf\"} 1\nknives_h_count 1\n",
+	}
+	for name, text := range cases {
+		if err := CheckExposition(text); err == nil {
+			t.Errorf("%s: checker accepted malformed exposition:\n%s", name, text)
+		}
+	}
+	// And a well-formed document passes.
+	good := "# TYPE knives_h histogram\n" +
+		"knives_h_bucket{le=\"1\"} 1\nknives_h_bucket{le=\"+Inf\"} 2\n" +
+		"knives_h_sum 3.5\nknives_h_count 2\n"
+	if err := CheckExposition(good); err != nil {
+		t.Errorf("checker rejected well-formed exposition: %v", err)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "POST /advise")
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom must return the attached trace")
+	}
+	ctx1, outer := StartSpan(ctx, "advise")
+	_, inner := StartSpan(ctx1, "search")
+	time.Sleep(2 * time.Millisecond)
+	if inner.End() <= 0 {
+		t.Fatal("inner span duration must be positive")
+	}
+	_, gate := StartSpan(ctx1, "gate-wait")
+	gate.End()
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["advise"].Depth != 0 || byName["search"].Depth != 1 || byName["gate-wait"].Depth != 1 {
+		t.Fatalf("bad nesting depths: %+v", spans)
+	}
+	if byName["advise"].Dur < byName["search"].Dur {
+		t.Fatal("outer span must contain inner span's duration")
+	}
+	if tr.Total("search") != byName["search"].Dur {
+		t.Fatal("Total must sum spans by name")
+	}
+	if got := tr.Render(); !strings.Contains(got, "search") || !strings.Contains(got, "  advise") {
+		t.Fatalf("Render missing spans:\n%s", got)
+	}
+	if tr.Elapsed() <= 0 {
+		t.Fatal("Elapsed must be positive")
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace must return a nil span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("StartSpan without a trace must not allocate a new context")
+	}
+}
+
+func TestSinceObservesSeconds(t *testing.T) {
+	h := NewRegistry().Histogram("knives_since_seconds")
+	t0 := time.Now().Add(-100 * time.Millisecond)
+	h.Since(t0)
+	if h.Count() != 1 {
+		t.Fatal("Since must observe exactly once")
+	}
+	if s := h.Sum(); s < 0.09 || s > 5 {
+		t.Fatalf("Since observed %v, want ~0.1s", s)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+		1e-9:         "1e-09",
+		3:            "3",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}

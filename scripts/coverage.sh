@@ -63,4 +63,9 @@ check internal/operator 85.0
 # a drift verdict that silently diverges from the exact tracker (98.7% when
 # the gate was added).
 check internal/sketch 85.0
+# The telemetry layer: the sharded counters, histogram bucket math, and the
+# exposition writer are what operators steer by — an untested branch here is
+# a dashboard that lies under exactly the load it was built to explain
+# (93.1% when the gate was added).
+check internal/telemetry 85.0
 exit $fail
