@@ -251,6 +251,13 @@ func BenchmarkExtOperators(b *testing.B) {
 	b.ReportMetric(cell(b, rep, "mm", 8), "hillclimb-mm-bytes")
 }
 
+func BenchmarkExtVectorized(b *testing.B) {
+	rep := runExperiment(b, "ext-vectorized")
+	b.ReportMetric(cell(b, rep, "row", 3), "row-oracle-measured-seconds")
+	b.ReportMetric(cell(b, rep, "vector", 3), "vector-measured-seconds")
+	b.ReportMetric(cell(b, rep, "vector", 6), "vector-rows-out")
+}
+
 // Kernel benches: the parallel, incremental search kernel (see DESIGN.md).
 // The sequential/parallel pair below is the kernel's headline speedup
 // measurement on the paper's biggest exhaustive search — BruteForce over

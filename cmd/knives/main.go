@@ -582,6 +582,9 @@ func runExec(args []string) error {
 	rows := fs.Int64("rows", 0, "max rows materialized per table (0 = default)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the numbers")
 	seed := fs.Int64("seed", 1, "data generator seed")
+	execMode := fs.String("exec", "row", "pipeline execution mode: row (oracle) or vector (batch-at-a-time); never changes the numbers")
+	batch := fs.Int("batch", 0, "vector-mode rows per batch (0 = default)")
+	execWorkers := fs.Int("exec-workers", 0, "vector-mode morsel-parallel leaf scans per pipeline (<= 1 = synchronous)")
 	selTable := fs.String("select-table", "", "table whose pipelines gain a pushed-down selection")
 	selColumn := fs.String("select-column", "", "u32 column (int or date) the selection filters on")
 	selBound := fs.Uint64("select-bound", 0, "keep rows with column value strictly below this bound")
@@ -616,6 +619,9 @@ func runExec(args []string) error {
 			MaxRows:     *rows,
 			Seed:        *seed,
 			Workers:     *workers,
+			Exec:        *execMode,
+			BatchSize:   *batch,
+			ExecWorkers: *execWorkers,
 			Model:       &advisor.ModelSpec{Name: *modelName},
 		}
 		if *selTable != "" {
@@ -668,11 +674,14 @@ func runExec(args []string) error {
 		return err
 	}
 	cfg := knives.ReplayConfig{
-		Model:   *modelName,
-		Disk:    override,
-		MaxRows: *rows,
-		Workers: *workers,
-		Seed:    *seed,
+		Model:       *modelName,
+		Disk:        override,
+		MaxRows:     *rows,
+		Workers:     *workers,
+		Seed:        *seed,
+		ExecMode:    *execMode,
+		BatchSize:   *batch,
+		ExecWorkers: *execWorkers,
 	}
 
 	advisorMode := strings.EqualFold(*algoName, "advisor")

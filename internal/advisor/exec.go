@@ -108,6 +108,7 @@ func (s *Service) execTableAs(ctx context.Context, tw schema.TableWorkload, opt 
 		e.report, e.err = replay.Operators(tw, layout, advice.Algorithm, cfg, opSel)
 		if e.err == nil {
 			s.tm.recordOpStats(e.report.Ops)
+			s.tm.recordExec(e.report)
 		}
 	})
 	if e.err != nil {

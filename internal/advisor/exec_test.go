@@ -143,3 +143,92 @@ func TestServerQueryErrors(t *testing.T) {
 		t.Error("oversized max_rows accepted")
 	}
 }
+
+// TestServerQueryExecModes pins the exec-knob contract on /query: a
+// vector-mode request is wire-valid, returns the identical report numbers,
+// and — because exec knobs change wall-clock, never results — SHARES the
+// cached execution with a row-mode request for the same workload (the same
+// deliberate exclusion the replay cache applies to workers).
+func TestServerQueryExecModes(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	req := queryRequest()
+	req.Exec = "vector"
+	req.BatchSize = 128
+	req.ExecWorkers = 2
+	first, err := client.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := first.Reports[0]
+	if rep.Cached {
+		t.Error("first vector query claims to be cached")
+	}
+	if !rep.Exact {
+		t.Errorf("vector execution not exact: delta=%v", rep.MaxAbsDelta)
+	}
+	if rep.ExecMode != "vector" {
+		t.Errorf("exec mode on the wire = %q, want vector", rep.ExecMode)
+	}
+
+	// A row-mode request for the same selection must answer from the SAME
+	// cached execution: exec knobs are deliberately not part of the key.
+	rowReq := queryRequest()
+	second, err := client.Query(ctx, rowReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Reports[0].Cached {
+		t.Error("row-mode request did not share the vector run's cached execution")
+	}
+	if second.Reports[0].MeasuredSeconds != rep.MeasuredSeconds {
+		t.Error("cached execution differs across exec modes")
+	}
+	// And so must a vector request with different knobs.
+	req.BatchSize = 4096
+	req.ExecWorkers = 8
+	third, err := client.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Reports[0].Cached {
+		t.Error("different batch size / exec workers missed the cache")
+	}
+}
+
+// TestServerQueryExecValidation: malformed exec knobs answer 400.
+func TestServerQueryExecValidation(t *testing.T) {
+	_, _, client := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	req := queryRequest()
+	req.Exec = "columnar"
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "exec mode") {
+		t.Errorf("unknown exec mode error = %v", err)
+	}
+
+	req = queryRequest()
+	req.BatchSize = -1
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "batch_size") {
+		t.Errorf("negative batch_size error = %v", err)
+	}
+
+	req = queryRequest()
+	req.BatchSize = 1 << 20
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "batch_size") {
+		t.Errorf("oversized batch_size error = %v", err)
+	}
+
+	req = queryRequest()
+	req.ExecWorkers = -1
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "exec_workers") {
+		t.Errorf("negative exec_workers error = %v", err)
+	}
+
+	req = queryRequest()
+	req.ExecWorkers = MaxReplayWorkers + 1
+	if _, err := client.Query(ctx, req); err == nil || !strings.Contains(err.Error(), "exec_workers") {
+		t.Errorf("oversized exec_workers error = %v", err)
+	}
+}

@@ -159,6 +159,22 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 			t.Fatalf("observe %d: %v", i, err)
 		}
 	}
+	// One vector-mode /query so the execution metrics (rows, exec-seconds,
+	// batch fill ratios) carry samples in the scrape below.
+	qreq := queryRequest()
+	qreq.Exec = "vector"
+	qreq.BatchSize = 64
+	qres, err := client.Query(ctx, qreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queryRows int64
+	for _, p := range qres.Reports[0].Pipelines {
+		queryRows += p.ResultRows
+	}
+	if queryRows == 0 {
+		t.Fatal("vector /query emitted no rows; fill-ratio samples would be vacuous")
+	}
 
 	resp, err := ts.Client().Get(ts.URL + "/metrics")
 	if err != nil {
@@ -193,11 +209,24 @@ func TestServerMetricsEndToEnd(t *testing.T) {
 		"knives_search_seconds_count":                        1,
 		`knives_http_request_seconds_count{path="/advise"}`:  1,
 		`knives_http_request_seconds_count{path="/observe"}`: 3,
+		`knives_http_request_seconds_count{path="/query"}`:   1,
 		"knives_tracked_tables":                              1,
+		// The vector /query's per-query execution telemetry: one sample per
+		// pipeline in the exec histogram, the summed result rows in the
+		// counter, and at least one batch-fill observation per pipeline.
+		"knives_query_rows_total":               float64(queryRows),
+		"knives_query_exec_seconds_count":       float64(len(qres.Reports[0].Pipelines)),
+		"knives_query_batch_fill_ratio_count":   float64(len(qres.Reports[0].Pipelines)),
+		`knives_operator_rows_total{op="scan"}`: 1,
 	} {
 		if got := sampleValue(t, expo, name); got < min {
 			t.Errorf("%s = %v, want >= %v", name, got, min)
 		}
+	}
+	// Fill ratios land in (0, 1].
+	if got := sampleValue(t, expo, "knives_query_batch_fill_ratio_sum"); got <= 0 ||
+		got > sampleValue(t, expo, "knives_query_batch_fill_ratio_count") {
+		t.Errorf("batch fill ratio sum %v outside (0, count]", got)
 	}
 	// The recovery gauges exist from startup (an empty store recovered
 	// nothing — the gauge is the report, zero included).

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"knives/internal/cost"
+	"knives/internal/operator"
 	"knives/internal/partition"
 	"knives/internal/replay"
 	"knives/internal/schema"
@@ -38,6 +39,14 @@ type ReplayOptions struct {
 	// never affect the report's numbers, so they are NOT part of the
 	// replay cache key.
 	Workers int
+	// ExecMode selects pipeline execution on the /query path: "" or "row"
+	// (the oracle) or "vector". Like Workers, exec knobs change wall-clock
+	// and never a result, so none of them join the exec cache key.
+	ExecMode string
+	// BatchSize is vector mode's rows per batch (0 = default).
+	BatchSize int
+	// ExecWorkers bounds morsel-parallel leaf scans per pipeline.
+	ExecWorkers int
 }
 
 // validate enforces the request-side limits.
@@ -47,6 +56,17 @@ func (o ReplayOptions) validate() error {
 	}
 	if o.Workers < 0 || o.Workers > MaxReplayWorkers {
 		return fmt.Errorf("%w: workers %d out of range [0, %d]", ErrBadReplay, o.Workers, MaxReplayWorkers)
+	}
+	switch operator.ExecMode(o.ExecMode) {
+	case "", operator.ExecRow, operator.ExecVector:
+	default:
+		return fmt.Errorf("%w: exec mode %q (%s or %s)", ErrBadReplay, o.ExecMode, operator.ExecRow, operator.ExecVector)
+	}
+	if o.BatchSize < 0 || o.BatchSize > operator.MaxBatchSize {
+		return fmt.Errorf("%w: batch_size %d out of range [0, %d]", ErrBadReplay, o.BatchSize, operator.MaxBatchSize)
+	}
+	if o.ExecWorkers < 0 || o.ExecWorkers > MaxReplayWorkers {
+		return fmt.Errorf("%w: exec_workers %d out of range [0, %d]", ErrBadReplay, o.ExecWorkers, MaxReplayWorkers)
 	}
 	return nil
 }
@@ -86,10 +106,13 @@ func replayConfigFor(m cost.Model, opt ReplayOptions) (replay.Config, error) {
 		return replay.Config{}, fmt.Errorf("advisor: cost model %s has no replay pricing", m.Name())
 	}
 	return replay.Config{
-		Disk:    dm.Device(),
-		MaxRows: opt.MaxRows,
-		Seed:    opt.Seed,
-		Workers: opt.Workers,
+		Disk:        dm.Device(),
+		MaxRows:     opt.MaxRows,
+		Seed:        opt.Seed,
+		Workers:     opt.Workers,
+		ExecMode:    opt.ExecMode,
+		BatchSize:   opt.BatchSize,
+		ExecWorkers: opt.ExecWorkers,
 	}, nil
 }
 

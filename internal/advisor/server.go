@@ -345,7 +345,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
-	opt := ReplayOptions{MaxRows: req.MaxRows, Seed: req.Seed, Workers: req.Workers}
+	opt := ReplayOptions{
+		MaxRows: req.MaxRows, Seed: req.Seed, Workers: req.Workers,
+		ExecMode: req.Exec, BatchSize: req.BatchSize, ExecWorkers: req.ExecWorkers,
+	}
 	if err := opt.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

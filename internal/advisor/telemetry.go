@@ -5,6 +5,7 @@ import (
 
 	"knives/internal/algo"
 	"knives/internal/operator"
+	"knives/internal/replay"
 	"knives/internal/telemetry"
 )
 
@@ -38,6 +39,12 @@ type svcMetrics struct {
 	// kind ("scan", "select", "join", "project").
 	opRows map[string]*telemetry.Counter
 	opSim  map[string]*telemetry.Histogram
+
+	// Per-query execution telemetry from /query: result rows, wall-clock
+	// pipeline execution time, and (vector mode) batch fill ratios.
+	queryRows *telemetry.Counter
+	queryExec *telemetry.Histogram
+	batchFill *telemetry.Histogram
 }
 
 // operatorKinds is the closed set of operator labels bound at registration;
@@ -79,6 +86,13 @@ func (m *svcMetrics) bind(reg *telemetry.Registry, s *Service) {
 		m.opRows[op] = reg.Counter(`knives_operator_rows_total{op="` + op + `"}`)
 		m.opSim[op] = reg.Histogram(`knives_operator_sim_seconds{op="` + op + `"}`)
 	}
+
+	reg.SetHelp("knives_query_rows_total", "Result rows emitted by /query pipeline executions.")
+	reg.SetHelp("knives_query_exec_seconds", "Wall-clock pipeline execution time per /query query.")
+	reg.SetHelp("knives_query_batch_fill_ratio", "Vector-mode batch fill ratios (surviving rows over batch capacity).")
+	m.queryRows = reg.Counter("knives_query_rows_total")
+	m.queryExec = reg.Histogram("knives_query_exec_seconds")
+	m.batchFill = reg.Histogram("knives_query_batch_fill_ratio")
 
 	gateWait := reg.Histogram("knives_gate_wait_seconds")
 	algo.SetGateWaitObserver(func(d time.Duration) { gateWait.Observe(d.Seconds()) })
@@ -122,6 +136,27 @@ func (m *svcMetrics) recordOpStats(ops [][]operator.OpStats) {
 		for _, st := range plan {
 			m.opRows[st.Op].Add(st.RowsOut)
 			m.opSim[st.Op].Observe(st.SimTime)
+		}
+	}
+}
+
+// recordExec folds one /query execution's per-query telemetry in: result
+// rows, wall-clock execution seconds, and (vector runs) batch fill ratios.
+// Nil-receiver safe like every instrumentation point — an unbound service
+// pays one nil check.
+func (m *svcMetrics) recordExec(rep *replay.OperatorReplay) {
+	if m.queryRows == nil {
+		return
+	}
+	for i := range rep.ResultRows {
+		m.queryRows.Add(rep.ResultRows[i])
+	}
+	for _, s := range rep.ExecSeconds {
+		m.queryExec.Observe(s)
+	}
+	for _, ratios := range rep.FillRatios {
+		for _, r := range ratios {
+			m.batchFill.Observe(r)
 		}
 	}
 }

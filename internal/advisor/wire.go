@@ -172,6 +172,16 @@ type QueryRequest struct {
 	Seed    int64 `json:"seed,omitempty"`
 	Workers int   `json:"workers,omitempty"`
 
+	// Exec selects pipeline execution: "" or "row" (oracle) or "vector".
+	// BatchSize and ExecWorkers tune the vector path (0 = defaults). All
+	// three change wall-clock only, never a result, so — like Workers —
+	// they are deliberately NOT part of the exec cache key: a row-mode and
+	// a vector-mode request for the same workload share one cached
+	// execution.
+	Exec        string `json:"exec,omitempty"`
+	BatchSize   int    `json:"batch_size,omitempty"`
+	ExecWorkers int    `json:"exec_workers,omitempty"`
+
 	// Selection optionally pushes a σ into the named table's pipelines.
 	Selection *SelectionSpec `json:"selection,omitempty"`
 
@@ -207,6 +217,7 @@ type TableExecWire struct {
 	Layout           [][]string     `json:"layout"`
 	Model            string         `json:"model"`
 	Selection        string         `json:"selection,omitempty"`
+	ExecMode         string         `json:"exec_mode,omitempty"`
 	RowsReplayed     int64          `json:"rows_replayed"`
 	RowsFull         int64          `json:"rows_full"`
 	MeasuredSeconds  float64        `json:"measured_seconds"`
@@ -564,6 +575,7 @@ func toExecWire(r *replay.OperatorReplay, fp Fingerprint, cached bool) TableExec
 		Layout:           layout,
 		Model:            r.Model,
 		Selection:        r.Selection,
+		ExecMode:         r.ExecMode,
 		RowsReplayed:     r.RowsReplayed,
 		RowsFull:         r.RowsFull,
 		MeasuredSeconds:  r.MeasuredTotal,

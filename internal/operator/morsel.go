@@ -1,0 +1,129 @@
+package operator
+
+import "sync"
+
+// Morsel-style intra-query parallelism: each leaf scan runs on its own
+// goroutine, filling batches from its cursor and handing them downstream
+// through a bounded queue whose buffers recycle in a small ring — the
+// consumer returns each batch before pulling the next, so a pipeline holds
+// a constant number of batch buffers no matter how many rows flow. A shared
+// semaphore bounds how many leaves fill concurrently (ExecOptions.Workers),
+// and the σ runs on the leaf's goroutine, next to the fill it filters.
+//
+// Parallelism changes NO reported number: every cursor is still driven
+// sequentially through all its rows by exactly one goroutine, the join
+// consumes chunks in lockstep on the run goroutine, and the aggregation
+// reads operator state only after every feeder has exited.
+
+// feederRing is the per-leaf queue depth: one batch in flight downstream,
+// one being filled.
+const feederRing = 2
+
+// feedMsg is one queue element: a filled batch, or the fill error that
+// ended the stream.
+type feedMsg struct {
+	b   *Batch
+	err error
+}
+
+// leafFeeder is the consumer-side view of one leaf goroutine: a VecOperator
+// whose NextBatch returns the previously consumed batch to the ring and
+// pulls the next filled one. Stats and Name delegate to the chain running
+// on the producer goroutine — callers read them only after the run
+// completes (the closed channel is the happens-before edge).
+type leafFeeder struct {
+	chain VecOperator
+	out   chan feedMsg
+	free  chan *Batch
+	last  *Batch
+	done  bool
+}
+
+// NextBatch recycles the last batch and pulls the next.
+func (f *leafFeeder) NextBatch() (*Batch, error) {
+	if f.done {
+		return nil, nil
+	}
+	if f.last != nil {
+		// The ring holds at most feederRing batches and the consumer returns
+		// one before pulling the next, so this send never blocks for long —
+		// but it must be a blocking send: dropping a buffer would starve the
+		// producer forever.
+		f.free <- f.last
+		f.last = nil
+	}
+	m, ok := <-f.out
+	if !ok {
+		f.done = true
+		return nil, nil
+	}
+	if m.err != nil {
+		f.done = true
+		return nil, m.err
+	}
+	f.last = m.b
+	return m.b, nil
+}
+
+// Stats delegates to the leaf chain's tail (σ when present, else the scan).
+func (f *leafFeeder) Stats() OpStats { return f.chain.Stats() }
+
+// Name delegates to the leaf chain's tail.
+func (f *leafFeeder) Name() string { return f.chain.Name() }
+
+// morselPool runs one goroutine per leaf, bounded by a shared fill
+// semaphore, with a quit channel for error teardown.
+type morselPool struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// start launches one producer for scan (+ optional σ) feeding f.
+func (mp *morselPool) start(f *leafFeeder, scan *VecScan, sel *VecSelect, sem chan struct{}) {
+	mp.wg.Add(1)
+	go func() {
+		defer mp.wg.Done()
+		defer close(f.out)
+		for {
+			var b *Batch
+			select {
+			case b = <-f.free:
+			case <-mp.quit:
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-mp.quit:
+				return
+			}
+			err := scan.FillInto(b)
+			if err == nil && b.n > 0 && sel != nil {
+				sel.Apply(b)
+			}
+			<-sem
+			if err != nil {
+				select {
+				case f.out <- feedMsg{err: err}:
+				case <-mp.quit:
+				}
+				return
+			}
+			if b.n == 0 {
+				return
+			}
+			select {
+			case f.out <- feedMsg{b: b}:
+			case <-mp.quit:
+				return
+			}
+		}
+	}()
+}
+
+// stop tears the pool down (idempotent) and waits for every producer to
+// exit, establishing the happens-before edge the post-run stats reads need.
+func (mp *morselPool) stop() {
+	mp.once.Do(func() { close(mp.quit) })
+	mp.wg.Wait()
+}

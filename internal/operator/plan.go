@@ -31,6 +31,69 @@ type Pipeline struct {
 	leaves []*Scan
 	ops    []Operator // bottom-up: leaves (canonical order), σ, ⋈, π
 	ran    bool
+
+	// Vector mode (opts.Mode == ExecVector): the same plan shape built from
+	// batch-at-a-time operators over the same cursors.
+	opts    ExecOptions
+	vroot   VecOperator
+	vproj   *VecProject
+	vjoin   *VecReconJoin
+	vleaves []*VecScan
+	vsels   []*VecSelect // index-aligned with vleaves; nil where no σ
+	vops    []VecOperator
+}
+
+// ExecMode selects a pipeline's execution strategy.
+type ExecMode string
+
+const (
+	// ExecRow is the PR-8 row-at-a-time Volcano path — the oracle every
+	// other mode must match bit for bit.
+	ExecRow ExecMode = "row"
+	// ExecVector is the batch-at-a-time path with optional morsel-parallel
+	// leaf scans.
+	ExecVector ExecMode = "vector"
+)
+
+// ExecOptions tune HOW a pipeline executes; they can never change WHAT it
+// computes or measures — every mode shares the cursors, the digest stream,
+// and the aggregation order, so results and ScanStats are knob-invariant.
+type ExecOptions struct {
+	// Mode selects row- or batch-at-a-time execution; empty means row.
+	Mode ExecMode
+	// BatchSize is the rows per batch in vector mode; 0 uses
+	// DefaultBatchSize, bounds are [1, MaxBatchSize].
+	BatchSize int
+	// Workers bounds how many leaf scans fill concurrently in vector mode;
+	// <= 1 runs everything on the calling goroutine, > 1 puts each leaf on
+	// its own goroutine behind a Workers-sized fill semaphore.
+	Workers int
+}
+
+// Normalized validates and defaults exec options. The replay and serving
+// layers share it, so a replayed pipeline and the wire-level validation in
+// front of it can never disagree about what a legal knob is.
+func (o ExecOptions) Normalized() (ExecOptions, error) { return o.normalized() }
+
+// normalized validates and defaults exec options.
+func (o ExecOptions) normalized() (ExecOptions, error) {
+	switch o.Mode {
+	case "", ExecRow:
+		o.Mode = ExecRow
+	case ExecVector:
+	default:
+		return o, fmt.Errorf("operator: unknown exec mode %q (%s or %s)", o.Mode, ExecRow, ExecVector)
+	}
+	if o.BatchSize < 0 || o.BatchSize > MaxBatchSize {
+		return o, fmt.Errorf("operator: batch size %d out of range [0, %d]", o.BatchSize, MaxBatchSize)
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("operator: exec workers %d must be non-negative", o.Workers)
+	}
+	return o, nil
 }
 
 // Result is one pipeline execution's outcome: the rows that flowed out of
@@ -47,6 +110,10 @@ type Result struct {
 	// Ops breaks the work down per operator, bottom-up (leaves in
 	// canonical layout order, then σ, ⋈, π as present).
 	Ops []OpStats
+	// FillRatios are vector mode's per-batch fill ratios (surviving rows
+	// over batch capacity) in stream order; nil in row mode. A telemetry
+	// signal only — it never feeds a verdict.
+	FillRatios []float64
 }
 
 // Build plans query (a projection attribute set) with an optional
@@ -55,8 +122,21 @@ type Result struct {
 // constants may differ (what-if execution on one materialized store).
 // Attributes outside the table are ignored, like Engine.Scan. A plan
 // referencing no attributes is valid and runs to an empty result for
-// free.
+// free. Build executes row-at-a-time; BuildExec selects the mode.
 func Build(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pred) (*Pipeline, error) {
+	return BuildExec(snap, dev, query, pred, ExecOptions{})
+}
+
+// BuildExec is Build with an execution-mode choice: the same plan shape over
+// the same cursors (same proportional buffer split, same canonical leaf
+// order), constructed from row or vector operators. The knobs tune only
+// wall-clock behavior; every result and every measured quantity is
+// mode-, batch-size-, and worker-count-invariant.
+func BuildExec(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pred, opts ExecOptions) (*Pipeline, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +153,7 @@ func Build(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pre
 		}
 		needed = needed.Add(pred.Attr)
 	}
-	p := &Pipeline{dev: dev, query: query, pred: pred}
+	p := &Pipeline{dev: dev, query: query, pred: pred, opts: opts}
 	if needed.IsEmpty() {
 		return p, nil
 	}
@@ -87,6 +167,10 @@ func Build(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pre
 			refs = append(refs, i)
 			totalRowSize += int64(snap.PartRowSize(i))
 		}
+	}
+
+	if opts.Mode == ExecVector {
+		return buildVector(p, snap, dev, query, pred, refs, totalRowSize)
 	}
 
 	children := make([]Operator, 0, len(refs))
@@ -119,14 +203,58 @@ func Build(snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pre
 	return p, nil
 }
 
-// Describe renders the plan bottom-up, one operator per line.
+// buildVector assembles the batch-at-a-time plan over the same refs and
+// cursors the row plan would open: leaves in canonical order, σ directly
+// above its leaf, chunk-aligned ⋈, digesting π at the root.
+func buildVector(p *Pipeline, snap *storage.Snapshot, dev cost.Device, query attrset.Set, pred *Pred, refs []int, totalRowSize int64) (*Pipeline, error) {
+	children := make([]VecOperator, 0, len(refs))
+	for _, i := range refs {
+		cur, err := snap.Cursor(i, dev, totalRowSize)
+		if err != nil {
+			return nil, err
+		}
+		leaf := NewVecScan(cur, dev, p.opts.BatchSize)
+		p.vleaves = append(p.vleaves, leaf)
+		p.vops = append(p.vops, leaf)
+		var child VecOperator = leaf
+		var vsel *VecSelect
+		if pred != nil && snap.PartAttrs(i).Has(pred.Attr) {
+			vsel = NewVecSelect(leaf, *pred)
+			p.vops = append(p.vops, vsel)
+			child = vsel
+		}
+		p.vsels = append(p.vsels, vsel)
+		children = append(children, child)
+	}
+
+	var root VecOperator = children[0]
+	if len(children) > 1 {
+		p.vjoin = NewVecReconJoin(children)
+		p.vops = append(p.vops, p.vjoin)
+		root = p.vjoin
+	}
+	p.vproj = NewVecProject(root, query, p.opts.BatchSize)
+	p.vops = append(p.vops, p.vproj)
+	p.vroot = p.vproj
+	return p, nil
+}
+
+// Describe renders the plan bottom-up, one operator per line. The rendering
+// is mode-invariant: a vector plan names the same operators in the same
+// order as its row twin.
 func (p *Pipeline) Describe() string {
-	if p.root == nil {
+	if p.root == nil && p.vroot == nil {
 		return "(empty)"
 	}
-	names := make([]string, len(p.ops))
-	for i, op := range p.ops {
-		names[i] = op.Name()
+	var names []string
+	if p.vroot != nil {
+		for _, op := range p.vops {
+			names = append(names, op.Name())
+		}
+	} else {
+		for _, op := range p.ops {
+			names = append(names, op.Name())
+		}
 	}
 	return strings.Join(names, " → ")
 }
@@ -149,6 +277,9 @@ func (p *Pipeline) RunFunc(fn func(r *Row) error) (Result, error) {
 		return Result{}, fmt.Errorf("operator: pipeline already ran")
 	}
 	p.ran = true
+	if p.opts.Mode == ExecVector {
+		return p.runVector(fn)
+	}
 	var res Result
 	if p.root == nil {
 		return res, nil
@@ -192,6 +323,104 @@ func (p *Pipeline) RunFunc(fn func(r *Row) error) (Result, error) {
 	for _, op := range p.ops {
 		res.Ops = append(res.Ops, op.Stats())
 	}
+	return res, nil
+}
+
+// runVector drives the batch-at-a-time plan to end of stream. With
+// opts.Workers > 1 each leaf chain moves onto its own goroutine behind a
+// bounded recycled-buffer queue (morsel.go); the consumer tree is re-pointed
+// at the feeders, which changes scheduling and nothing else — the same
+// cursors are driven through the same stream by exactly one goroutine each.
+func (p *Pipeline) runVector(fn func(r *Row) error) (Result, error) {
+	var res Result
+	if p.vroot == nil {
+		return res, nil
+	}
+	if p.opts.Workers > 1 && len(p.vleaves) > 0 {
+		pool := &morselPool{quit: make(chan struct{})}
+		sem := make(chan struct{}, p.opts.Workers)
+		for i, leaf := range p.vleaves {
+			var chain VecOperator = leaf
+			if p.vsels[i] != nil {
+				chain = p.vsels[i]
+			}
+			f := &leafFeeder{
+				chain: chain,
+				out:   make(chan feedMsg, feederRing),
+				free:  make(chan *Batch, feederRing),
+			}
+			for k := 0; k < feederRing; k++ {
+				f.free <- newLeafBatch(leaf.c, p.opts.BatchSize)
+			}
+			pool.start(f, leaf, p.vsels[i], sem)
+			if p.vjoin != nil {
+				p.vjoin.children[i] = f
+			} else {
+				p.vproj.child = f
+			}
+		}
+		defer pool.stop()
+	}
+
+	var row Row
+	row.Attrs = p.query
+	qcols := p.query.Attrs()
+	for {
+		b, err := p.vroot.NextBatch()
+		if err != nil {
+			return res, err
+		}
+		if b == nil {
+			break
+		}
+		res.Rows += int64(b.live())
+		if fn != nil {
+			emit := func(slot int) error {
+				row.ID = b.Base + int64(slot)
+				for _, a := range qcols {
+					row.vals[a] = b.Col(a, slot)
+				}
+				return fn(&row)
+			}
+			if b.sel == nil {
+				for i := 0; i < b.n; i++ {
+					if err := emit(i); err != nil {
+						return res, err
+					}
+				}
+			} else {
+				for _, s := range b.sel {
+					if err := emit(int(s)); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+	}
+
+	// The identical aggregation the row path performs: per-partition
+	// measurements in canonical order, simulated time charged with the same
+	// per-partition grouping and summation order.
+	st := &res.Stats
+	for _, leaf := range p.vleaves {
+		ps := leaf.PartStats()
+		st.Parts = append(st.Parts, ps)
+		st.Seeks += ps.Seeks
+		st.BytesRead += ps.BytesRead
+		st.CacheLines += ps.CacheLines
+		st.SimTime += p.dev.SeekTime*float64(ps.Seeks) +
+			float64(ps.BytesRead)/p.dev.ReadBandwidth
+	}
+	st.Tuples = res.Rows
+	if p.vjoin != nil {
+		st.ReconJoins = p.vjoin.Stats().ReconJoins
+	}
+	st.Checksum = p.vproj.Checksum()
+	res.Checksum = st.Checksum
+	for _, op := range p.vops {
+		res.Ops = append(res.Ops, op.Stats())
+	}
+	res.FillRatios = p.vproj.FillRatios()
 	return res, nil
 }
 

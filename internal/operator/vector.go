@@ -1,0 +1,448 @@
+package operator
+
+import (
+	"fmt"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/storage"
+)
+
+// Vectorized execution: the same σ/π/⋈ plans, batch-at-a-time. Every
+// operator moves a Batch — up to BatchSize consecutive rows as per-attribute
+// column slices plus a selection vector — instead of one row per interface
+// call. The physical accounting is untouched (batches are filled through the
+// SAME PartCursor stream, page fetch for page fetch), σ writes a selection
+// vector instead of moving rows, ⋈ degenerates to chunk alignment because
+// leaves emit consecutive IDs in lockstep chunks, and π digests the
+// surviving rows with the identical FNV-64a byte stream the row path feeds —
+// so checksums, row counts, and ScanStats are bit-equal to the row oracle.
+
+// DefaultBatchSize is the rows per batch when ExecOptions leaves it zero:
+// big enough to amortize per-batch overhead, small enough that a plan's
+// batches stay cache-resident.
+const DefaultBatchSize = 1024
+
+// MaxBatchSize caps requested batch sizes; beyond it per-batch buffers
+// stop paying for themselves and only cost memory.
+const MaxBatchSize = 1 << 16
+
+// Batch is one chunk of up to cap consecutive rows flowing through a
+// vectorized pipeline. Rows occupy slots 0..n-1; slot i holds row Base+i of
+// the stored table, and attribute a's value lives at cols[a][i*w:(i+1)*w].
+// A nil selection vector means every slot survives; a non-nil one lists the
+// surviving slots in ascending order (σ only ever shrinks it). Leaf batches
+// own their column buffers; a join's output batch aliases its children's.
+type Batch struct {
+	// Base is the table row ID of slot 0; leaves emit consecutive IDs, so
+	// slot i is row Base+i.
+	Base int64
+
+	n     int
+	attrs attrset.Set
+	sel   []int32
+	cols  [attrset.MaxAttrs][]byte
+	width [attrset.MaxAttrs]int
+
+	selBuf []int32 // σ's backing storage, cap == batch capacity
+}
+
+// newLeafBatch allocates the reusable buffers for one leaf's column group.
+func newLeafBatch(c *storage.PartCursor, size int) *Batch {
+	b := &Batch{attrs: c.Attrs(), selBuf: make([]int32, 0, size)}
+	for _, a := range c.Attrs().Attrs() {
+		_, w := c.ColSpec(a)
+		b.width[a] = w
+		b.cols[a] = make([]byte, size*w)
+	}
+	return b
+}
+
+// Len returns the number of row slots filled.
+func (b *Batch) Len() int { return b.n }
+
+// Sel returns the selection vector: the surviving slots in ascending order,
+// or nil when every slot survives.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// Attrs returns the attribute set the batch carries columns for.
+func (b *Batch) Attrs() attrset.Set { return b.attrs }
+
+// Col returns slot i's bytes of attribute a (no selection applied).
+func (b *Batch) Col(a, i int) []byte {
+	w := b.width[a]
+	if w == 0 {
+		return nil
+	}
+	return b.cols[a][i*w : (i+1)*w]
+}
+
+// live returns how many of the batch's slots survive its selection.
+func (b *Batch) live() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// VecOperator is the batch-at-a-time counterpart of Operator: NextBatch
+// returns the stream's next batch, or (nil, nil) at end of stream. Batches
+// are owned by the operator that returned them and are valid only until the
+// next NextBatch call. Stats and Name report in exactly the terms the row
+// operators do, so a vectorized plan's OpStats are comparable (and, by the
+// decomposition identities, equal) to the row path's.
+type VecOperator interface {
+	NextBatch() (*Batch, error)
+	Stats() OpStats
+	Name() string
+}
+
+// VecScan is the vectorized leaf: it fills batches from a storage.PartCursor
+// in page-sized runs (NextRows), copying each column into the batch's own
+// buffers so rows survive past the cursor's page — the copy is what lets
+// batches cross goroutines and outlive page refills. The cursor stream, and
+// therefore every physical measurement, is identical to the row scan's.
+type VecScan struct {
+	c     *storage.PartCursor
+	dev   cost.Device
+	attrs attrset.Set
+	cols  []int
+	offs  [attrset.MaxAttrs]int
+	width [attrset.MaxAttrs]int
+	size  int
+	buf   *Batch // sync-mode reusable batch; morsel feeders bring their own
+	out   int64
+}
+
+// NewVecScan opens a vectorized leaf over cur with the given batch size.
+func NewVecScan(cur *storage.PartCursor, dev cost.Device, size int) *VecScan {
+	s := &VecScan{c: cur, dev: dev, attrs: cur.Attrs(), cols: cur.Attrs().Attrs(), size: size}
+	for _, a := range s.cols {
+		s.offs[a], s.width[a] = cur.ColSpec(a)
+	}
+	return s
+}
+
+// FillInto fills b from the cursor: up to the batch size in page-sized runs,
+// strided column copies, no per-row calls. b.n == 0 signals end of stream.
+func (s *VecScan) FillInto(b *Batch) error {
+	b.Base = s.out
+	b.sel = nil
+	rs := s.c.RowSize()
+	filled := 0
+	for filled < s.size {
+		page, start, n, err := s.c.NextRows(s.size - filled)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		src := page[start*rs:]
+		for _, a := range s.cols {
+			w, off := s.width[a], s.offs[a]
+			dst := b.cols[a][filled*w:]
+			switch w {
+			case 4: // the u32 int/date columns dominating the benchmarks
+				for i := 0; i < n; i++ {
+					so, do := i*rs+off, i*4
+					dst[do] = src[so]
+					dst[do+1] = src[so+1]
+					dst[do+2] = src[so+2]
+					dst[do+3] = src[so+3]
+				}
+			default:
+				for i := 0; i < n; i++ {
+					so := i*rs + off
+					copy(dst[i*w:(i+1)*w], src[so:so+w])
+				}
+			}
+		}
+		filled += n
+	}
+	b.n = filled
+	s.out += int64(filled)
+	return nil
+}
+
+// NextBatch fills the scan's own reusable batch.
+func (s *VecScan) NextBatch() (*Batch, error) {
+	if s.buf == nil {
+		s.buf = newLeafBatch(s.c, s.size)
+	}
+	if err := s.FillInto(s.buf); err != nil {
+		return nil, err
+	}
+	if s.buf.n == 0 {
+		return nil, nil
+	}
+	return s.buf, nil
+}
+
+// PartStats returns the leaf's physical accounting in the engine's
+// per-partition form.
+func (s *VecScan) PartStats() storage.PartScanStats { return s.c.Stats() }
+
+// Stats prices the leaf exactly as the row Scan does.
+func (s *VecScan) Stats() OpStats {
+	ps := s.c.Stats()
+	st := OpStats{
+		Op: "scan", Name: "scan" + s.attrs.String(), RowsOut: s.out,
+		Seeks: ps.Seeks, BytesRead: ps.BytesRead, CacheLines: ps.CacheLines,
+	}
+	if s.dev.Pricing == cost.PricingCache {
+		st.SimTime = float64(ps.CacheLines) * s.dev.MissLatency
+	} else {
+		st.SimTime = s.dev.SeekTime*float64(ps.Seeks) + float64(ps.BytesRead)/s.dev.ReadBandwidth
+	}
+	return st
+}
+
+// Name renders the leaf with its column group.
+func (s *VecScan) Name() string { return "scan" + s.attrs.String() }
+
+// VecSelect is the vectorized σ: the predicate is evaluated over the batch's
+// predicate column into the selection vector — no row movement, no
+// per-row pulls. Row counts match the row σ's: every slot that reaches it
+// counts in, every surviving slot counts out.
+type VecSelect struct {
+	child VecOperator
+	pred  Pred
+	in    int64
+	out   int64
+}
+
+// NewVecSelect wraps child in the predicate.
+func NewVecSelect(child VecOperator, pred Pred) *VecSelect {
+	return &VecSelect{child: child, pred: pred}
+}
+
+// Apply evaluates the predicate into b's selection vector in place. Exposed
+// (within the package) so morsel leaf goroutines can run the σ next to the
+// fill.
+func (s *VecSelect) Apply(b *Batch) {
+	w := b.width[s.pred.Attr]
+	col := b.cols[s.pred.Attr]
+	sel := b.selBuf[:0]
+	if b.sel == nil {
+		s.in += int64(b.n)
+		for i := 0; i < b.n; i++ {
+			if s.pred.Match(col[i*w : (i+1)*w]) {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		s.in += int64(len(b.sel))
+		for _, i := range b.sel {
+			off := int(i) * w
+			if s.pred.Match(col[off : off+w]) {
+				sel = append(sel, i)
+			}
+		}
+	}
+	b.selBuf = sel
+	b.sel = sel
+	s.out += int64(len(sel))
+}
+
+// NextBatch pulls one batch and filters it.
+func (s *VecSelect) NextBatch() (*Batch, error) {
+	b, err := s.child.NextBatch()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	s.Apply(b)
+	return b, nil
+}
+
+// Stats reports the selection's row flow; σ does no I/O.
+func (s *VecSelect) Stats() OpStats {
+	return OpStats{Op: "select", Name: s.Name(), RowsIn: s.in, RowsOut: s.out}
+}
+
+// Name renders the predicate.
+func (s *VecSelect) Name() string { return "σ(" + s.pred.Name + ")" }
+
+// VecReconJoin is the vectorized ⋈. Because every leaf emits consecutive
+// row IDs in identically-sized chunks, chunk k of every child covers the
+// same ID range — the row path's ID merge collapses into aligning chunk
+// selection vectors. The output batch carries no copies at all: its column
+// slices alias the children's buffers and only the intersected selection
+// vector is new. The common-granularity drain is implicit: every child is
+// pulled to end of stream no matter what the selections discard.
+type VecReconJoin struct {
+	children []VecOperator
+	out      Batch
+	selBuf   []int32
+	in       int64
+	emitted  int64
+	joins    int64
+	done     bool
+}
+
+// NewVecReconJoin merges the children's batch streams. Children must carry
+// disjoint attribute sets (vertical partitions do by construction).
+func NewVecReconJoin(children []VecOperator) *VecReconJoin {
+	return &VecReconJoin{children: children}
+}
+
+// NextBatch aligns one chunk across every child.
+func (j *VecReconJoin) NextBatch() (*Batch, error) {
+	if j.done {
+		return nil, nil
+	}
+	var sel []int32 // nil = every slot survives so far
+	first := true
+	ended := 0
+	for _, c := range j.children {
+		b, err := c.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			ended++
+			continue
+		}
+		j.in += int64(b.live())
+		if first {
+			j.out.Base, j.out.n = b.Base, b.n
+			first = false
+		} else if b.Base != j.out.Base || b.n != j.out.n {
+			return nil, fmt.Errorf("operator: join children out of chunk alignment (base %d/%d rows %d/%d)",
+				b.Base, j.out.Base, b.n, j.out.n)
+		}
+		j.out.attrs = j.out.attrs.Union(b.attrs)
+		for _, a := range b.attrs.Attrs() {
+			j.out.cols[a] = b.cols[a]
+			j.out.width[a] = b.width[a]
+		}
+		sel = intersectSel(sel, b.sel, &j.selBuf)
+	}
+	if ended > 0 {
+		// Same-sized chunks over the same row count end together; a straggler
+		// would mean the alignment invariant broke upstream.
+		if ended != len(j.children) {
+			return nil, fmt.Errorf("operator: join children ended out of step (%d of %d)", ended, len(j.children))
+		}
+		j.done = true
+		return nil, nil
+	}
+	j.out.sel = sel
+	live := j.out.live()
+	j.emitted += int64(live)
+	j.joins += int64(live) * int64(len(j.children)-1)
+	return &j.out, nil
+}
+
+// intersectSel intersects two selection vectors (nil = all slots). buf is
+// the join-owned backing storage, grown once and reused per chunk.
+func intersectSel(a, b []int32, buf *[]int32) []int32 {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	out := (*buf)[:0]
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] < b[k]:
+			i++
+		case a[i] > b[k]:
+			k++
+		default:
+			out = append(out, a[i])
+			i++
+			k++
+		}
+	}
+	*buf = out
+	return out
+}
+
+// Stats reports the merge's row flow and reconstruction count.
+func (j *VecReconJoin) Stats() OpStats {
+	return OpStats{Op: "join", Name: j.Name(), RowsIn: j.in, RowsOut: j.emitted, ReconJoins: j.joins}
+}
+
+// Name renders the join.
+func (j *VecReconJoin) Name() string { return "⋈" }
+
+// fnv64Offset and fnv64Prime are FNV-64a's constants; VecProject inlines the
+// hash state as a bare uint64 (hash/fnv's object costs an interface call and
+// a pointer chase per write) — the byte stream, and therefore the digest, is
+// identical to the row path's fnv.New64a.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// VecProject is the vectorized π: one loop digests every surviving row's
+// query columns in ascending attribute order — the exact byte stream the
+// row Project feeds its hash — so the checksum stays layout-, mode-, and
+// batch-size-invariant. It also records per-batch fill ratios (surviving
+// rows over batch capacity), the serving layer's batching-efficiency signal.
+type VecProject struct {
+	child VecOperator
+	attrs attrset.Set
+	cols  []int
+	h     uint64
+	rows  int64
+	cap   int
+	fills []float64
+}
+
+// NewVecProject projects child onto attrs; cap is the pipeline batch size
+// the fill ratios are measured against.
+func NewVecProject(child VecOperator, attrs attrset.Set, cap int) *VecProject {
+	return &VecProject{child: child, attrs: attrs, cols: attrs.Attrs(), h: fnv64Offset, cap: cap}
+}
+
+// NextBatch digests one batch's surviving rows.
+func (p *VecProject) NextBatch() (*Batch, error) {
+	b, err := p.child.NextBatch()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	h := p.h
+	if b.sel == nil {
+		for i := 0; i < b.n; i++ {
+			for _, a := range p.cols {
+				w := b.width[a]
+				for _, c := range b.cols[a][i*w : (i+1)*w] {
+					h = (h ^ uint64(c)) * fnv64Prime
+				}
+			}
+		}
+		p.rows += int64(b.n)
+	} else {
+		for _, s := range b.sel {
+			i := int(s)
+			for _, a := range p.cols {
+				w := b.width[a]
+				for _, c := range b.cols[a][i*w : (i+1)*w] {
+					h = (h ^ uint64(c)) * fnv64Prime
+				}
+			}
+		}
+		p.rows += int64(len(b.sel))
+	}
+	p.h = h
+	p.fills = append(p.fills, float64(b.live())/float64(p.cap))
+	return b, nil
+}
+
+// Checksum returns the digest of everything projected so far.
+func (p *VecProject) Checksum() uint64 { return p.h }
+
+// FillRatios returns the per-batch fill ratios observed so far.
+func (p *VecProject) FillRatios() []float64 { return p.fills }
+
+// Stats reports the projection's row flow.
+func (p *VecProject) Stats() OpStats {
+	return OpStats{Op: "project", Name: p.Name(), RowsIn: p.rows, RowsOut: p.rows}
+}
+
+// Name renders the projection with its attribute set.
+func (p *VecProject) Name() string { return "π" + p.attrs.String() }

@@ -1,0 +1,331 @@
+package operator
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"knives/internal/attrset"
+	"knives/internal/cost"
+	"knives/internal/storage"
+)
+
+// vecBatchSweep is the batch-size sweep every differential leg runs: a
+// degenerate 1-row batch, a prime that never divides the page row count, a
+// small power of two, a big batch, and one larger than the whole table.
+func vecBatchSweep(rows int64) []int {
+	return []int{1, 7, 64, 4096, int(rows) + 1}
+}
+
+// resultsEqual compares two pipeline Results at zero tolerance, ignoring
+// FillRatios (a vector-only telemetry signal, deliberately absent in row
+// mode).
+func resultsEqual(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Checksum != want.Checksum {
+		t.Errorf("%s: rows/checksum %d/%x, want %d/%x", label, got.Rows, got.Checksum, want.Rows, want.Checksum)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Errorf("%s: stats diverge\n got %+v\nwant %+v", label, got.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(got.Ops, want.Ops) {
+		t.Errorf("%s: per-operator stats diverge\n got %+v\nwant %+v", label, got.Ops, want.Ops)
+	}
+}
+
+// TestVectorEqualsRowOracle is the tentpole contract: for every layout x
+// device x query x predicate and every swept batch size, the vectorized
+// pipeline's Result — rows, checksum, ScanStats including the per-partition
+// breakdown and SimTime, and per-operator OpStats — equals the row oracle's
+// bit for bit, and (predicate-free) Engine.Scan's.
+func TestVectorEqualsRowOracle(t *testing.T) {
+	const rows = 533
+	queries := []attrset.Set{
+		attrset.Of(0, 2),
+		attrset.Of(1, 3, 5),
+		attrset.All(6),
+	}
+	preds := []*Pred{nil}
+	for _, bound := range []uint32{0, storage.DateDomain / 3, storage.DateDomain * 2} {
+		p := U32Less(1, bound)
+		preds = append(preds, &p)
+	}
+	for _, dev := range []cost.Device{testDevice(), testCacheDevice()} {
+		for lname, parts := range testLayouts {
+			e := loadEngine(t, testTable(t, rows), parts, dev, 7)
+			snap := e.Snapshot()
+			for qi, q := range queries {
+				for pi, pred := range preds {
+					t.Run(fmt.Sprintf("%s/%s/q%d/p%d", dev.Name, lname, qi, pi), func(t *testing.T) {
+						rowPipe, err := Build(snap, dev, q, pred)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := rowPipe.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if pred == nil {
+							scan, err := e.Scan(q)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(want.Stats, scan) {
+								t.Fatalf("row oracle itself diverges from Engine.Scan")
+							}
+						}
+						for _, bs := range vecBatchSweep(rows) {
+							vec, err := BuildExec(snap, dev, q, pred, ExecOptions{Mode: ExecVector, BatchSize: bs})
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := vec.Run()
+							if err != nil {
+								t.Fatal(err)
+							}
+							resultsEqual(t, fmt.Sprintf("batch=%d", bs), got, want)
+							if len(got.FillRatios) == 0 {
+								t.Errorf("batch=%d: vector run reported no fill ratios", bs)
+							}
+							for _, fr := range got.FillRatios {
+								if fr < 0 || fr > 1 {
+									t.Errorf("batch=%d: fill ratio %g outside [0,1]", bs, fr)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestVectorMorselWorkerInvariance pins the morsel path's defining property:
+// the worker count changes scheduling and nothing else. Every worker count
+// (including over-provisioned ones) must reproduce the single-goroutine
+// vector run and the row oracle exactly.
+func TestVectorMorselWorkerInvariance(t *testing.T) {
+	const rows = 533
+	pred := U32Less(1, storage.DateDomain/3)
+	for lname, parts := range testLayouts {
+		t.Run(lname, func(t *testing.T) {
+			dev := testDevice()
+			e := loadEngine(t, testTable(t, rows), parts, dev, 13)
+			snap := e.Snapshot()
+			q := attrset.Of(0, 1, 5)
+
+			rowPipe, err := Build(snap, dev, q, &pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := rowPipe.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 4, 8, 33} {
+				vec, err := BuildExec(snap, dev, q, &pred,
+					ExecOptions{Mode: ExecVector, BatchSize: 64, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := vec.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsEqual(t, fmt.Sprintf("workers=%d", workers), got, want)
+			}
+		})
+	}
+}
+
+// TestVectorRowSynthesis checks RunFunc in vector mode hands fn the same
+// row stream — IDs, attribute sets, and column bytes in order — as the row
+// oracle.
+func TestVectorRowSynthesis(t *testing.T) {
+	const rows = 257
+	type gotRow struct {
+		id   int64
+		vals []byte
+	}
+	collect := func(t *testing.T, pipe *Pipeline, q attrset.Set) []gotRow {
+		t.Helper()
+		var out []gotRow
+		qcols := q.Attrs()
+		_, err := pipe.RunFunc(func(r *Row) error {
+			g := gotRow{id: r.ID}
+			if r.Attrs != q {
+				t.Fatalf("row attrs %v, want %v", r.Attrs, q)
+			}
+			for _, a := range qcols {
+				g.vals = append(g.vals, r.Col(a)...)
+			}
+			out = append(out, g)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	pred := U32Less(1, storage.DateDomain/2)
+	for _, workers := range []int{0, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dev := testDevice()
+			e := loadEngine(t, testTable(t, rows), testLayouts["grouped"], dev, 3)
+			snap := e.Snapshot()
+			q := attrset.Of(0, 1, 3)
+
+			rowPipe, err := Build(snap, dev, q, &pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := collect(t, rowPipe, q)
+
+			vec, err := BuildExec(snap, dev, q, &pred,
+				ExecOptions{Mode: ExecVector, BatchSize: 31, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, vec, q)
+			if len(got) != len(want) {
+				t.Fatalf("vector emitted %d rows, row oracle %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].id != want[i].id || !bytes.Equal(got[i].vals, want[i].vals) {
+					t.Fatalf("row %d: vector id=%d % x, oracle id=%d % x",
+						i, got[i].id, got[i].vals, want[i].id, want[i].vals)
+				}
+			}
+		})
+	}
+}
+
+// TestExecOptionsValidation pins BuildExec's knob validation.
+func TestExecOptionsValidation(t *testing.T) {
+	dev := testDevice()
+	e := loadEngine(t, testTable(t, 50), testLayouts["row"], dev, 1)
+	snap := e.Snapshot()
+	q := attrset.Of(0)
+
+	bad := []ExecOptions{
+		{Mode: "columnar"},
+		{Mode: ExecVector, BatchSize: -1},
+		{Mode: ExecVector, BatchSize: MaxBatchSize + 1},
+		{Mode: ExecVector, Workers: -1},
+	}
+	for _, opts := range bad {
+		if _, err := BuildExec(snap, dev, q, nil, opts); err == nil {
+			t.Errorf("BuildExec accepted %+v", opts)
+		}
+	}
+	// Zero values default instead of erroring.
+	pipe, err := BuildExec(snap, dev, q, nil, ExecOptions{Mode: ExecVector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.opts.BatchSize != DefaultBatchSize {
+		t.Errorf("zero batch size became %d, want %d", pipe.opts.BatchSize, DefaultBatchSize)
+	}
+	if _, err := BuildExec(snap, dev, q, nil, ExecOptions{}); err != nil {
+		t.Errorf("empty options rejected: %v", err)
+	}
+}
+
+// TestVectorLifecycle covers the vector mode's plumbing corners: Describe
+// parity with the row plan, the run-once guard, empty plans, and callback
+// error propagation through both the sync and morsel paths.
+func TestVectorLifecycle(t *testing.T) {
+	dev := testDevice()
+	e := loadEngine(t, testTable(t, 150), testLayouts["grouped"], dev, 1)
+	snap := e.Snapshot()
+	q := attrset.Of(0, 1)
+
+	rowPipe, err := Build(snap, dev, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := BuildExec(snap, dev, q, nil, ExecOptions{Mode: ExecVector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd, vd := rowPipe.Describe(), vec.Describe(); rd != vd {
+		t.Errorf("Describe diverges between modes: row %q vector %q", rd, vd)
+	}
+	if _, err := vec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vec.Run(); err == nil {
+		t.Error("second vector Run accepted")
+	}
+
+	// Empty plan in vector mode: empty result, no ops.
+	empty, err := BuildExec(snap, dev, attrset.Of(), nil, ExecOptions{Mode: ExecVector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := empty.Run(); err != nil || res.Rows != 0 || len(res.Ops) != 0 {
+		t.Errorf("empty vector plan: %+v, %v", res, err)
+	}
+
+	// A callback error aborts the run — sync and morsel.
+	wantErr := fmt.Errorf("stop")
+	for _, workers := range []int{0, 4} {
+		pipe, err := BuildExec(snap, dev, q, nil, ExecOptions{Mode: ExecVector, BatchSize: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pipe.RunFunc(func(*Row) error { return wantErr }); err != wantErr {
+			t.Errorf("workers=%d: callback error not propagated: %v", workers, err)
+		}
+	}
+}
+
+// TestBatchAccessors covers the Batch surface operators outside this
+// package see.
+func TestBatchAccessors(t *testing.T) {
+	b := &Batch{n: 4, attrs: attrset.Of(2)}
+	b.width[2] = 2
+	b.cols[2] = []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Attrs() != attrset.Of(2) {
+		t.Errorf("Attrs = %v", b.Attrs())
+	}
+	if got := b.Col(2, 1); !bytes.Equal(got, []byte{2, 3}) {
+		t.Errorf("Col(2,1) = %v", got)
+	}
+	if b.Col(3, 0) != nil {
+		t.Error("Col on absent attr not nil")
+	}
+	if b.Sel() != nil || b.live() != 4 {
+		t.Errorf("nil-sel batch: sel %v live %d", b.Sel(), b.live())
+	}
+	b.sel = []int32{1, 3}
+	if b.live() != 2 || len(b.Sel()) != 2 {
+		t.Errorf("selected batch: sel %v live %d", b.Sel(), b.live())
+	}
+}
+
+// TestIntersectSel pins the selection-vector intersection (nil = all).
+func TestIntersectSel(t *testing.T) {
+	var buf []int32
+	if got := intersectSel(nil, nil, &buf); got != nil {
+		t.Errorf("nil∩nil = %v", got)
+	}
+	a := []int32{0, 2, 5}
+	if got := intersectSel(a, nil, &buf); !reflect.DeepEqual(got, a) {
+		t.Errorf("a∩nil = %v", got)
+	}
+	if got := intersectSel(nil, a, &buf); !reflect.DeepEqual(got, a) {
+		t.Errorf("nil∩a = %v", got)
+	}
+	b := []int32{2, 3, 5, 7}
+	if got := intersectSel(a, b, &buf); !reflect.DeepEqual(got, []int32{2, 5}) {
+		t.Errorf("a∩b = %v", got)
+	}
+	if got := intersectSel([]int32{1}, []int32{2}, &buf); len(got) != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}

@@ -44,6 +44,15 @@ type OperatorReplay struct {
 	ResultRows []int64
 	// Selection renders the pushed-down predicate; empty without one.
 	Selection string
+	// ExecMode is the execution mode the pipelines ran in ("row"/"vector").
+	ExecMode string
+	// ExecSeconds[i] is query i's wall-clock pipeline execution time — a
+	// telemetry signal, never a verdict input (verdicts compare simulated
+	// measurements, which are exec-mode-invariant).
+	ExecSeconds []float64
+	// FillRatios[i] are query i's per-batch fill ratios in vector mode;
+	// nil per query in row mode.
+	FillRatios [][]float64
 }
 
 // Operators materializes the layout (sampled, like Layout) and replays the
@@ -92,9 +101,12 @@ func Operators(tw schema.TableWorkload, layout partition.Partitioning, algorithm
 			Backend:      cfg.Backend,
 			Queries:      make([]QueryReplay, len(tw.Queries)),
 		},
-		Plans:      make([]string, len(tw.Queries)),
-		Ops:        make([][]operator.OpStats, len(tw.Queries)),
-		ResultRows: make([]int64, len(tw.Queries)),
+		Plans:       make([]string, len(tw.Queries)),
+		Ops:         make([][]operator.OpStats, len(tw.Queries)),
+		ResultRows:  make([]int64, len(tw.Queries)),
+		ExecMode:    cfg.ExecMode,
+		ExecSeconds: make([]float64, len(tw.Queries)),
+		FillRatios:  make([][]float64, len(tw.Queries)),
 	}
 	var pred *operator.Pred
 	if sel != nil {
@@ -115,16 +127,23 @@ func Operators(tw schema.TableWorkload, layout partition.Partitioning, algorithm
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			pipe, err := operator.Build(snap, cfg.Disk, q.Attrs, pred)
+			pipe, err := operator.BuildExec(snap, cfg.Disk, q.Attrs, pred, operator.ExecOptions{
+				Mode:      operator.ExecMode(cfg.ExecMode),
+				BatchSize: cfg.BatchSize,
+				Workers:   cfg.ExecWorkers,
+			})
 			if err != nil {
 				errs[i] = fmt.Errorf("replay: plan %s/%s: %w", sample.Name, q.ID, err)
 				return
 			}
+			execStart := time.Now()
 			res, err := pipe.Run()
 			if err != nil {
 				errs[i] = fmt.Errorf("replay: exec %s/%s: %w", sample.Name, q.ID, err)
 				return
 			}
+			rep.ExecSeconds[i] = time.Since(execStart).Seconds()
+			rep.FillRatios[i] = res.FillRatios
 			measured, err := measuredSeconds(model, res.Stats)
 			if err != nil {
 				errs[i] = err
@@ -180,6 +199,11 @@ func (r *OperatorReplay) String() string {
 	b.WriteString(r.TableReplay.String())
 	if r.Selection != "" {
 		fmt.Fprintf(&b, "  selection: %s\n", r.Selection)
+	}
+	// The oracle mode stays silent so row-mode renderings (and the golden
+	// files pinning them) are unchanged from before exec modes existed.
+	if r.ExecMode != "" && r.ExecMode != "row" {
+		fmt.Fprintf(&b, "  exec: %s\n", r.ExecMode)
 	}
 	for i, q := range r.Queries {
 		fmt.Fprintf(&b, "  %s: %s -> %d rows\n", q.ID, r.Plans[i], r.ResultRows[i])

@@ -236,3 +236,136 @@ func TestOperatorsErrors(t *testing.T) {
 		t.Error("selection attribute outside the table accepted")
 	}
 }
+
+// TestOperatorsVectorDifferential is the vector-mode leg of the acceptance
+// matrix: every algorithm x {TPC-H, SSB} x {HDD, SSD, MM}, executed
+// batch-at-a-time with morsel-parallel leaves, must reproduce the row
+// oracle's per-query stats, measurements, and predictions EXACTLY — zero
+// tolerance, checksum for checksum — while still measuring what the cost
+// model predicts.
+func TestOperatorsVectorDifferential(t *testing.T) {
+	layouts := []string{"AutoPart", "HillClimb", "HYRISE", "Navathe", "O2P", "Trojan", "BruteForce", "Row", "Column"}
+	if testing.Short() {
+		layouts = []string{"HillClimb", "Row", "Column"}
+	}
+	for _, b := range []*schema.Benchmark{schema.TPCH(10), schema.SSB(10)} {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, model := range []string{"hdd", "ssd", "mm"} {
+				for _, name := range layouts {
+					t.Run(fmt.Sprintf("%s/%s", model, name), func(t *testing.T) {
+						rowCfg := Config{Model: model, MaxRows: 1_000, Seed: 42}
+						vecCfg := rowCfg
+						vecCfg.ExecMode = "vector"
+						vecCfg.BatchSize = 257 // odd on purpose: never divides a page
+						vecCfg.ExecWorkers = 4
+						for _, tw := range b.TableWorkloads() {
+							want, err := OperatorsAlgorithm(tw, name, rowCfg, nil)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := OperatorsAlgorithm(tw, name, vecCfg, nil)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got.ExecMode != "vector" || want.ExecMode != "row" {
+								t.Fatalf("exec modes: got %q want %q", got.ExecMode, want.ExecMode)
+							}
+							if !got.Exact() {
+								t.Errorf("%s: vectorized executed != predicted (max |delta| %g)",
+									got.Table, got.MaxAbsDelta())
+							}
+							if len(got.Queries) != len(want.Queries) {
+								t.Fatalf("%s: %d vs %d queries", got.Table, len(got.Queries), len(want.Queries))
+							}
+							for i := range want.Queries {
+								w, g := want.Queries[i], got.Queries[i]
+								if g.Stats.Checksum != w.Stats.Checksum ||
+									g.Stats.BytesRead != w.Stats.BytesRead ||
+									g.Stats.Seeks != w.Stats.Seeks ||
+									g.Stats.CacheLines != w.Stats.CacheLines ||
+									g.Stats.ReconJoins != w.Stats.ReconJoins ||
+									g.Stats.SimTime != w.Stats.SimTime ||
+									g.MeasuredSeconds != w.MeasuredSeconds ||
+									g.PredictedSeconds != w.PredictedSeconds {
+									t.Errorf("%s query %s: vector %+v != row %+v", got.Table, g.ID, g, w)
+								}
+								if got.Plans[i] != want.Plans[i] {
+									t.Errorf("%s query %s: plan %q != %q", got.Table, g.ID, got.Plans[i], want.Plans[i])
+								}
+								if len(got.FillRatios[i]) == 0 {
+									t.Errorf("%s query %s: vector run reported no fill ratios", got.Table, g.ID)
+								}
+							}
+							if got.MeasuredTotal != want.MeasuredTotal || got.PredictedTotal != want.PredictedTotal {
+								t.Errorf("%s totals diverge: vector %.18g/%.18g, row %.18g/%.18g",
+									got.Table, got.MeasuredTotal, got.PredictedTotal,
+									want.MeasuredTotal, want.PredictedTotal)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestOperatorsVectorSelection re-runs the selection leg in vector mode:
+// σ into the selection vector, same result rows, same checksums, same
+// physical I/O, exact against the model.
+func TestOperatorsVectorSelection(t *testing.T) {
+	const shipdate = 10
+	var tw schema.TableWorkload
+	for _, cand := range schema.TPCH(10).TableWorkloads() {
+		if cand.Table.Name == "lineitem" {
+			tw = cand
+		}
+	}
+	sel := &Selection{Attr: shipdate, Bound: uint32(storage.DateDomain / 2)}
+	rowCfg := Config{Model: "hdd", MaxRows: 2_000, Seed: 42}
+	vecCfg := rowCfg
+	vecCfg.ExecMode = "vector"
+	vecCfg.BatchSize = 64
+	vecCfg.ExecWorkers = 2
+	want, err := OperatorsAlgorithm(tw, "HillClimb", rowCfg, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OperatorsAlgorithm(tw, "HillClimb", vecCfg, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exact() {
+		t.Errorf("vectorized selective run inexact (max |delta| %g)", got.MaxAbsDelta())
+	}
+	for i := range want.Queries {
+		if got.ResultRows[i] != want.ResultRows[i] {
+			t.Errorf("query %d: vector emitted %d rows, row oracle %d", i, got.ResultRows[i], want.ResultRows[i])
+		}
+		if got.Queries[i].Stats.Checksum != want.Queries[i].Stats.Checksum {
+			t.Errorf("query %d: vector checksum %x != row %x",
+				i, got.Queries[i].Stats.Checksum, want.Queries[i].Stats.Checksum)
+		}
+	}
+	if !strings.Contains(got.String(), "exec: vector") {
+		t.Errorf("vector rendering misses the exec mode:\n%s", got.String())
+	}
+	if strings.Contains(want.String(), "exec:") {
+		t.Errorf("row rendering gained an exec line:\n%s", want.String())
+	}
+}
+
+// TestConfigExecValidation pins the config-level exec knob validation.
+func TestConfigExecValidation(t *testing.T) {
+	tw := schema.TPCH(10).TableWorkloads()[0]
+	for _, cfg := range []Config{
+		{Model: "hdd", ExecMode: "columnar"},
+		{Model: "hdd", BatchSize: -1},
+		{Model: "hdd", BatchSize: 1 << 20},
+		{Model: "hdd", ExecWorkers: -1},
+	} {
+		if _, err := OperatorsAlgorithm(tw, "Row", cfg, nil); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

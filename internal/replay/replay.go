@@ -31,6 +31,7 @@ import (
 	"knives/internal/algo"
 	"knives/internal/algorithms"
 	"knives/internal/cost"
+	"knives/internal/operator"
 	"knives/internal/partition"
 	"knives/internal/schema"
 	"knives/internal/storage"
@@ -75,6 +76,16 @@ type Config struct {
 	// Dir is the directory for file-backed partitions; required iff
 	// Backend is BackendFile.
 	Dir string
+	// ExecMode selects how operator replays execute their pipelines:
+	// "" or "row" (the oracle path) or "vector" (batch-at-a-time). Exec
+	// knobs tune wall-clock only — every reported number is mode-invariant.
+	ExecMode string
+	// BatchSize is vector mode's rows per batch; 0 uses the operator
+	// layer's default.
+	BatchSize int
+	// ExecWorkers bounds morsel-parallel leaf scans within one vectorized
+	// pipeline; <= 1 keeps each pipeline on its calling goroutine.
+	ExecWorkers int
 }
 
 // Normalized validates and defaults a config, returning the cost model the
@@ -132,6 +143,17 @@ func (c Config) normalized() (Config, cost.Model, error) {
 	if c.Backend == BackendFile && c.Dir == "" {
 		return c, nil, fmt.Errorf("replay: file backend needs Dir")
 	}
+	// Exec knobs validate and default through the operator layer itself, so
+	// a replay and the pipeline it builds can never disagree about legality.
+	eo, err := operator.ExecOptions{
+		Mode:      operator.ExecMode(c.ExecMode),
+		BatchSize: c.BatchSize,
+		Workers:   c.ExecWorkers,
+	}.Normalized()
+	if err != nil {
+		return c, nil, fmt.Errorf("replay: %w", err)
+	}
+	c.ExecMode, c.BatchSize, c.ExecWorkers = string(eo.Mode), eo.BatchSize, eo.Workers
 	return c, m, nil
 }
 

@@ -170,6 +170,65 @@ func (c *PartCursor) Next() (bool, error) {
 	return true, nil
 }
 
+// NextRows advances through up to max rows that share one page, returning
+// the page buffer, the index of the first row within it, and the row count.
+// It is accounting-equivalent to calling Next that many times: the page
+// fetch, seek charge, and byte count land at exactly the same points in the
+// stream, and Stats afterwards are bit-identical — which is what lets the
+// vectorized scan batch rows without perturbing a single measured number.
+// n == 0 means end of stream. The page aliases cursor-owned memory and is
+// valid only until the next Next/NextRows call; callers copy what they keep.
+func (c *PartCursor) NextRows(max int) (page []byte, start, n int, err error) {
+	if c.row >= c.rows || max <= 0 {
+		return nil, 0, 0, nil
+	}
+	// Step onto the next row exactly as Next does, fetching (and charging)
+	// on the page boundary.
+	if c.nextPage != 0 {
+		c.inPage++
+	}
+	if c.nextPage == 0 || c.inPage == c.p.rowsPerPage {
+		if c.buffered == 0 {
+			c.seeks++
+			c.buffered = c.pagesBuff
+		}
+		if err := c.p.backend.ReadPage(c.nextPage, c.page); err != nil {
+			return nil, 0, 0, err
+		}
+		c.bytes += c.dev.BlockSize
+		c.nextPage++
+		c.buffered--
+		c.inPage = 0
+	}
+	start = c.inPage
+	// The run ends at the page boundary, the stream end, or max — whichever
+	// comes first. The n-1 follow-up rows stay in-page, so sequential Next
+	// calls would have advanced inPage and row with no further fetches.
+	avail := int64(c.p.rowsPerPage - c.inPage)
+	if rem := c.rows - c.row; avail > rem {
+		avail = rem
+	}
+	if avail > int64(max) {
+		avail = int64(max)
+	}
+	n = int(avail)
+	c.inPage += n - 1
+	c.row += int64(n)
+	return c.page, start, n, nil
+}
+
+// ColSpec returns the byte offset and width of attribute a within one
+// partition row, or (-1, 0) when the partition does not hold a. Together
+// with NextRows it lets a batch reader address page[ (start+i)*RowSize()+off
+// : ... +off+width ] without per-row calls.
+func (c *PartCursor) ColSpec(a int) (off, width int) {
+	off = c.offsets[a]
+	if off < 0 {
+		return -1, 0
+	}
+	return off, c.p.colSize(a)
+}
+
 // Col returns the current row's bytes of attribute a, valid until the next
 // Next call. It returns nil when the partition does not hold a.
 func (c *PartCursor) Col(a int) []byte {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -170,5 +171,90 @@ func TestCursorSnapshotSurvivesRepartition(t *testing.T) {
 	}
 	if got := len(e.Snapshot().Layout().Parts); got != 2 {
 		t.Fatalf("new snapshot has %d parts, want 2", got)
+	}
+}
+
+// TestNextRowsMatchesNext drives two cursors over the same partition — one
+// row by row through Next/Col, one in runs through NextRows/ColSpec with a
+// rotating run length — and requires the same bytes in the same order AND
+// bit-identical accounting (seeks, bytes, cache lines) at end of stream.
+// This is the contract the vectorized scan's batching rests on.
+func TestNextRowsMatchesNext(t *testing.T) {
+	parts := []attrset.Set{attrset.Of(0, 2), attrset.Of(1), attrset.Of(3)}
+	dev := snapDev()
+	e, _ := snapTestEngine(t, 301, parts, dev)
+	snap := e.Snapshot()
+	total := int64(snap.PartRowSize(0) + snap.PartRowSize(1))
+
+	for _, maxes := range [][]int{{1}, {3}, {64}, {1000}, {1, 5, 2, 17, 3}} {
+		for pi := 0; pi < 2; pi++ {
+			rowCur, err := snap.Cursor(pi, dev, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runCur, err := snap.Cursor(pi, dev, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := runCur.RowSize()
+			attrs := runCur.Attrs().Attrs()
+
+			// Collect the oracle stream row by row.
+			var want []byte
+			for {
+				ok, err := rowCur.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				for _, a := range attrs {
+					want = append(want, rowCur.Col(a)...)
+				}
+			}
+
+			var got []byte
+			mi := 0
+			for {
+				page, start, n, err := runCur.NextRows(maxes[mi%len(maxes)])
+				mi++
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				for i := 0; i < n; i++ {
+					base := (start + i) * rs
+					for _, a := range attrs {
+						off, w := runCur.ColSpec(a)
+						got = append(got, page[base+off:base+off+w]...)
+					}
+				}
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("part %d maxes %v: NextRows stream diverges (%d vs %d bytes)", pi, maxes, len(got), len(want))
+			}
+			if gs, ws := runCur.Stats(), rowCur.Stats(); !reflect.DeepEqual(gs, ws) {
+				t.Fatalf("part %d maxes %v: stats diverge\n got %+v\nwant %+v", pi, maxes, gs, ws)
+			}
+		}
+	}
+
+	// ColSpec on an attribute the partition does not hold.
+	c, err := snap.Cursor(0, dev, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, w := c.ColSpec(1); off != -1 || w != 0 {
+		t.Fatalf("ColSpec(absent) = %d,%d", off, w)
+	}
+	// NextRows with a non-positive max reads nothing and charges nothing.
+	if _, _, n, err := c.NextRows(0); n != 0 || err != nil {
+		t.Fatalf("NextRows(0) = %d,%v", n, err)
+	}
+	if st := c.Stats(); st.BytesRead != 0 || st.Seeks != 0 {
+		t.Fatalf("NextRows(0) charged %+v", st)
 	}
 }

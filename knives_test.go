@@ -114,8 +114,8 @@ func TestAdvise(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if got := len(knives.Experiments()); got != 29 {
-		t.Errorf("Experiments() has %d entries, want 29", got)
+	if got := len(knives.Experiments()); got != 30 {
+		t.Errorf("Experiments() has %d entries, want 30", got)
 	}
 	// Run the cheapest experiment end to end through the public API.
 	rep, err := knives.RunExperiment("tab4")
